@@ -1,0 +1,53 @@
+"""Section 3.4 statistic: heavy-hitters in the rising suggestions.
+
+Paper: of 6655 distinct suggested search terms, only 33 comprise half
+of all suggestions; the head contains <Power outage>, major ISPs, and
+<Electric power>.  The simulator's catalog is compact (a few dozen
+topics), so the absolute numbers shrink, but the skew — a small head
+covering half the mass — and the head's membership reproduce.
+"""
+
+from repro.analysis import paper_vs_measured, render_table
+from repro.core.context import HeavyHitterAnalyzer
+from repro.core.nlp import PhraseClusterer
+
+
+def test_heavy_hitter_skew(study, environment, benchmark, emit):
+    clusterer = PhraseClusterer()
+
+    def superimpose() -> HeavyHitterAnalyzer:
+        analyzer = HeavyHitterAnalyzer()
+        sift = environment.sift
+        for spike in study.spikes:
+            rising = sift.daily_rising(spike.geo, spike.start)
+            analyzer.add([clusterer.canonicalize(t.phrase) for t in rising])
+        return analyzer
+
+    analyzer = benchmark.pedantic(superimpose, rounds=1, iterations=1)
+    head = analyzer.heavy_hitters(coverage=0.5)
+    emit(
+        render_table(
+            ("term", "suggestions"),
+            analyzer.most_common(10),
+            title="Top suggested terms across all spikes",
+        ),
+        paper_vs_measured(
+            [
+                ("distinct suggested terms", 6655, analyzer.distinct_terms),
+                ("terms covering half the mass", 33, len(head)),
+                (
+                    "head/catalog skew",
+                    f"{33 / 6655:.1%}",
+                    f"{len(head) / max(analyzer.distinct_terms, 1):.1%}",
+                ),
+                (
+                    "<Power outage> in the head",
+                    True,
+                    "Power outage" in head,
+                ),
+            ],
+            title="Heavy-hitter statistics",
+        ),
+    )
+    assert len(head) < analyzer.distinct_terms / 2  # skewed head
+    assert "Power outage" in head

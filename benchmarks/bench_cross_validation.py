@@ -1,0 +1,77 @@
+"""Cross-validation of SIFT spikes against the ANT data set (§4 / §6).
+
+The paper's qualitative finding, quantified over the whole study: ANT
+confirms network-level outages (power, fixed-line ISP) but misses what
+users still experience as "the Internet is down" — mobile-carrier,
+DNS/CDN, and application failures.
+"""
+
+from repro.analysis import paper_vs_measured, render_table
+from repro.ant import cross_validate
+from repro.world.events import Cause
+
+
+def test_cross_validation_by_cause(study, environment, ant_dataset, benchmark, emit):
+    # Take the most impactful spikes and attribute each to its
+    # ground-truth event (by state/time overlap) for a per-cause view.
+    top = study.spikes.top_by_duration(300)
+    report = benchmark.pedantic(
+        cross_validate, args=(ant_dataset, top), rounds=1, iterations=1
+    )
+
+    from repro.timeutil import TimeWindow
+
+    per_cause: dict[str, list[bool]] = {}
+    for result in report.results:
+        spike = result.spike
+        window = TimeWindow(spike.start, spike.end)
+        events = [
+            event
+            for event in environment.scenario.events_in_state(spike.state)
+            if event.impact_on(spike.state).window.overlaps(window)
+        ]
+        if not events:
+            continue
+        event = max(events, key=lambda e: e.impact_on(spike.state).intensity)
+        per_cause.setdefault(event.cause.value, []).append(result.confirmed)
+
+    rows = [
+        (
+            cause,
+            len(outcomes),
+            f"{sum(outcomes) / len(outcomes):.0%}",
+        )
+        for cause, outcomes in sorted(per_cause.items())
+    ]
+    visible = [
+        confirmed
+        for cause, outcomes in per_cause.items()
+        for confirmed in outcomes
+        if Cause(cause).is_power_related or cause == "isp"
+    ]
+    invisible = [
+        confirmed
+        for cause, outcomes in per_cause.items()
+        for confirmed in outcomes
+        if cause in ("mobile", "cloud", "application")
+    ]
+    visible_rate = sum(visible) / len(visible) if visible else 0.0
+    invisible_rate = sum(invisible) / len(invisible) if invisible else 0.0
+    emit(
+        render_table(
+            ("ground-truth cause", "top spikes", "ANT confirmation rate"),
+            rows,
+            title="Cross-validation: ANT confirmation by cause",
+        ),
+        paper_vs_measured(
+            [
+                ("power/ISP spikes confirmed", "mostly", f"{visible_rate:.0%}"),
+                (
+                    "mobile/cloud/app spikes confirmed",
+                    "mostly missed (T-Mobile, Akamai, Youtube)",
+                    f"{invisible_rate:.0%}",
+                ),
+            ]
+        ),
+    )
+    assert visible_rate > invisible_rate + 0.3

@@ -1,0 +1,95 @@
+"""Ground-truth detection quality (the validation the paper calls for).
+
+Paper §6: "a more detailed validation study can unfold two promising
+research directions" — here the simulator's ground truth makes the
+validation exact.  Reports recall by event intensity, precision,
+duration fidelity, annotation accuracy, and the SIFT/ANT three-way
+characterization (seen by both / SIFT-only / ANT-only).
+"""
+
+from repro.analysis import paper_vs_measured, render_table
+from repro.analysis.validation import validate_study
+from repro.ant import characterize
+
+
+def test_detection_quality(study, environment, benchmark, emit):
+    report = benchmark.pedantic(
+        validate_study,
+        args=(study.spikes, environment.scenario),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ("recall (all impacts)", f"{report.recall:.0%}"),
+        ("recall (intensity >= 5)", f"{report.recall_above_intensity(5.0):.0%}"),
+        ("recall (intensity >= 10)", f"{report.recall_above_intensity(10.0):.0%}"),
+        ("event-driven spike share", f"{report.precision:.0%}"),
+        ("mean |duration error| (h)", f"{report.mean_absolute_duration_error:.2f}"),
+        ("annotation accuracy", f"{report.annotation_accuracy():.0%}"),
+    ]
+    emit(
+        render_table(
+            ("metric", "value"),
+            rows,
+            title="Detection quality vs ground truth (not measurable in the paper)",
+        ),
+    )
+    assert report.recall_above_intensity(5.0) > 0.7
+    assert report.annotation_accuracy() > 0.4
+
+
+def test_sift_ant_characterization(study, environment, ant_dataset, benchmark, emit):
+    report = benchmark.pedantic(
+        characterize,
+        args=(study.spikes, ant_dataset, environment.scenario),
+        kwargs={"top_spikes": 150},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        render_table(
+            ("cause", "seen by both", "SIFT-only"),
+            [
+                (
+                    cause,
+                    report.both_causes.get(cause, 0),
+                    report.sift_only_causes.get(cause, 0),
+                )
+                for cause in sorted(
+                    set(report.both_causes) | set(report.sift_only_causes)
+                )
+            ],
+            title="SIFT vs ANT: who sees what (top spikes, by ground-truth cause)",
+        ),
+        paper_vs_measured(
+            [
+                (
+                    "SIFT-only share of top spikes",
+                    "mobile/DNS/app outages (qualitative)",
+                    f"{report.sift_only_share:.0%}",
+                ),
+                (
+                    "ANT-only darkening episodes",
+                    "future work",
+                    report.ant_only_episodes,
+                ),
+            ]
+        ),
+    )
+    power_both = report.both_causes.get("power-weather", 0) + report.both_causes.get(
+        "power-grid", 0
+    )
+    power_only = report.sift_only_causes.get("power-weather", 0) + (
+        report.sift_only_causes.get("power-grid", 0)
+    )
+    invisible_only = sum(
+        report.sift_only_causes.get(cause, 0)
+        for cause in ("mobile", "cloud", "application")
+    )
+    invisible_both = sum(
+        report.both_causes.get(cause, 0)
+        for cause in ("mobile", "cloud", "application")
+    )
+    # Power problems skew to "both"; mobile/cloud/app skew to SIFT-only.
+    assert power_both >= power_only
+    assert invisible_only >= invisible_both

@@ -1,0 +1,58 @@
+"""Figure 1: the <Internet outage> popularity index in Texas.
+
+Regenerates the paper's opening figure — the Texas timeline for
+19 Jan - 21 Feb 2021 with its two news-verified anchors: the Verizon
+East Coast outage (26 Jan) and the winter-storm power outage (15 Feb).
+The benchmarked kernel is the stitching+renormalization step that
+produces the continuous series.
+"""
+
+from repro.analysis import paper_vs_measured, render_timeline
+from repro.core.stitching import stitch_frames
+from repro.timeutil import TimeWindow, utc
+
+
+def test_fig1_texas_timeline(environment, study, benchmark, emit):
+    window = TimeWindow(utc(2021, 1, 19), utc(2021, 2, 21))
+    tx = study.states["US-TX"]
+
+    frames = tuple(tx.averaging.responses)
+    timeline, _report = benchmark.pedantic(
+        stitch_frames, args=(frames,), rounds=3, iterations=1
+    )
+
+    cut = timeline.renormalized().slice(window)
+    storm = study.spikes.in_state("TX").top_by_duration(1)[0]
+    verizon_day = [
+        spike
+        for spike in study.spikes.in_state("TX")
+        if spike.peak.date().isoformat() == "2021-01-26"
+    ]
+    emit(
+        render_timeline(
+            cut.values,
+            title="Fig. 1 - <Internet outage> in Texas, 19 Jan - 21 Feb 2021",
+        ),
+        paper_vs_measured(
+            [
+                ("winter-storm spike start", "15 Feb. 2021-10h", storm.label),
+                ("winter-storm duration (h)", 45, storm.duration_hours),
+                (
+                    "Verizon spike on 26 Jan",
+                    "present",
+                    "present" if verizon_day else "MISSING",
+                ),
+                (
+                    "storm magnitude > Verizon magnitude",
+                    True,
+                    bool(
+                        verizon_day
+                        and storm.magnitude > max(s.magnitude for s in verizon_day)
+                    ),
+                ),
+            ],
+            title="Fig. 1 anchors",
+        ),
+    )
+    assert storm.duration_hours >= 30
+    assert verizon_day

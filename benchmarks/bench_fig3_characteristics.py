@@ -1,0 +1,58 @@
+"""Figure 3: characteristics of all spikes in 2020-2021.
+
+Left: cumulative share of spikes over ranked states (paper: top-10
+states host 51%).  Right: cumulative distribution of spike durations
+(paper: 90% are shorter than 3 hours).
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    duration_cdf,
+    paper_vs_measured,
+    render_cdf,
+    state_cdf,
+)
+
+
+def test_fig3_left_states_cdf(study, benchmark, emit):
+    cdf = benchmark(state_cdf, study.spikes)
+    emit(
+        render_cdf(
+            np.arange(1, cdf.counts.size + 1),
+            cdf.cumulative,
+            "state rank",
+            "cum. share",
+            title="Fig. 3 (left) - spikes over ranked states",
+        ),
+        paper_vs_measured(
+            [
+                ("top-10-state share", "51%", f"{cdf.share_of_top(10):.0%}"),
+                ("busiest states", "CA, TX, FL, NY, ...", ", ".join(cdf.states[:4])),
+            ]
+        ),
+    )
+    assert 0.35 <= cdf.share_of_top(10) <= 0.70
+    assert set(cdf.states[:6]) & {"CA", "TX", "FL", "NY"}
+
+
+def test_fig3_right_duration_cdf(study, benchmark, emit):
+    cdf = benchmark(duration_cdf, study.spikes)
+    emit(
+        render_cdf(
+            cdf.hours,
+            cdf.cumulative,
+            "duration (h)",
+            "cum. share",
+            title="Fig. 3 (right) - spike durations",
+        ),
+        paper_vs_measured(
+            [
+                ("spikes >= 3 h", "10%", f"{cdf.fraction_at_least(3):.1%}"),
+                ("spikes >= 5 h", "3.5%", f"{cdf.fraction_at_least(5):.1%}"),
+                ("longest spike (h)", 45, int(cdf.hours.max())),
+            ]
+        ),
+    )
+    assert 0.05 <= cdf.fraction_at_least(3) <= 0.20
+    assert cdf.hours.max() >= 30

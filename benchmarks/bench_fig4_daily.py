@@ -1,0 +1,27 @@
+"""Figure 4: daily distribution of all spikes.
+
+The paper's horizontal-bar figure showing fewer outages on weekends
+(conjectured: less service-side human error on Saturday/Sunday).
+"""
+
+from repro.analysis import daily_distribution, paper_vs_measured, render_bars
+
+
+def test_fig4_daily_distribution(study, benchmark, emit):
+    dist = benchmark(daily_distribution, study.spikes)
+    labels = [name for name, _ in dist.as_rows()]
+    values = [fraction for _, fraction in dist.as_rows()]
+    emit(
+        render_bars(
+            labels, values, title="Fig. 4 - daily distribution of all spikes"
+        ),
+        paper_vs_measured(
+            [
+                ("weekday day share", "~15%", f"{dist.weekday_mean:.1%}"),
+                ("weekend day share", "~12.5%", f"{dist.weekend_mean:.1%}"),
+                ("weekday/weekend ratio", "> 1", f"{dist.weekend_dip:.2f}"),
+            ]
+        ),
+    )
+    assert dist.weekend_dip > 1.0
+    assert abs(dist.fractions.sum() - 1.0) < 1e-9

@@ -1,0 +1,38 @@
+"""Figure 5: distribution of spikes over outages (simultaneous states).
+
+The paper groups concurrent spikes across states into outages and finds
+that 11% of outages include 10 or more states.  The benchmarked kernel
+is the grouping sweep itself.
+"""
+
+from repro.analysis import footprint_cdf, paper_vs_measured, render_cdf
+from repro.core.area import group_outages
+
+
+def test_fig5_simultaneous_states(study, benchmark, emit):
+    outages = benchmark.pedantic(
+        group_outages, args=(study.spikes,), rounds=3, iterations=1
+    )
+    cdf = footprint_cdf(outages)
+    emit(
+        render_cdf(
+            cdf.footprints,
+            cdf.cumulative,
+            "number of states",
+            "cum. share",
+            title="Fig. 5 - distribution of outages over their footprint",
+        ),
+        paper_vs_measured(
+            [
+                ("outages", "~25 000 (full scale)", len(outages)),
+                (
+                    "outages >= 10 states",
+                    "11% (at paper scale)",
+                    f"{cdf.fraction_at_least(10):.1%}",
+                ),
+                ("largest footprint", 34, int(cdf.footprints.max())),
+            ]
+        ),
+    )
+    assert cdf.fraction_at_least(10) > 0.01
+    assert cdf.footprints.max() >= 25

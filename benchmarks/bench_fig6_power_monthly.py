@@ -1,0 +1,53 @@
+"""Figure 6: monthly count of power-annotated spikes lasting >= 5 h.
+
+The paper's climate finding: power outages dominate long spikes, with
+two outlier clusters — California's wildfire/heat-wave season
+(Aug/Sep 2020) and the Texas winter storms (Jan/Feb 2021).
+"""
+
+from repro.analysis import (
+    monthly_power_long_spikes,
+    paper_vs_measured,
+    power_share_of_long_spikes,
+    render_bars,
+)
+
+MONTHS = ("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+          "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+
+
+def test_fig6_power_annotated_monthly(study, benchmark, emit):
+    monthly = benchmark(monthly_power_long_spikes, study.spikes, 5)
+    rows = []
+    values = []
+    for year in (2020, 2021):
+        for month in range(1, 13):
+            rows.append(f"{MONTHS[month - 1]} {year}")
+            values.append(monthly.get((year, month), 0))
+    share = power_share_of_long_spikes(study.spikes)
+
+    ca_peak = sum(monthly.get((2020, m), 0) for m in (8, 9))
+    ca_rest = sum(monthly.get((2020, m), 0) for m in (3, 4, 5))
+    tx_peak = sum(monthly.get((2021, m), 0) for m in (1, 2))
+    tx_rest = sum(monthly.get((2021, m), 0) for m in (4, 5, 6))
+
+    emit(
+        render_bars(
+            rows,
+            [float(v) for v in values],
+            title="Fig. 6 - power-annotated spikes >= 5 h per month",
+        ),
+        paper_vs_measured(
+            [
+                ("power share of >= 5 h spikes", "73%", f"{share:.0%}"),
+                ("Aug+Sep 2020 count (CA wildfires)", "outlier", ca_peak),
+                ("Mar-May 2020 count (baseline)", "low", ca_rest),
+                ("Jan+Feb 2021 count (TX storms)", "outlier", tx_peak),
+                ("Apr-Jun 2021 count (baseline)", "low", tx_rest),
+            ]
+        ),
+    )
+    # The outlier months must clearly dominate their year's baseline.
+    assert ca_peak > 1.5 * max(ca_rest, 1)
+    assert tx_peak > 1.5 * max(tx_rest, 1)
+    assert share > 0.3

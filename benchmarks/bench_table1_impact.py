@@ -1,0 +1,46 @@
+"""Table 1: the most impactful spikes based on their durations.
+
+Paper anchors: the Texas winter storm tops the table at 45 hours, and
+the highly-impactful T-Mobile outage (CA, 19 h) is *not traceable* in
+the ANT active-probing data because mobile nodes do not answer probes.
+"""
+
+from repro.analysis import most_impactful, paper_vs_measured, render_table
+from repro.ant import trace_spike
+
+
+def test_table1_most_impactful(study, ant_dataset, benchmark, emit):
+    rows = benchmark(most_impactful, study.spikes, 7)
+    table = render_table(
+        ("spike time", "state", "duration (h)", "outage (top annotation)"),
+        [(r.label, r.state, r.duration_hours, r.spike.annotations) for r in rows],
+        title="Table 1 - most impactful spikes by duration",
+    )
+
+    top = rows[0]
+    tmobile = [
+        spike
+        for spike in study.spikes.in_state("CA")
+        if spike.start.date().isoformat() == "2020-06-15"
+        and spike.duration_hours >= 5
+    ]
+    tmobile_traced = (
+        trace_spike(ant_dataset, max(tmobile, key=lambda s: s.duration_hours)).confirmed
+        if tmobile
+        else None
+    )
+    emit(
+        table,
+        paper_vs_measured(
+            [
+                ("rank-1 spike", "15 Feb. 2021-10h TX 45h", f"{top.label} {top.state} {top.duration_hours}h"),
+                ("rank-1 cause", "Winter storm (power)", top.outage),
+                ("T-Mobile spike in CA (15 Jun 2020)", "present", "present" if tmobile else "MISSING"),
+                ("T-Mobile traced in ANT data", "no (mobile invisible)", tmobile_traced),
+            ]
+        ),
+    )
+    assert top.state == "TX"
+    assert top.duration_hours >= 35
+    assert tmobile
+    assert tmobile_traced is False

@@ -1,0 +1,41 @@
+"""Table 3: the most impactful power outages per state.
+
+Paper anchors: Texas winter storm (45 h) on top; California heat wave,
+Michigan storm, Washington storm, Colorado severed power line, Ohio
+storm, and the Kentucky tornado in the tail.
+"""
+
+from repro.analysis import (
+    paper_vs_measured,
+    render_table,
+    top_power_outages_by_state,
+)
+
+
+def test_table3_power_outages_by_state(study, benchmark, emit):
+    rows = benchmark(top_power_outages_by_state, study.spikes, 7)
+    table = render_table(
+        ("spike time", "state", "duration (h)", "cause hint"),
+        [(r.label, r.state, r.duration_hours, r.cause_hint) for r in rows],
+        title="Table 3 - most impactful power outages by state",
+    )
+    states = [row.state for row in rows]
+    ca_row = next((r for r in rows if r.state == "CA"), None)
+    emit(
+        table,
+        paper_vs_measured(
+            [
+                ("rank-1 row", "TX 45h Winter storm", f"{rows[0].state} {rows[0].duration_hours}h {rows[0].cause_hint}"),
+                ("distinct states", "7 of 7", f"{len(set(states))} of {len(states)}"),
+                (
+                    "CA row (heat wave / wildfire)",
+                    "06 Sep. 2020, 18h",
+                    f"{ca_row.label}, {ca_row.duration_hours}h" if ca_row else "MISSING",
+                ),
+            ]
+        ),
+    )
+    assert rows[0].state == "TX"
+    assert rows[0].duration_hours >= 35
+    assert len(set(states)) == len(states)  # one row per state
+    assert all(row.duration_hours >= rows[-1].duration_hours for row in rows)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+One full 51-geography study is produced per session and shared by every
+figure/table benchmark.  ``REPRO_BENCH_SCALE`` controls the background
+event scale (default 0.15 runs the complete two-year pipeline in a
+couple of minutes; 1.0 is the paper-scale study).  Counts scale with
+the background; the *shapes* the paper reports are preserved, and each
+benchmark prints a paper-vs-measured summary.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import make_environment
+from repro.ant import AntDataset
+
+
+def bench_scale() -> float:
+    if os.environ.get("REPRO_FULL_STUDY") == "1":
+        return 1.0
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+
+@pytest.fixture(scope="session")
+def environment():
+    return make_environment(background_scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def study(environment):
+    return environment.run_study()
+
+
+@pytest.fixture(scope="session")
+def ant_dataset(environment):
+    return AntDataset.build(environment.scenario)
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print an artifact to the real terminal despite pytest capture."""
+
+    def _emit(*chunks: str) -> None:
+        with capsys.disabled():
+            print()
+            for chunk in chunks:
+                print(chunk)
+
+    return _emit

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""SIFT vs a complaint-based detector on the same ground truth.
+
+The paper's related work (§5) contrasts SIFT with Downdetector-style
+complaint portals.  This example runs both over one simulated month and
+prints, for each ground-truth event, what each approach can report —
+the complaint portal names the service but has no geography; SIFT
+localizes per state and suggests root causes.
+
+Run:  python examples/downdetector_comparison.py
+"""
+
+from repro import make_environment, utc
+from repro.analysis import render_table
+from repro.complaints import ComplaintStream, Downdetector
+from repro.timeutil import TimeWindow
+
+
+def main() -> None:
+    env = make_environment(
+        background_scale=0.3, start=utc(2021, 1, 1), end=utc(2021, 3, 1)
+    )
+    print("running SIFT (TX, NY, NJ, OK) ...")
+    study = env.run_study(geos=("US-TX", "US-NY", "US-NJ", "US-OK"))
+    portal = Downdetector(ComplaintStream(env.scenario))
+
+    verizon_window = TimeWindow(utc(2021, 1, 26, 12), utc(2021, 1, 27, 4))
+    storm_window = TimeWindow(utc(2021, 2, 15, 8), utc(2021, 2, 17, 12))
+
+    rows = []
+
+    incident = portal.incident_overlapping("Verizon", verizon_window)
+    verizon_states = {
+        spike.state
+        for spike in study.spikes
+        if verizon_window.contains(spike.peak)
+    }
+    rows.append(
+        (
+            "Verizon outage (26 Jan)",
+            f"incident, peak {incident.peak_complaints:.0f} complaints/h"
+            if incident
+            else "missed",
+            f"spikes in {sorted(verizon_states)}",
+        )
+    )
+
+    storm = study.spikes.in_state("TX").top_by_duration(1)[0]
+    spectrum_incident = portal.incident_overlapping("Spectrum", storm_window)
+    rows.append(
+        (
+            "TX winter storm (15 Feb)",
+            f"indirect: Spectrum incident={spectrum_incident is not None} "
+            "(no <Power outage> page)",
+            f"TX spike {storm.duration_hours} h, "
+            f"annotations {storm.annotations[:3]}",
+        )
+    )
+
+    print()
+    print(
+        render_table(
+            ("ground-truth event", "Downdetector view", "SIFT view"),
+            rows,
+            title="Complaint-based vs search-based detection",
+        )
+    )
+    print()
+    print("Complaint incidents attribute a *service* but carry no geography;")
+    print("SIFT localizes the same events per state and surfaces causal terms.")
+
+
+if __name__ == "__main__":
+    main()

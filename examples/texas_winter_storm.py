@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Case study: the February 2021 Texas winter storm (paper Fig. 1 / Table 1).
+
+Walks through the full SIFT analysis of the paper's flagship outage:
+
+1. reconstruct the Texas timeline around the storm,
+2. detect and rank the spikes (storm vs the 26 Jan Verizon outage),
+3. annotate the storm spike with simultaneously-rising search terms,
+4. cross-validate against the simulated ANT active-probing data set.
+
+Run:  python examples/texas_winter_storm.py
+"""
+
+from repro import make_environment, utc
+from repro.analysis import render_table, render_timeline
+from repro.ant import AntDataset, CrossValidationConfig, trace_spike
+from repro.timeutil import TimeWindow
+
+
+def main() -> None:
+    env = make_environment(
+        background_scale=0.3, start=utc(2021, 1, 1), end=utc(2021, 3, 1)
+    )
+
+    print("=== 1. Reconstruction ===")
+    result = env.sift.analyze_state("US-TX", env.window)
+    figure_window = TimeWindow(utc(2021, 1, 19), utc(2021, 2, 21))
+    cut = result.timeline.slice(figure_window)
+    print(
+        render_timeline(
+            cut.values, title="<Internet outage> in Texas, 19 Jan - 21 Feb 2021"
+        )
+    )
+
+    print()
+    print("=== 2. Detection: storm vs Verizon ===")
+    storm = result.spikes.top_by_duration(1)[0]
+    verizon_candidates = [
+        spike
+        for spike in result.spikes
+        if spike.start.date().isoformat() == "2021-01-26"
+    ]
+    rows = [("winter storm", storm.label, storm.duration_hours,
+             f"{storm.magnitude:.1f}", storm.magnitude_rank)]
+    if verizon_candidates:
+        verizon = max(verizon_candidates, key=lambda s: s.magnitude)
+        rows.append(
+            ("Verizon outage", verizon.label, verizon.duration_hours,
+             f"{verizon.magnitude:.1f}", verizon.magnitude_rank)
+        )
+    print(render_table(("event", "start", "duration (h)", "magnitude", "rank"), rows))
+    print("(the paper: the storm is more significant on both indicators)")
+
+    print()
+    print("=== 3. Context annotation ===")
+    rising = env.sift.daily_rising("US-TX", storm.start)
+    print(render_table(
+        ("rising query", "weight"),
+        [(term.phrase, term.weight) for term in rising[:8]],
+        title="Rising terms on the storm's start day",
+    ))
+    annotated = env.sift.run_study(geos=("US-TX",), window=env.window)
+    storm_annotated = annotated.spikes.top_by_duration(1)[0]
+    print(f"storm annotations: {storm_annotated.annotations}")
+
+    print()
+    print("=== 4. Cross-validation against active probing ===")
+    ant = AntDataset.build(env.scenario)
+    # This two-month scenario is storm-season-dense, so the per-state
+    # background of dark blocks is high; a 2x excess is a confirmation.
+    trace = trace_spike(ant, storm, CrossValidationConfig(background_ratio=2.0))
+    print(
+        f"ANT blocks dark in TX during the spike: {trace.blocks_down} "
+        f"(background expectation {trace.expected_background:.1f}) "
+        f"-> confirmed={trace.confirmed}"
+    )
+    print("A power outage takes end hosts offline, so active probing sees it —")
+    print("unlike the T-Mobile/Akamai/Youtube cases the paper highlights.")
+
+
+if __name__ == "__main__":
+    main()

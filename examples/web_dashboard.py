@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Serve SIFT results through the web interface.
+
+Runs a small study and exposes it over HTTP, like the "running web
+interface" of the paper's implementation.  Endpoints:
+
+    /                       HTML overview with a timeline sketch
+    /api/geos               geographies in the study
+    /api/timeline?geo=US-TX the reconstructed series
+    /api/spikes?geo=US-TX   detected spikes (JSON)
+    /api/outages            grouped multi-state outages
+
+Run:  python examples/web_dashboard.py [port]
+"""
+
+import sys
+
+from repro import make_environment, utc
+from repro.web import serve
+
+
+def main() -> None:
+    port = int(sys.argv[1]) if len(sys.argv) > 1 else 8080
+    env = make_environment(
+        background_scale=0.3, start=utc(2021, 1, 1), end=utc(2021, 3, 1)
+    )
+    print("running the study (TX, CA, OK, LA) ...")
+    study = env.run_study(geos=("US-TX", "US-CA", "US-OK", "US-LA"))
+    server, _thread = serve(study, port=port)
+    host, bound_port = server.server_address[:2]
+    print(f"SIFT dashboard: http://{host}:{bound_port}/?geo=US-TX  (Ctrl-C stops)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+``pip install -e .`` cannot build the modern editable wheel.  This shim
+lets ``python setup.py develop`` (and thus ``pip install -e . --no-build-isolation``
+on older setuptools) fall back to the egg-link editable install.  All
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Evaluation analytics: the paper's figures and tables as functions."""
+
+from repro.analysis.area_stats import (
+    ExtensiveRow,
+    FootprintCdf,
+    footprint_cdf,
+    mean_footprint,
+    most_extensive_table,
+)
+from repro.analysis.context_stats import (
+    PowerRow,
+    long_spike_share,
+    monthly_power_long_spikes,
+    power_annotated,
+    power_share_of_long_spikes,
+    top_power_outages_by_state,
+)
+from repro.analysis.daily import DAY_NAMES, DailyDistribution, daily_distribution
+from repro.analysis.impact import (
+    DurationCdf,
+    ImpactRow,
+    StateCdf,
+    duration_cdf,
+    long_lasting_ratio,
+    most_impactful,
+    state_cdf,
+    yearly_counts,
+)
+from repro.analysis.export import export_study
+from repro.analysis.validation import ImpactMatch, ValidationReport, validate_study
+from repro.analysis.reporting import (
+    paper_vs_measured,
+    render_bars,
+    render_cdf,
+    render_table,
+    render_timeline,
+)
+
+__all__ = [
+    "DAY_NAMES",
+    "DailyDistribution",
+    "DurationCdf",
+    "ExtensiveRow",
+    "FootprintCdf",
+    "ImpactRow",
+    "PowerRow",
+    "StateCdf",
+    "daily_distribution",
+    "duration_cdf",
+    "footprint_cdf",
+    "long_lasting_ratio",
+    "long_spike_share",
+    "mean_footprint",
+    "monthly_power_long_spikes",
+    "most_extensive_table",
+    "most_impactful",
+    "paper_vs_measured",
+    "power_annotated",
+    "power_share_of_long_spikes",
+    "render_bars",
+    "render_cdf",
+    "render_table",
+    "render_timeline",
+    "state_cdf",
+    "top_power_outages_by_state",
+    "yearly_counts",
+    "ImpactMatch",
+    "ValidationReport",
+    "validate_study",
+    "export_study",
+]

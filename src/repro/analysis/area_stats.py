@@ -1,0 +1,65 @@
+"""Area analysis statistics (paper §4.2, Fig. 5 and Table 2)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.area import Outage, most_extensive
+
+
+@dataclasses.dataclass(frozen=True)
+class FootprintCdf:
+    """Fig. 5: distribution of outages over their state footprint."""
+
+    footprints: np.ndarray  # sorted distinct footprint sizes
+    cumulative: np.ndarray  # fraction of outages with footprint <= size
+
+    def fraction_at_least(self, states: int) -> float:
+        """Share of outages spanning at least *states* (paper: 11% >= 10)."""
+        below = self.footprints < states
+        if not below.any():
+            return 1.0
+        index = int(np.max(np.nonzero(below)))
+        return float(1.0 - self.cumulative[index])
+
+
+def footprint_cdf(outages: list[Outage]) -> FootprintCdf:
+    sizes = np.array([outage.footprint for outage in outages], dtype=np.int64)
+    if sizes.size == 0:
+        return FootprintCdf(footprints=np.array([]), cumulative=np.array([]))
+    values, counts = np.unique(sizes, return_counts=True)
+    cumulative = np.cumsum(counts) / sizes.size
+    return FootprintCdf(footprints=values, cumulative=cumulative)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ExtensiveRow:
+    """One row of Table 2."""
+
+    outage: Outage
+
+    @property
+    def label(self) -> str:
+        return self.outage.label
+
+    @property
+    def footprint(self) -> int:
+        return self.outage.footprint
+
+    @property
+    def name(self) -> str:
+        annotations = self.outage.annotations
+        return annotations[0] if annotations else "(unannotated)"
+
+
+def most_extensive_table(outages: list[Outage], count: int = 9) -> list[ExtensiveRow]:
+    """Table 2: the most extensive outages by footprint."""
+    return [ExtensiveRow(outage) for outage in most_extensive(outages, count)]
+
+
+def mean_footprint(outages: list[Outage]) -> float:
+    if not outages:
+        return 0.0
+    return float(np.mean([outage.footprint for outage in outages]))

@@ -1,0 +1,101 @@
+"""Context analysis statistics (paper §4.3, Fig. 6 and Table 3).
+
+Everything here keys off spike annotations: power-relatedness means the
+spike carries a ``<Power outage>``-family annotation, exactly how the
+paper identifies the climate/power theme behind long outages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.spikes import Spike, SpikeSet
+from repro.world.catalog import POWER_TERMS
+
+
+def power_annotated(spikes: SpikeSet) -> SpikeSet:
+    """Spikes carrying a power-related annotation."""
+    return spikes.with_annotation(POWER_TERMS)
+
+
+def monthly_power_long_spikes(
+    spikes: SpikeSet, min_hours: int = 5
+) -> dict[tuple[int, int], int]:
+    """Fig. 6: per (year, month) count of power-annotated spikes >= 5 h."""
+    longest = power_annotated(spikes.at_least_hours(min_hours))
+    counts: dict[tuple[int, int], int] = {}
+    for spike in longest:
+        key = (spike.peak.year, spike.peak.month)
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def power_share_of_long_spikes(spikes: SpikeSet, min_hours: int = 5) -> float:
+    """Share of >= *min_hours* spikes that are power-annotated (paper: 73%)."""
+    longest = spikes.at_least_hours(min_hours)
+    if len(longest) == 0:
+        return 0.0
+    return len(power_annotated(longest)) / len(longest)
+
+
+def long_spike_share(spikes: SpikeSet, min_hours: int = 5) -> float:
+    """Share of all spikes lasting >= *min_hours* (paper: top 3.5%)."""
+    if len(spikes) == 0:
+        return 0.0
+    return len(spikes.at_least_hours(min_hours)) / len(spikes)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PowerRow:
+    """One row of Table 3."""
+
+    spike: Spike
+
+    @property
+    def label(self) -> str:
+        return self.spike.label
+
+    @property
+    def state(self) -> str:
+        return self.spike.state
+
+    @property
+    def duration_hours(self) -> int:
+        return self.spike.duration_hours
+
+    @property
+    def cause_hint(self) -> str:
+        """The most cause-like annotation (weather/power term if any)."""
+        for annotation in self.spike.annotations:
+            if annotation in _WEATHER_HINTS:
+                return annotation
+        for annotation in self.spike.annotations:
+            if annotation in POWER_TERMS:
+                return annotation
+        return self.spike.annotations[0] if self.spike.annotations else "(none)"
+
+
+_WEATHER_HINTS = frozenset(
+    {"Winter storm", "Thunderstorm", "Heat wave", "Wildfire", "Hurricane", "Tornado"}
+)
+
+
+def top_power_outages_by_state(
+    spikes: SpikeSet, count: int = 7
+) -> list[PowerRow]:
+    """Table 3: the most impactful power-annotated spike per state.
+
+    States rank by their longest power spike; at most one row per state,
+    like the paper's table of distinct states.
+    """
+    best_per_state: dict[str, Spike] = {}
+    for spike in power_annotated(spikes):
+        current = best_per_state.get(spike.state)
+        if current is None or spike.duration_hours > current.duration_hours:
+            best_per_state[spike.state] = spike
+    ranked = sorted(
+        best_per_state.values(),
+        key=lambda spike: (spike.duration_hours, spike.magnitude),
+        reverse=True,
+    )
+    return [PowerRow(spike) for spike in ranked[:count]]

@@ -1,0 +1,158 @@
+"""Export study results as CSV/JSON for external plotting.
+
+The ASCII renderers are for terminals; anyone regenerating the paper's
+figures in matplotlib/gnuplot wants the underlying series.  One call
+writes a directory of plain files, one per artifact:
+
+    fig1_<geo>.csv      hour,value               (timeline)
+    fig3_states.csv     rank,state,spikes,cumulative_share
+    fig3_durations.csv  hours,cumulative_share
+    fig4_daily.csv      day,fraction
+    fig5_footprints.csv states,cumulative_share
+    fig6_monthly.csv    year,month,power_spikes_ge5h
+    table1.csv / table2.csv / table3.csv
+    summary.json        the headline statistics
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.analysis.area_stats import footprint_cdf, most_extensive_table
+from repro.analysis.context_stats import (
+    monthly_power_long_spikes,
+    power_share_of_long_spikes,
+    top_power_outages_by_state,
+)
+from repro.analysis.daily import DAY_NAMES, daily_distribution
+from repro.analysis.impact import (
+    duration_cdf,
+    most_impactful,
+    state_cdf,
+    yearly_counts,
+)
+from repro.core.pipeline import StudyResult
+
+
+def _write_csv(path: Path, header: tuple[str, ...], rows) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_study(study: StudyResult, directory: str | Path) -> list[Path]:
+    """Write every figure/table of *study* under *directory*.
+
+    Returns the list of files written.  Existing files are overwritten.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def emit(name: str, header: tuple[str, ...], rows) -> None:
+        path = base / name
+        _write_csv(path, header, rows)
+        written.append(path)
+
+    # Fig 1 style: one timeline per analyzed geography.
+    for geo, state_result in sorted(study.states.items()):
+        timeline = state_result.timeline
+        emit(
+            f"fig1_{geo.replace('US-', '').lower()}.csv",
+            ("hour_utc", "value"),
+            (
+                (timeline.time_at(i).isoformat(), round(float(v), 4))
+                for i, v in enumerate(timeline.values)
+            ),
+        )
+
+    states = state_cdf(study.spikes)
+    emit(
+        "fig3_states.csv",
+        ("rank", "state", "spikes", "cumulative_share"),
+        (
+            (rank + 1, code, int(states.counts[rank]), round(float(states.cumulative[rank]), 6))
+            for rank, code in enumerate(states.states)
+        ),
+    )
+
+    durations = duration_cdf(study.spikes)
+    emit(
+        "fig3_durations.csv",
+        ("hours", "cumulative_share"),
+        (
+            (int(h), round(float(c), 6))
+            for h, c in zip(durations.hours, durations.cumulative)
+        ),
+    )
+
+    daily = daily_distribution(study.spikes)
+    emit(
+        "fig4_daily.csv",
+        ("day", "fraction"),
+        ((DAY_NAMES[i], round(float(daily.fractions[i]), 6)) for i in range(7)),
+    )
+
+    footprints = footprint_cdf(study.outages)
+    emit(
+        "fig5_footprints.csv",
+        ("states", "cumulative_share"),
+        (
+            (int(size), round(float(c), 6))
+            for size, c in zip(footprints.footprints, footprints.cumulative)
+        ),
+    )
+
+    monthly = monthly_power_long_spikes(study.spikes)
+    emit(
+        "fig6_monthly.csv",
+        ("year", "month", "power_spikes_ge5h"),
+        ((year, month, count) for (year, month), count in monthly.items()),
+    )
+
+    emit(
+        "table1.csv",
+        ("spike_time", "state", "duration_hours", "annotations"),
+        (
+            (row.label, row.state, row.duration_hours, "|".join(row.spike.annotations))
+            for row in most_impactful(study.spikes, 7)
+        ),
+    )
+    emit(
+        "table2.csv",
+        ("spike_time", "states", "top_annotation"),
+        (
+            (row.label, row.footprint, row.name)
+            for row in most_extensive_table(study.outages, 9)
+        ),
+    )
+    emit(
+        "table3.csv",
+        ("spike_time", "state", "duration_hours", "cause_hint"),
+        (
+            (row.label, row.state, row.duration_hours, row.cause_hint)
+            for row in top_power_outages_by_state(study.spikes, 7)
+        ),
+    )
+
+    summary = {
+        "spikes": study.spike_count,
+        "outages": len(study.outages),
+        "yearly_counts": {str(k): v for k, v in yearly_counts(study.spikes).items()},
+        "top10_state_share": round(states.share_of_top(10), 4),
+        "spikes_ge_3h": round(durations.fraction_at_least(3), 4),
+        "spikes_ge_5h": round(durations.fraction_at_least(5), 4),
+        "outages_ge_10_states": round(footprints.fraction_at_least(10), 4),
+        "weekend_dip": round(daily.weekend_dip, 4),
+        "power_share_of_long_spikes": round(
+            power_share_of_long_spikes(study.spikes), 4
+        ),
+        "heavy_hitters": list(study.heavy_hitters),
+    }
+    summary_path = base / "summary.json"
+    summary_path.write_text(json.dumps(summary, indent=1))
+    written.append(summary_path)
+    return written

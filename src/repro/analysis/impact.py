@@ -1,0 +1,109 @@
+"""Impact analysis: magnitude/duration indicators (paper §4.1).
+
+Duration is the paper's inter-state impact metric (magnitudes are
+normalized per state and thus not comparable across states); this
+module produces the two cumulative-frequency views of Fig. 3 and the
+most-impactful-spikes ranking of Table 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.spikes import Spike, SpikeSet
+
+
+@dataclasses.dataclass(frozen=True)
+class StateCdf:
+    """Fig. 3 (left): spike share by ranked state."""
+
+    states: tuple[str, ...]  # descending by spike count
+    counts: np.ndarray  # spikes per ranked state
+    cumulative: np.ndarray  # cumulative fraction of all spikes
+
+    def share_of_top(self, top_n: int) -> float:
+        """Fraction of all spikes hosted by the *top_n* busiest states."""
+        if top_n <= 0 or self.cumulative.size == 0:
+            return 0.0
+        return float(self.cumulative[min(top_n, self.cumulative.size) - 1])
+
+
+def state_cdf(spikes: SpikeSet) -> StateCdf:
+    """Rank states by spike count and accumulate their share."""
+    counts = spikes.count_by_state()
+    ranked = sorted(counts.items(), key=lambda item: item[1], reverse=True)
+    states = tuple(code for code, _ in ranked)
+    values = np.array([count for _, count in ranked], dtype=np.float64)
+    total = values.sum()
+    cumulative = np.cumsum(values) / total if total else np.zeros_like(values)
+    return StateCdf(states=states, counts=values.astype(np.int64), cumulative=cumulative)
+
+
+@dataclasses.dataclass(frozen=True)
+class DurationCdf:
+    """Fig. 3 (right): cumulative distribution of spike durations."""
+
+    hours: np.ndarray  # sorted distinct durations
+    cumulative: np.ndarray  # fraction of spikes with duration <= hours
+
+    def fraction_at_least(self, hours: int) -> float:
+        """Share of spikes lasting at least *hours* (paper: 10% >= 3 h)."""
+        below = self.hours < hours
+        if not below.any():
+            return 1.0
+        index = int(np.max(np.nonzero(below)))
+        return float(1.0 - self.cumulative[index])
+
+
+def duration_cdf(spikes: SpikeSet) -> DurationCdf:
+    durations = spikes.durations()
+    if durations.size == 0:
+        return DurationCdf(hours=np.array([]), cumulative=np.array([]))
+    values, counts = np.unique(durations, return_counts=True)
+    cumulative = np.cumsum(counts) / durations.size
+    return DurationCdf(hours=values, cumulative=cumulative)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ImpactRow:
+    """One row of Table 1."""
+
+    spike: Spike
+
+    @property
+    def label(self) -> str:
+        return self.spike.label
+
+    @property
+    def state(self) -> str:
+        return self.spike.state
+
+    @property
+    def duration_hours(self) -> int:
+        return self.spike.duration_hours
+
+    @property
+    def outage(self) -> str:
+        """Best-guess outage name: the top annotation."""
+        return self.spike.annotations[0] if self.spike.annotations else "(unannotated)"
+
+
+def most_impactful(spikes: SpikeSet, count: int = 7) -> list[ImpactRow]:
+    """Table 1: the most impactful spikes by duration."""
+    return [ImpactRow(spike) for spike in spikes.top_by_duration(count)]
+
+
+def yearly_counts(spikes: SpikeSet, years: tuple[int, ...] = (2020, 2021)) -> dict[int, int]:
+    """Per-year spike counts (paper: 25 494 vs 23 695)."""
+    return {year: len(spikes.in_year(year)) for year in years}
+
+
+def long_lasting_ratio(
+    spikes: SpikeSet, min_hours: int = 5, years: tuple[int, int] = (2020, 2021)
+) -> float:
+    """Ratio of long-lasting spikes between two years (paper: ~1.5x)."""
+    first = len(spikes.in_year(years[0]).at_least_hours(min_hours))
+    second = len(spikes.in_year(years[1]).at_least_hours(min_hours))
+    return first / second if second else float("inf")

@@ -1,0 +1,118 @@
+"""ASCII rendering of the paper's tables and figures.
+
+Every benchmark prints its artifact through these helpers so the
+"regenerate Table 1 / Fig. 3" output is consistent and diffable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+_BAR = "#"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A boxless, aligned ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_cdf(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    x_label: str,
+    y_label: str,
+    title: str = "",
+    points: int = 12,
+) -> str:
+    """A coarse textual CDF: sampled (x, y) pairs plus a bar per point."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>12}  {y_label:>10}")
+    if xs.size == 0:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    indices = np.unique(
+        np.linspace(0, xs.size - 1, num=min(points, xs.size)).astype(int)
+    )
+    for index in indices:
+        fraction = float(ys[index])
+        bar = _BAR * int(round(40 * fraction))
+        lines.append(f"{xs[index]:>12}  {fraction:>9.1%}  {bar}")
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str], values: Sequence[float], title: str = "", width: int = 40
+) -> str:
+    """Horizontal bar chart for categorical distributions (Figs. 4, 6)."""
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max(values) if values else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = _BAR * int(round(width * value / peak)) if peak else ""
+        if isinstance(value, float) and value < 1:
+            rendered = f"{value:.1%}"
+        else:
+            rendered = f"{value:g}"
+        lines.append(f"{label.ljust(label_width)}  {rendered:>7}  {bar}")
+    return "\n".join(lines)
+
+
+def render_timeline(
+    values: np.ndarray, title: str = "", height: int = 10, width: int = 80
+) -> str:
+    """A compact vertical-bar sketch of a series (for Fig. 1 style output)."""
+    lines = []
+    if title:
+        lines.append(title)
+    if values.size == 0:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    if values.size > width:
+        # max-pool into `width` buckets so spikes stay visible
+        edges = np.linspace(0, values.size, num=width + 1).astype(int)
+        pooled = np.array(
+            [values[lo:hi].max() if hi > lo else 0.0 for lo, hi in zip(edges, edges[1:])]
+        )
+    else:
+        pooled = values.astype(np.float64)
+    peak = pooled.max()
+    if peak <= 0:
+        lines.append("(flat)")
+        return "\n".join(lines)
+    scaled = np.round(pooled / peak * height).astype(int)
+    for level in range(height, 0, -1):
+        row = "".join("|" if column >= level else " " for column in scaled)
+        lines.append(row)
+    lines.append("-" * pooled.size)
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: Sequence[tuple[str, object, object]], title: str = "paper vs measured"
+) -> str:
+    """Three-column comparison used by every benchmark's summary."""
+    return render_table(
+        ("metric", "paper", "measured"),
+        [(name, paper, measured) for name, paper, measured in rows],
+        title=title,
+    )

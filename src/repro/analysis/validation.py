@@ -1,0 +1,147 @@
+"""Ground-truth validation of the pipeline (the paper's open problem).
+
+The paper's §6 concedes that validating SIFT is hard because no ground
+truth exists for "what users sensed".  The simulation flips that: the
+scenario *is* ground truth, so detection quality is measurable exactly.
+This module matches detected spikes to ground-truth state impacts and
+reports recall (by intensity), precision, duration fidelity, and
+annotation accuracy — the numbers EXPERIMENTS.md records alongside the
+paper's artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import timedelta
+
+import numpy as np
+
+from repro.core.spikes import Spike, SpikeSet
+from repro.timeutil import TimeWindow
+from repro.world.events import OutageEvent, StateImpact
+from repro.world.scenarios import Scenario
+
+#: Slack around an impact window when matching spikes to it: detection
+#: pads spike boundaries by walk mechanics and the interest tail.
+_MATCH_SLACK = timedelta(hours=3)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ImpactMatch:
+    """One ground-truth impact with its best matching spike (if any)."""
+
+    event: OutageEvent
+    impact: StateImpact
+    spike: Spike | None
+
+    @property
+    def detected(self) -> bool:
+        return self.spike is not None
+
+    @property
+    def duration_error_hours(self) -> float | None:
+        if self.spike is None:
+            return None
+        return self.spike.duration_hours - self.impact.interest_hours
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationReport:
+    """Detection quality against the full ground truth."""
+
+    matches: tuple[ImpactMatch, ...]
+    unmatched_spikes: int  # spikes with no ground-truth impact (noise)
+    total_spikes: int
+
+    @property
+    def recall(self) -> float:
+        if not self.matches:
+            return 0.0
+        return sum(1 for m in self.matches if m.detected) / len(self.matches)
+
+    def recall_above_intensity(self, intensity: float) -> float:
+        strong = [m for m in self.matches if m.impact.intensity >= intensity]
+        if not strong:
+            return 0.0
+        return sum(1 for m in strong if m.detected) / len(strong)
+
+    @property
+    def precision(self) -> float:
+        """Share of spikes explained by a ground-truth impact.
+
+        "Noise" spikes are not necessarily wrong — privacy-threshold
+        blips exist in the real data too — but the ratio bounds how much
+        of the spike population is event-driven.
+        """
+        if self.total_spikes == 0:
+            return 0.0
+        return 1.0 - self.unmatched_spikes / self.total_spikes
+
+    def duration_errors(self) -> np.ndarray:
+        errors = [
+            m.duration_error_hours for m in self.matches if m.detected
+        ]
+        return np.array(errors, dtype=np.float64)
+
+    @property
+    def mean_absolute_duration_error(self) -> float:
+        errors = self.duration_errors()
+        return float(np.abs(errors).mean()) if errors.size else 0.0
+
+    def annotation_accuracy(self) -> float:
+        """Share of detected impacts whose spike names an event term.
+
+        Only events that carry search terms count (Cause.OTHER events
+        rise without a specific companion term by design).
+        """
+        relevant = [
+            m
+            for m in self.matches
+            if m.detected and m.event.terms and m.spike.annotations
+        ]
+        if not relevant:
+            return 0.0
+        hits = sum(
+            1
+            for m in relevant
+            if set(m.spike.annotations) & set(m.event.terms)
+        )
+        return hits / len(relevant)
+
+
+def validate_study(
+    spikes: SpikeSet, scenario: Scenario, min_intensity: float = 0.0
+) -> ValidationReport:
+    """Match every ground-truth impact against the detected spikes."""
+    spikes_by_state: dict[str, list[Spike]] = {}
+    for spike in spikes:
+        spikes_by_state.setdefault(spike.state, []).append(spike)
+
+    matches: list[ImpactMatch] = []
+    claimed: set[tuple[str, object]] = set()
+    for event in scenario.events:
+        for impact in event.impacts:
+            if impact.intensity < min_intensity:
+                continue
+            window = TimeWindow(
+                impact.onset - _MATCH_SLACK,
+                impact.window.end + _MATCH_SLACK,
+            )
+            best: Spike | None = None
+            for spike in spikes_by_state.get(impact.state, ()):
+                if not window.contains(spike.peak):
+                    continue
+                if best is None or spike.magnitude > best.magnitude:
+                    best = spike
+            matches.append(ImpactMatch(event=event, impact=impact, spike=best))
+            if best is not None:
+                claimed.add((best.geo, best.peak))
+
+    unmatched = sum(
+        1 for spike in spikes if (spike.geo, spike.peak) not in claimed
+    )
+    return ValidationReport(
+        matches=tuple(matches),
+        unmatched_spikes=unmatched,
+        total_spikes=len(spikes),
+    )

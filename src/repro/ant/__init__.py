@@ -1,0 +1,50 @@
+"""ANT outages data set substrate: active probing over address blocks.
+
+A Trinocular-style active-probing simulator and the queryable outage
+data set derived from it, used to cross-validate SIFT's user-driven
+findings the way the paper does (§4.1-§4.2 and future work §6).
+"""
+
+from repro.ant.blocks import (
+    AddressBlock,
+    BlockUniverseConfig,
+    blocks_by_state,
+    build_universe,
+)
+from repro.ant.characterize import CharacterizationReport, characterize
+from repro.ant.compare import (
+    CrossValidationConfig,
+    CrossValidationReport,
+    TraceResult,
+    cross_validate,
+    trace_spike,
+)
+from repro.ant.dataset import AntDataset, AntOutage
+from repro.ant.probing import (
+    PROBE_ROUND_MINUTES,
+    DownInterval,
+    ProbingConfig,
+    block_down_intervals,
+    probe_block,
+)
+
+__all__ = [
+    "AddressBlock",
+    "CharacterizationReport",
+    "characterize",
+    "AntDataset",
+    "AntOutage",
+    "BlockUniverseConfig",
+    "CrossValidationConfig",
+    "CrossValidationReport",
+    "DownInterval",
+    "PROBE_ROUND_MINUTES",
+    "ProbingConfig",
+    "TraceResult",
+    "block_down_intervals",
+    "blocks_by_state",
+    "build_universe",
+    "cross_validate",
+    "probe_block",
+    "trace_spike",
+]

@@ -1,0 +1,121 @@
+"""Joint SIFT / ANT characterization (the paper's §6 future work).
+
+The paper closes with two open questions: *which ANT outages does SIFT
+consider impactful*, and *what separates the outages SIFT detects but
+ANT does not*.  With the shared ground truth, both directions are
+implementable:
+
+* every SIFT spike is traced in the ANT data (confirmed / missed), and
+* every sizable ANT darkening episode is checked for a concurrent SIFT
+  spike in the same state (sensed / unsensed by users).
+
+The resulting three-way split — seen by both, SIFT-only, ANT-only —
+with cause breakdowns is what the characterization benchmark prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from datetime import timedelta
+
+from repro.ant.compare import CrossValidationConfig, trace_spike
+from repro.ant.dataset import AntDataset
+from repro.core.spikes import Spike, SpikeSet
+from repro.timeutil import TimeWindow
+from repro.world.scenarios import Scenario
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterizationReport:
+    """Three-way visibility split between SIFT and ANT."""
+
+    seen_by_both: tuple[Spike, ...]
+    sift_only: tuple[Spike, ...]
+    ant_only_episodes: int  # ANT darkening episodes with no SIFT spike
+    sift_only_causes: Counter
+    both_causes: Counter
+
+    @property
+    def sift_only_share(self) -> float:
+        total = len(self.seen_by_both) + len(self.sift_only)
+        return len(self.sift_only) / total if total else 0.0
+
+
+def _spike_cause(spike: Spike, scenario: Scenario) -> str:
+    window = TimeWindow(spike.start, spike.end)
+    events = [
+        event
+        for event in scenario.events_in_state(spike.state)
+        if event.impact_on(spike.state).window.overlaps(window)
+    ]
+    if not events:
+        return "noise"
+    strongest = max(events, key=lambda e: e.impact_on(spike.state).intensity)
+    return strongest.cause.value
+
+
+def characterize(
+    spikes: SpikeSet,
+    dataset: AntDataset,
+    scenario: Scenario,
+    top_spikes: int = 200,
+    config: CrossValidationConfig | None = None,
+) -> CharacterizationReport:
+    """Cross-characterize the most impactful spikes against ANT."""
+    config = config or CrossValidationConfig()
+    both: list[Spike] = []
+    sift_only: list[Spike] = []
+    sift_only_causes: Counter = Counter()
+    both_causes: Counter = Counter()
+    considered = spikes.top_by_duration(top_spikes)
+    for spike in considered:
+        result = trace_spike(dataset, spike, config)
+        cause = _spike_cause(spike, scenario)
+        if result.confirmed:
+            both.append(spike)
+            both_causes[cause] += 1
+        else:
+            sift_only.append(spike)
+            sift_only_causes[cause] += 1
+    ant_only = _count_unsensed_episodes(spikes, dataset)
+    return CharacterizationReport(
+        seen_by_both=tuple(both),
+        sift_only=tuple(sift_only),
+        ant_only_episodes=ant_only,
+        sift_only_causes=sift_only_causes,
+        both_causes=both_causes,
+    )
+
+
+def _count_unsensed_episodes(
+    spikes: SpikeSet, dataset: AntDataset, min_blocks: int = 10
+) -> int:
+    """ANT darkening episodes with no concurrent SIFT spike.
+
+    Episodes are bucketed per (state, start hour): at least *min_blocks*
+    blocks going dark in one state within one hour is an ANT-visible
+    event; it is *unsensed* when no SIFT spike peaks within +-6 hours in
+    that state (e.g., night outages users sleep through).
+    """
+    peaks_by_state: dict[str, list] = {}
+    for spike in spikes:
+        peaks_by_state.setdefault(spike.state, []).append(spike.peak)
+    episodes: dict[tuple[str, str], int] = {}
+    for record in dataset.records:
+        key = (record.state, record.start.strftime("%Y-%m-%dT%H"))
+        episodes[key] = episodes.get(key, 0) + 1
+    unsensed = 0
+    slack = timedelta(hours=6)
+    for (state, hour_iso), blocks in episodes.items():
+        if blocks < min_blocks:
+            continue
+        from datetime import datetime, timezone
+
+        start = datetime.strptime(hour_iso, "%Y-%m-%dT%H").replace(
+            tzinfo=timezone.utc
+        )
+        peaks = peaks_by_state.get(state, ())
+        if not any(abs(peak - start) <= slack for peak in peaks):
+            unsensed += 1
+    return unsensed

@@ -1,0 +1,174 @@
+"""Cross-validating SIFT findings against the ANT outages data set.
+
+The paper traces its most impactful/extensive spikes in the ANT data
+and finds a systematic pattern: network/power events are confirmed,
+while mobile (T-Mobile), DNS (Akamai), and application (Youtube) events
+escape active probing.  This module implements that lookup — "does ANT
+show an unusual number of dark blocks in this state around this spike?"
+— and a report generator for batches of spikes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import timedelta
+
+from repro.ant.dataset import AntDataset
+from repro.core.spikes import Spike
+from repro.errors import ConfigurationError
+from repro.timeutil import TimeWindow
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CrossValidationConfig:
+    """When does ANT *confirm* a SIFT spike?
+
+    Absolute block counts are not enough: a populous state always has a
+    trickle of dark blocks from unrelated background failures, so a
+    coincidental handful must not "confirm" an application-layer spike.
+    Confirmation therefore requires the spike window's dark-block count
+    to exceed both an absolute floor and a multiple of the state's
+    *expected background* for a window of the same length.
+    """
+
+    #: Distinct dark blocks in the spike's state/window to count as seen.
+    min_blocks: int = 3
+    #: Dark blocks must exceed this multiple of the state's background.
+    background_ratio: float = 3.0
+    #: Slack added around the spike window: probing sees the failure
+    #: slightly before users search, and block recovery lags.
+    slack_hours: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_blocks < 1:
+            raise ConfigurationError(f"min_blocks must be >= 1: {self.min_blocks}")
+        if self.background_ratio < 1.0:
+            raise ConfigurationError(
+                f"background_ratio must be >= 1: {self.background_ratio}"
+            )
+        if self.slack_hours < 0:
+            raise ConfigurationError(f"slack_hours must be >= 0: {self.slack_hours}")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceResult:
+    """Outcome of tracing one spike in the ANT data."""
+
+    spike: Spike
+    blocks_down: int
+    expected_background: float
+    confirmed: bool
+
+
+def expected_background_blocks(
+    dataset: AntDataset,
+    state: str,
+    window_hours: float,
+    exclude: TimeWindow | None = None,
+) -> float:
+    """Expected distinct dark blocks in a *random* window of this length.
+
+    A record of duration ``d`` intersects a uniformly-placed window of
+    length ``L`` with probability ``(d + L) / span``; summing over the
+    state's records gives the expectation (block double-counting is
+    negligible at background rates).
+
+    Records overlapping *exclude* are left out: when estimating the
+    background around a candidate outage, the outage's own darkness must
+    not inflate its null hypothesis.
+    """
+    records = dataset.in_state(state)
+    if exclude is not None:
+        records = tuple(r for r in records if not r.overlaps(exclude))
+    if not records:
+        return 0.0
+    span_start = min(record.start for record in records)
+    span_end = max(record.end for record in records)
+    span_hours = max((span_end - span_start).total_seconds() / 3600.0, window_hours)
+    return sum(
+        min(record.duration_hours + window_hours, span_hours) / span_hours
+        for record in records
+    )
+
+
+def expected_background_starts(
+    dataset: AntDataset,
+    state: str,
+    window_hours: float,
+    exclude: TimeWindow | None = None,
+) -> float:
+    """Expected outage *onsets* in a random window of this length."""
+    records = dataset.in_state(state)
+    if exclude is not None:
+        records = tuple(r for r in records if not exclude.contains(r.start))
+    if not records:
+        return 0.0
+    span_start = min(record.start for record in records)
+    span_end = max(record.end for record in records)
+    span_hours = max((span_end - span_start).total_seconds() / 3600.0, window_hours)
+    return len(records) * window_hours / span_hours
+
+
+def trace_spike(
+    dataset: AntDataset,
+    spike: Spike,
+    config: CrossValidationConfig | None = None,
+) -> TraceResult:
+    """Look one spike up in the ANT data set.
+
+    Tracing is *onset-matched*: the spike is confirmed when an unusual
+    number of distinct blocks went dark around the spike's start.
+    Blocks darkened by unrelated earlier/later failures inside the
+    spike's (possibly long) window do not count — which is how a manual
+    analyst distinguishes "the T-Mobile outage" from "some other CA
+    problem that week".
+    """
+    config = config or CrossValidationConfig()
+    slack = timedelta(hours=config.slack_hours)
+    # Users often search slightly after packets stop: look a little
+    # further back than forward.
+    window = TimeWindow(spike.start - slack, spike.start + slack)
+    blocks_down = dataset.distinct_blocks_starting(spike.state, window)
+    background = expected_background_starts(
+        dataset, spike.state, window.hours, exclude=window
+    )
+    confirmed = blocks_down >= max(
+        config.min_blocks, config.background_ratio * background
+    )
+    return TraceResult(
+        spike=spike,
+        blocks_down=blocks_down,
+        expected_background=background,
+        confirmed=confirmed,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossValidationReport:
+    """Batch tracing results plus headline ratios."""
+
+    results: tuple[TraceResult, ...]
+
+    @property
+    def confirmed(self) -> tuple[TraceResult, ...]:
+        return tuple(result for result in self.results if result.confirmed)
+
+    @property
+    def missed(self) -> tuple[TraceResult, ...]:
+        return tuple(result for result in self.results if not result.confirmed)
+
+    @property
+    def confirmation_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return len(self.confirmed) / len(self.results)
+
+
+def cross_validate(
+    dataset: AntDataset,
+    spikes: list[Spike] | tuple[Spike, ...],
+    config: CrossValidationConfig | None = None,
+) -> CrossValidationReport:
+    """Trace a batch of spikes in the ANT data set."""
+    results = tuple(trace_spike(dataset, spike, config) for spike in spikes)
+    return CrossValidationReport(results=results)

@@ -1,0 +1,142 @@
+"""The ANT outages data set: records, builder, and queries.
+
+Mirrors the shape of the real data set the paper compares against: one
+record per (block, outage) with the block's subnet, the outage start
+time, and its duration, augmented with Maxmind-style state geolocation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro.ant.blocks import (
+    AddressBlock,
+    BlockUniverseConfig,
+    blocks_by_state,
+    build_universe,
+)
+from repro.ant.probing import (
+    DownInterval,
+    ProbingConfig,
+    affected_block_mask,
+    event_downtime,
+    merge_intervals,
+)
+from repro.timeutil import TimeWindow
+from repro.world.scenarios import Scenario
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AntOutage:
+    """One outage record: a block that went dark."""
+
+    block_id: int
+    prefix: str
+    state: str  # geolocated state (what an analyst would see)
+    start: datetime
+    duration_hours: float
+
+    @property
+    def end(self) -> datetime:
+        return self.start + timedelta(hours=self.duration_hours)
+
+    def overlaps(self, window: TimeWindow) -> bool:
+        return self.start < window.end and window.start < self.end
+
+
+class AntDataset:
+    """Queryable collection of ANT outage records."""
+
+    def __init__(self, records: tuple[AntOutage, ...]) -> None:
+        self.records = tuple(sorted(records, key=lambda r: r.start))
+        self._by_state: dict[str, list[AntOutage]] = {}
+        for record in self.records:
+            self._by_state.setdefault(record.state, []).append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def in_state(self, state: str) -> tuple[AntOutage, ...]:
+        return tuple(self._by_state.get(state.removeprefix("US-"), ()))
+
+    def overlapping(self, state: str, window: TimeWindow) -> tuple[AntOutage, ...]:
+        """Records in *state* whose downtime intersects *window*."""
+        return tuple(
+            record for record in self.in_state(state) if record.overlaps(window)
+        )
+
+    def distinct_blocks_down(self, state: str, window: TimeWindow) -> int:
+        """How many distinct blocks were down in *state* during *window*."""
+        return len({record.block_id for record in self.overlapping(state, window)})
+
+    def distinct_blocks_starting(self, state: str, window: TimeWindow) -> int:
+        """Distinct blocks whose outage *began* in *state* during *window*.
+
+        Tracing a specific failure means looking for blocks that went
+        dark when it started; blocks already dark from earlier,
+        unrelated failures must not count as confirmation.
+        """
+        return len(
+            {
+                record.block_id
+                for record in self.in_state(state)
+                if window.contains(record.start)
+            }
+        )
+
+    @classmethod
+    def build(
+        cls,
+        scenario: Scenario,
+        universe: BlockUniverseConfig | None = None,
+        probing: ProbingConfig | None = None,
+        blocks: tuple[AddressBlock, ...] | None = None,
+    ) -> "AntDataset":
+        """Derive the full data set from the ground-truth scenario.
+
+        Vectorized per (event, state): one hashed draw decides which of
+        the state's blocks each event darkens, then per-block intervals
+        are merged.  Equivalent to probing every block round by round,
+        at a tiny fraction of the cost.
+        """
+        probing = probing or ProbingConfig()
+        if blocks is None:
+            blocks = build_universe(universe)
+        by_true_state = blocks_by_state(blocks, geolocated=False)
+        per_block: dict[int, list[DownInterval]] = {}
+        block_lookup = {block.block_id: block for block in blocks}
+        for state_code, state_blocks in by_true_state.items():
+            ids = np.array([block.block_id for block in state_blocks], dtype=np.uint64)
+            for event in scenario.events_in_state(state_code):
+                if not event.network_visible:
+                    continue
+                downtime = event_downtime(event, state_code, probing)
+                if downtime is None:
+                    continue
+                mask = affected_block_mask(event, state_code, ids, probing)
+                for block_id in ids[mask]:
+                    per_block.setdefault(int(block_id), []).append(
+                        DownInterval(
+                            block_id=int(block_id),
+                            start=downtime[0],
+                            end=downtime[1],
+                            event_id=event.event_id,
+                        )
+                    )
+        records: list[AntOutage] = []
+        for block_id, intervals in per_block.items():
+            block = block_lookup[block_id]
+            for interval in merge_intervals(intervals):
+                records.append(
+                    AntOutage(
+                        block_id=block.block_id,
+                        prefix=block.prefix,
+                        state=block.geolocated_state,
+                        start=interval.start,
+                        duration_hours=interval.duration_hours,
+                    )
+                )
+        return cls(tuple(records))

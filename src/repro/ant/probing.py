@@ -1,0 +1,231 @@
+"""Active probing over the block universe (Trinocular-style).
+
+The ANT methodology probes every tracked block in eleven-minute rounds
+and flags a block as down after consecutive unreachable rounds.  The
+simulator derives each block's *down intervals* from the ground-truth
+scenario:
+
+* only **network-visible** events (fixed-line ISP failures, power
+  outages, fiber cuts) take blocks down — cloud/CDN/application and
+  mobile-carrier events leave fixed-line blocks ping-responsive;
+* an event takes down a cause-and-intensity-dependent *fraction* of the
+  blocks in each affected state (a severe power outage darkens most of
+  a state's blocks, a single-ISP failure only that provider's share);
+* the network-level downtime is somewhat shorter than the user-interest
+  window SIFT measures (users keep searching after service returns).
+
+Probe outcomes are quantized onto the 11-minute round grid, and an
+outage is recorded only when it spans at least ``min_down_rounds``
+consecutive rounds, like the real pipeline's de-noising.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime, timedelta, timezone
+
+from repro.ant.blocks import AddressBlock
+from repro.errors import ConfigurationError
+from repro.rand import hashed_uniform, stable_key
+from repro.timeutil import TimeWindow
+from repro.world.events import Cause, OutageEvent
+from repro.world.scenarios import Scenario
+
+import numpy as np
+
+PROBE_ROUND_MINUTES = 11
+
+#: Fraction of a state's blocks an event takes down, per intensity
+#: unit.  Power events darken broadly; a single ISP's failure touches
+#: only its customer base.
+_AFFECTED_PER_INTENSITY = {
+    Cause.POWER_WEATHER: 1.0 / 45.0,
+    Cause.POWER_GRID: 1.0 / 45.0,
+    Cause.ISP: 1.0 / 90.0,
+    Cause.OTHER: 1.0 / 70.0,
+}
+
+#: Network downtime as a fraction of the user-interest window: users
+#: keep searching (and the spike keeps running) after packets flow again.
+_DOWNTIME_FRACTION = 0.8
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ProbingConfig:
+    """Probing and de-noising parameters."""
+
+    min_down_rounds: int = 2  # consecutive failed rounds before "down"
+    max_affected_fraction: float = 0.95
+    seed: int = 1313
+
+    def __post_init__(self) -> None:
+        if self.min_down_rounds < 1:
+            raise ConfigurationError(
+                f"min_down_rounds must be >= 1: {self.min_down_rounds}"
+            )
+        if not 0.0 < self.max_affected_fraction <= 1.0:
+            raise ConfigurationError(
+                f"max_affected_fraction must be in (0, 1]: "
+                f"{self.max_affected_fraction}"
+            )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DownInterval:
+    """One contiguous unreachability interval of one block."""
+
+    block_id: int
+    start: datetime
+    end: datetime
+    event_id: str
+
+    @property
+    def duration_minutes(self) -> int:
+        return int((self.end - self.start).total_seconds() // 60)
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration_minutes / 60.0
+
+
+def affected_fraction(event: OutageEvent, intensity: float, config: ProbingConfig) -> float:
+    """Share of a state's blocks the event takes down."""
+    per_unit = _AFFECTED_PER_INTENSITY.get(event.cause)
+    if per_unit is None:
+        return 0.0  # cloud / application / mobile: not network-visible
+    return min(config.max_affected_fraction, intensity * per_unit)
+
+
+#: Global origin of the probing round grid.  A fixed epoch keeps every
+#: interval on one phase, so merged intervals stay round-aligned.
+PROBE_EPOCH = datetime(2020, 1, 1, tzinfo=timezone.utc)
+
+
+def quantize_to_rounds(start: datetime, end: datetime) -> tuple[datetime, datetime]:
+    """Snap an interval onto the global 11-minute probing grid (outward)."""
+    round_span = timedelta(minutes=PROBE_ROUND_MINUTES)
+    offset = (start - PROBE_EPOCH) // round_span
+    snapped_start = PROBE_EPOCH + offset * round_span
+    rounds = -(-(end - snapped_start) // round_span)  # ceil division
+    return snapped_start, snapped_start + rounds * round_span
+
+
+def event_downtime(
+    event: OutageEvent, state: str, config: ProbingConfig
+) -> tuple[datetime, datetime] | None:
+    """Round-quantized downtime window of *event* in *state*, if any."""
+    impact = event.impact_on(state)
+    if impact is None:
+        return None
+    downtime_hours = max(
+        PROBE_ROUND_MINUTES / 60.0,
+        impact.interest_hours * _DOWNTIME_FRACTION,
+    )
+    start, end = quantize_to_rounds(
+        impact.onset, impact.onset + timedelta(hours=downtime_hours)
+    )
+    min_span = timedelta(minutes=PROBE_ROUND_MINUTES * config.min_down_rounds)
+    if end - start < min_span:
+        return None  # too short for the de-noiser to trust
+    return start, end
+
+
+def affected_block_mask(
+    event: OutageEvent,
+    state: str,
+    block_ids: np.ndarray,
+    config: ProbingConfig,
+) -> np.ndarray:
+    """Which of *block_ids* the event takes down (vectorized, hashed)."""
+    impact = event.impact_on(state)
+    if impact is None or not event.network_visible:
+        return np.zeros(block_ids.shape, dtype=bool)
+    fraction = affected_fraction(event, impact.intensity, config)
+    if fraction <= 0:
+        return np.zeros(block_ids.shape, dtype=bool)
+    key = stable_key(config.seed, "affected", event.event_id)
+    draws = hashed_uniform(key, block_ids.astype(np.uint64))
+    return draws < fraction
+
+
+def block_down_intervals(
+    block: AddressBlock,
+    scenario: Scenario,
+    config: ProbingConfig | None = None,
+) -> list[DownInterval]:
+    """All down intervals of one block over the scenario, merged."""
+    config = config or ProbingConfig()
+    raw: list[DownInterval] = []
+    one = np.array([block.block_id], dtype=np.uint64)
+    for event in scenario.events_in_state(block.state):
+        if not affected_block_mask(event, block.state, one, config)[0]:
+            continue
+        downtime = event_downtime(event, block.state, config)
+        if downtime is None:
+            continue
+        raw.append(
+            DownInterval(
+                block_id=block.block_id,
+                start=downtime[0],
+                end=downtime[1],
+                event_id=event.event_id,
+            )
+        )
+    return merge_intervals(raw)
+
+
+def merge_intervals(intervals: list[DownInterval]) -> list[DownInterval]:
+    """Merge overlapping/adjacent down intervals of the same block."""
+    merged: list[DownInterval] = []
+    for interval in sorted(intervals, key=lambda item: item.start):
+        if merged and interval.start <= merged[-1].end:
+            last = merged[-1]
+            merged[-1] = DownInterval(
+                block_id=last.block_id,
+                start=last.start,
+                end=max(last.end, interval.end),
+                event_id=last.event_id,
+            )
+        else:
+            merged.append(interval)
+    return merged
+
+
+def probe_block(
+    block: AddressBlock,
+    window: TimeWindow,
+    scenario: Scenario,
+    config: ProbingConfig | None = None,
+) -> np.ndarray:
+    """Boolean reachability per probing round in *window* (True = up).
+
+    This is the raw probing view; the data set builder uses the interval
+    form directly, but tests and examples can inspect round-level
+    behaviour here.
+    """
+    rounds = int(
+        (window.end - window.start).total_seconds()
+        // (PROBE_ROUND_MINUTES * 60)
+    )
+    up = np.ones(rounds, dtype=bool)
+    for interval in block_down_intervals(block, scenario, config):
+        if interval.end <= window.start or interval.start >= window.end:
+            continue
+        first = max(
+            0,
+            int(
+                (interval.start - window.start).total_seconds()
+                // (PROBE_ROUND_MINUTES * 60)
+            ),
+        )
+        last = min(
+            rounds,
+            int(
+                -(
+                    -(interval.end - window.start).total_seconds()
+                    // (PROBE_ROUND_MINUTES * 60)
+                )
+            ),
+        )
+        up[first:last] = False
+    return up

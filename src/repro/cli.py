@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the system's stages:
+
+* ``simulate`` — build the ground-truth scenario and print its summary;
+* ``detect``   — run the pipeline for one geography and list top spikes;
+* ``study``    — run a multi-geography study and print headline stats;
+* ``serve``    — run a study and expose the web interface;
+* ``report``   — regenerate the paper's headline numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis import (
+    daily_distribution,
+    duration_cdf,
+    footprint_cdf,
+    most_impactful,
+    power_share_of_long_spikes,
+    render_table,
+    state_cdf,
+    yearly_counts,
+)
+from repro.env import ALL_GEOS, make_environment
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="background event scale (1.0 = paper scale, default 0.05)",
+    )
+    parser.add_argument("--seed", type=int, default=20221025)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = Scenario.build(
+        ScenarioConfig(seed=args.seed, background_scale=args.scale)
+    )
+    print(f"scenario: {len(scenario.events)} events, "
+          f"{scenario.total_impacts} state-level impacts")
+    by_cause: dict[str, int] = {}
+    for event in scenario.events:
+        by_cause[event.cause.value] = by_cause.get(event.cause.value, 0) + 1
+    print(render_table(
+        ("cause", "events"),
+        sorted(by_cause.items(), key=lambda item: -item[1]),
+    ))
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    env = make_environment(background_scale=args.scale, seed=args.seed)
+    result = env.sift.analyze_state(args.geo, env.window)
+    print(result.timeline.describe())
+    print(f"{len(result.spikes)} spikes "
+          f"({result.averaging.rounds_used} averaging rounds, "
+          f"converged={result.averaging.converged})")
+    rows = [
+        (spike.label, spike.duration_hours, f"{spike.magnitude:.1f}")
+        for spike in result.spikes.top_by_duration(args.top)
+    ]
+    print(render_table(("spike time", "duration (h)", "magnitude"), rows))
+    return 0
+
+
+def _study(args: argparse.Namespace):
+    env = make_environment(background_scale=args.scale, seed=args.seed)
+    geos = tuple(args.geos) if args.geos else ALL_GEOS
+    return env, env.run_study(geos=geos)
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    _, study = _study(args)
+    print(f"{study.spike_count} spikes, {len(study.outages)} outages")
+    print(f"yearly counts: {yearly_counts(study.spikes)}")
+    cdf = state_cdf(study.spikes)
+    print(f"top-10-state share: {cdf.share_of_top(10):.0%}")
+    print(f"spikes >= 3 h: {duration_cdf(study.spikes).fraction_at_least(3):.0%}")
+    print(f"outages >= 10 states: "
+          f"{footprint_cdf(study.outages).fraction_at_least(10):.1%}")
+    print(f"weekend dip (weekday/weekend): "
+          f"{daily_distribution(study.spikes).weekend_dip:.2f}")
+    print(f"power share of >= 5 h spikes: "
+          f"{power_share_of_long_spikes(study.spikes):.0%}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    _, study = _study(args)
+    rows = [
+        (row.label, row.state, row.duration_hours, row.outage)
+        for row in most_impactful(study.spikes, count=7)
+    ]
+    print(render_table(
+        ("spike time", "state", "duration (h)", "outage"),
+        rows,
+        title="Table 1: most impactful spikes by duration",
+    ))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.web import serve  # deferred: not needed for other commands
+
+    _, study = _study(args)
+    server, _thread = serve(study, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving SIFT on http://{host}:{port}/ (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SIFT reproduction: outage detection from search trends",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser("simulate", help="summarize the ground truth")
+    _add_scale(simulate)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    detect = commands.add_parser("detect", help="run SIFT for one geography")
+    _add_scale(detect)
+    detect.add_argument("--geo", default="US-TX")
+    detect.add_argument("--top", type=int, default=10)
+    detect.set_defaults(handler=_cmd_detect)
+
+    study = commands.add_parser("study", help="run a multi-geography study")
+    _add_scale(study)
+    study.add_argument("geos", nargs="*", help="geographies (default: all 51)")
+    study.set_defaults(handler=_cmd_study)
+
+    report = commands.add_parser("report", help="regenerate headline tables")
+    _add_scale(report)
+    report.add_argument("geos", nargs="*")
+    report.set_defaults(handler=_cmd_report)
+
+    serve_cmd = commands.add_parser("serve", help="serve the web interface")
+    _add_scale(serve_cmd)
+    serve_cmd.add_argument("geos", nargs="*")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8080)
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

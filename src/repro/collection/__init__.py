@@ -1,0 +1,25 @@
+"""Data extraction and collection module (paper §4, Implementation).
+
+Maps the crawl workload onto fetcher units hosted behind separate IP
+addresses (defeating per-IP rate limits politely), and merges their
+responses into a unified sqlite-backed database that also stores
+reconstructed series and detected spikes.
+"""
+
+from repro.collection.database import CollectionDatabase
+from repro.collection.fetchers import FetcherUnit, WorkItem, build_fleet
+from repro.collection.scheduler import (
+    CollectionManager,
+    CollectionScheduler,
+    CrawlReport,
+)
+
+__all__ = [
+    "CollectionDatabase",
+    "CollectionManager",
+    "CollectionScheduler",
+    "CrawlReport",
+    "FetcherUnit",
+    "WorkItem",
+    "build_fleet",
+]

@@ -1,0 +1,222 @@
+"""Backend database for the collection module.
+
+The paper's implementation keeps a backend database into which the
+responses gathered by the fetcher units are merged.  This is a thin
+sqlite3 layer (``:memory:`` by default, a file path for persistence)
+storing raw frame responses, reconstructed series, and detected spikes,
+so a crawl can be interrupted, resumed, and analyzed offline.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from datetime import datetime
+from types import TracebackType
+
+import numpy as np
+
+from repro.core.spikes import Spike
+from repro.errors import DatabaseError
+from repro.timeutil import TimeWindow
+from repro.trends.records import RisingTerm, TimeFrameRequest, TimeFrameResponse
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS frames (
+    term TEXT NOT NULL,
+    geo TEXT NOT NULL,
+    start TEXT NOT NULL,
+    end TEXT NOT NULL,
+    sample_round INTEGER NOT NULL,
+    values_json TEXT NOT NULL,
+    rising_json TEXT NOT NULL,
+    fetched_by TEXT NOT NULL,
+    PRIMARY KEY (term, geo, start, end, sample_round)
+);
+CREATE TABLE IF NOT EXISTS series (
+    term TEXT NOT NULL,
+    geo TEXT NOT NULL,
+    start TEXT NOT NULL,
+    values_json TEXT NOT NULL,
+    PRIMARY KEY (term, geo)
+);
+CREATE TABLE IF NOT EXISTS spikes (
+    term TEXT NOT NULL,
+    geo TEXT NOT NULL,
+    start TEXT NOT NULL,
+    peak TEXT NOT NULL,
+    end TEXT NOT NULL,
+    magnitude REAL NOT NULL,
+    magnitude_rank INTEGER NOT NULL,
+    annotations_json TEXT NOT NULL,
+    PRIMARY KEY (term, geo, peak)
+);
+"""
+
+
+class CollectionDatabase:
+    """Stores crawled frames, stitched series, and detected spikes."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CollectionDatabase":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    # -- frames ------------------------------------------------------------------
+
+    def store_frame(self, response: TimeFrameResponse, fetched_by: str) -> None:
+        request = response.request
+        rising = [[term.phrase, term.weight] for term in response.rising]
+        try:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO frames VALUES (?,?,?,?,?,?,?,?)",
+                (
+                    request.term,
+                    request.geo,
+                    request.window.start.isoformat(),
+                    request.window.end.isoformat(),
+                    response.sample_round,
+                    json.dumps(response.values.tolist()),
+                    json.dumps(rising),
+                    fetched_by,
+                ),
+            )
+            self._conn.commit()
+        except sqlite3.Error as error:
+            raise DatabaseError(f"failed to store frame: {error}") from error
+
+    def load_frame(
+        self, term: str, geo: str, window: TimeWindow, sample_round: int
+    ) -> TimeFrameResponse | None:
+        row = self._conn.execute(
+            "SELECT values_json, rising_json, sample_round FROM frames "
+            "WHERE term=? AND geo=? AND start=? AND end=? AND sample_round=?",
+            (
+                term,
+                geo,
+                window.start.isoformat(),
+                window.end.isoformat(),
+                sample_round,
+            ),
+        ).fetchone()
+        if row is None:
+            return None
+        values_json, rising_json, stored_round = row
+        request = TimeFrameRequest(term=term, geo=geo, window=window)
+        rising = tuple(
+            RisingTerm(phrase=phrase, weight=weight)
+            for phrase, weight in json.loads(rising_json)
+        )
+        return TimeFrameResponse(
+            request=request,
+            values=np.array(json.loads(values_json), dtype=np.int16),
+            rising=rising,
+            sample_round=stored_round,
+        )
+
+    def frame_count(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM frames").fetchone()
+        return int(count)
+
+    def frames_by_fetcher(self) -> dict[str, int]:
+        rows = self._conn.execute(
+            "SELECT fetched_by, COUNT(*) FROM frames GROUP BY fetched_by"
+        ).fetchall()
+        return {fetcher: int(count) for fetcher, count in rows}
+
+    # -- series -----------------------------------------------------------------
+
+    def store_series(
+        self, term: str, geo: str, start: datetime, values: np.ndarray
+    ) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO series VALUES (?,?,?,?)",
+            (term, geo, start.isoformat(), json.dumps(values.tolist())),
+        )
+        self._conn.commit()
+
+    def load_series(self, term: str, geo: str) -> tuple[datetime, np.ndarray] | None:
+        row = self._conn.execute(
+            "SELECT start, values_json FROM series WHERE term=? AND geo=?",
+            (term, geo),
+        ).fetchone()
+        if row is None:
+            return None
+        start_iso, values_json = row
+        return (
+            datetime.fromisoformat(start_iso),
+            np.array(json.loads(values_json), dtype=np.float64),
+        )
+
+    # -- spikes ------------------------------------------------------------------
+
+    def store_spikes(self, spikes: list[Spike] | tuple[Spike, ...]) -> None:
+        rows = [
+            (
+                spike.term,
+                spike.geo,
+                spike.start.isoformat(),
+                spike.peak.isoformat(),
+                spike.end.isoformat(),
+                spike.magnitude,
+                spike.magnitude_rank,
+                json.dumps(list(spike.annotations)),
+            )
+            for spike in spikes
+        ]
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO spikes VALUES (?,?,?,?,?,?,?,?)", rows
+        )
+        self._conn.commit()
+
+    def load_spikes(self, term: str | None = None, geo: str | None = None) -> list[Spike]:
+        query = (
+            "SELECT term, geo, start, peak, end, magnitude, magnitude_rank, "
+            "annotations_json FROM spikes"
+        )
+        clauses = []
+        params: list[str] = []
+        if term is not None:
+            clauses.append("term=?")
+            params.append(term)
+        if geo is not None:
+            clauses.append("geo=?")
+            params.append(geo)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        spikes = []
+        for row in self._conn.execute(query, params):
+            term_, geo_, start, peak, end, magnitude, rank, annotations_json = row
+            spikes.append(
+                Spike(
+                    term=term_,
+                    geo=geo_,
+                    start=datetime.fromisoformat(start),
+                    peak=datetime.fromisoformat(peak),
+                    end=datetime.fromisoformat(end),
+                    magnitude=magnitude,
+                    magnitude_rank=rank,
+                    annotations=tuple(json.loads(annotations_json)),
+                )
+            )
+        return spikes
+
+    def spike_count(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM spikes").fetchone()
+        return int(count)

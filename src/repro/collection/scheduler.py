@@ -1,0 +1,127 @@
+"""Workload scheduling across fetcher units, and the crawl frontend.
+
+Two layers:
+
+* :class:`CollectionScheduler` — maps a queued workload onto the
+  fetcher fleet (least-loaded first), executes it, and merges every
+  response into the :class:`repro.collection.CollectionDatabase`, the
+  paper's "unified database".
+* :class:`CollectionManager` — the pipeline-facing frontend.  It
+  satisfies the :class:`repro.core.pipeline.FrameSource` protocol and
+  serves frames from the database first, dispatching cache misses to
+  the fleet.  Running SIFT through a manager therefore crawls each
+  frame exactly once, however many pipeline stages ask for it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.collection.database import CollectionDatabase
+from repro.collection.fetchers import FetcherUnit, WorkItem, build_fleet
+from repro.errors import CollectionError
+from repro.timeutil import TimeWindow
+from repro.trends.client import RetryPolicy, Sleeper
+from repro.trends.records import TimeFrameResponse
+from repro.trends.service import TrendsService
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CrawlReport:
+    """Outcome of a bulk crawl."""
+
+    requested: int
+    fetched: int
+    served_from_cache: int
+    retries: int
+    per_fetcher: dict[str, int]
+
+
+class CollectionScheduler:
+    """Assigns work items to the least-loaded fetcher and merges results."""
+
+    def __init__(self, fleet: list[FetcherUnit], database: CollectionDatabase) -> None:
+        if not fleet:
+            raise CollectionError("scheduler needs at least one fetcher")
+        self.fleet = fleet
+        self.database = database
+
+    def _next_fetcher(self) -> FetcherUnit:
+        return min(self.fleet, key=lambda unit: unit.completed)
+
+    def execute(self, workload: list[WorkItem]) -> CrawlReport:
+        """Crawl every item not already in the database."""
+        fetched = 0
+        cached = 0
+        retries_before = sum(unit.retries for unit in self.fleet)
+        for item in workload:
+            existing = self.database.load_frame(
+                item.term, item.geo, item.window, item.sample_round
+            )
+            if existing is not None:
+                cached += 1
+                continue
+            unit = self._next_fetcher()
+            response = unit.fetch(item)
+            self.database.store_frame(response, fetched_by=unit.name)
+            fetched += 1
+        return CrawlReport(
+            requested=len(workload),
+            fetched=fetched,
+            served_from_cache=cached,
+            retries=sum(unit.retries for unit in self.fleet) - retries_before,
+            per_fetcher={unit.name: unit.completed for unit in self.fleet},
+        )
+
+    def fetch_one(self, item: WorkItem) -> TimeFrameResponse:
+        """Serve one item through the cache, crawling on a miss."""
+        existing = self.database.load_frame(
+            item.term, item.geo, item.window, item.sample_round
+        )
+        if existing is not None:
+            return existing
+        unit = self._next_fetcher()
+        response = unit.fetch(item)
+        self.database.store_frame(response, fetched_by=unit.name)
+        return response
+
+
+class CollectionManager:
+    """Pipeline-facing crawl frontend (a ``FrameSource``)."""
+
+    def __init__(
+        self,
+        service: TrendsService,
+        sleep: Sleeper,
+        fetcher_count: int = 4,
+        database: CollectionDatabase | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        self.database = database or CollectionDatabase()
+        fleet = build_fleet(service, fetcher_count, sleep=sleep, policy=policy)
+        self.scheduler = CollectionScheduler(fleet, self.database)
+
+    def interest_over_time(
+        self,
+        term: str,
+        geo: str,
+        window: TimeWindow,
+        sample_round: int | None = None,
+        include_rising: bool = True,
+    ) -> TimeFrameResponse:
+        item = WorkItem(
+            term=term,
+            geo=geo,
+            window=window,
+            sample_round=sample_round if sample_round is not None else 0,
+            include_rising=include_rising,
+        )
+        return self.scheduler.fetch_one(item)
+
+    def prefetch(self, workload: list[WorkItem]) -> CrawlReport:
+        """Bulk-crawl a workload ahead of pipeline runs."""
+        return self.scheduler.execute(workload)
+
+    @property
+    def frames_stored(self) -> int:
+        return self.database.frame_count()

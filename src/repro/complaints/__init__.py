@@ -1,0 +1,29 @@
+"""Complaint-based detection baseline (the Downdetector comparator, §5).
+
+Derives per-service complaint streams from the same ground truth as the
+Trends simulator and detects incidents from unusual complaint volume —
+service-attributed but geography-blind, the structural contrast the
+paper draws against SIFT.
+"""
+
+from repro.complaints.detector import (
+    Downdetector,
+    DowndetectorConfig,
+    Incident,
+    detect_incidents,
+)
+from repro.complaints.stream import (
+    ComplaintConfig,
+    ComplaintStream,
+    tracked_services,
+)
+
+__all__ = [
+    "ComplaintConfig",
+    "ComplaintStream",
+    "Downdetector",
+    "DowndetectorConfig",
+    "Incident",
+    "detect_incidents",
+    "tracked_services",
+]

@@ -1,0 +1,144 @@
+"""A Downdetector-style baseline: unusual-complaint-volume detection.
+
+Per Ookla's published description, Downdetector "automatically detects
+problems based on unusual amounts of complaints": the detector keeps a
+running baseline per service and raises an incident while the complaint
+rate exceeds a multiple of it.  This is the complaint-based comparator
+the paper discusses in §5 — strong on service attribution, but
+
+* it only sees *tracked services* (no `<Internet outage>` catch-all, so
+  regional power/infrastructure outages surface only indirectly), and
+* it carries *no geography* — an incident says "Verizon has a problem",
+  not "users in 27 states are affected",
+
+which is exactly the comparison the benchmark harness draws against
+SIFT's state-level view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro.complaints.stream import ComplaintStream, tracked_services
+from repro.errors import ConfigurationError
+from repro.timeutil import TimeWindow, hour_at
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DowndetectorConfig:
+    """Incident policy of the complaint detector."""
+
+    #: Hours of history in the rolling baseline.
+    baseline_hours: int = 24 * 7
+    #: An hour is anomalous when complaints exceed this multiple of the
+    #: rolling baseline mean (plus a small absolute floor).
+    threshold_ratio: float = 3.5
+    min_complaints: float = 25.0
+    #: Consecutive anomalous hours needed to open an incident.
+    min_hours: int = 1
+
+    def __post_init__(self) -> None:
+        if self.baseline_hours < 1:
+            raise ConfigurationError(
+                f"baseline_hours must be >= 1: {self.baseline_hours}"
+            )
+        if self.threshold_ratio <= 1.0:
+            raise ConfigurationError(
+                f"threshold_ratio must exceed 1: {self.threshold_ratio}"
+            )
+        if self.min_hours < 1:
+            raise ConfigurationError(f"min_hours must be >= 1: {self.min_hours}")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Incident:
+    """One detected complaint surge for one service."""
+
+    service: str
+    start: datetime
+    end: datetime  # exclusive: first non-anomalous hour
+    peak_complaints: float
+
+    @property
+    def duration_hours(self) -> int:
+        return int((self.end - self.start).total_seconds() // 3600)
+
+    def overlaps(self, window: TimeWindow) -> bool:
+        return self.start < window.end and window.start < self.end
+
+
+def detect_incidents(
+    stream: ComplaintStream,
+    service: str,
+    config: DowndetectorConfig | None = None,
+) -> list[Incident]:
+    """All incidents for one service over the stream's span."""
+    config = config or DowndetectorConfig()
+    counts = stream.counts(service)
+    span_start = stream.window.start
+    # Rolling baseline: trailing mean, seeded with the global median so
+    # the first week is not blind.
+    baseline = np.empty_like(counts)
+    seed = float(np.median(counts))
+    cumulative = np.concatenate([[0.0], np.cumsum(counts)])
+    for i in range(counts.size):
+        lo = max(0, i - config.baseline_hours)
+        if i == 0:
+            baseline[i] = seed
+        else:
+            baseline[i] = (cumulative[i] - cumulative[lo]) / (i - lo)
+    threshold = np.maximum(
+        baseline * config.threshold_ratio, config.min_complaints
+    )
+    anomalous = counts > threshold
+    incidents: list[Incident] = []
+    i = 0
+    while i < counts.size:
+        if not anomalous[i]:
+            i += 1
+            continue
+        j = i
+        while j < counts.size and anomalous[j]:
+            j += 1
+        if j - i >= config.min_hours:
+            incidents.append(
+                Incident(
+                    service=service,
+                    start=hour_at(span_start, i),
+                    end=hour_at(span_start, j),
+                    peak_complaints=float(counts[i:j].max()),
+                )
+            )
+        i = j
+    return incidents
+
+
+class Downdetector:
+    """The whole portal: incidents across every tracked service."""
+
+    def __init__(
+        self, stream: ComplaintStream, config: DowndetectorConfig | None = None
+    ) -> None:
+        self.stream = stream
+        self.config = config or DowndetectorConfig()
+
+    def incidents(self, service: str) -> list[Incident]:
+        return detect_incidents(self.stream, service, self.config)
+
+    def all_incidents(self) -> list[Incident]:
+        found: list[Incident] = []
+        for service in tracked_services():
+            found.extend(self.incidents(service))
+        found.sort(key=lambda incident: incident.start)
+        return found
+
+    def incident_overlapping(
+        self, service: str, window: TimeWindow
+    ) -> Incident | None:
+        for incident in self.incidents(service):
+            if incident.overlaps(window):
+                return incident
+        return None

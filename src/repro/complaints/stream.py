@@ -1,0 +1,110 @@
+"""Complaint streams: the raw material of a Downdetector-style service.
+
+The paper's related work (§5) contrasts SIFT with complaint-based
+detection: Downdetector watches user-submitted complaints per *service*
+and flags problems when complaint volume is unusual.  To compare the
+approaches on equal footing, this module derives per-service hourly
+complaint streams from the same ground-truth scenario the Trends
+simulator uses:
+
+* every outage event generates complaints against the services its
+  search terms name (users complain about <Verizon>, not about "the
+  Internet");
+* complaint volume follows the same interest envelope as searches but
+  is **not geo-tagged** — the key structural limitation the paper
+  points out (Downdetector offers no geographical insight);
+* a small background of always-on complaints models the noise floor a
+  complaint detector must threshold against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.rand import hashed_normal, stable_key
+from repro.timeutil import TimeWindow, hour_index
+from repro.world.behavior import interest_shape
+from repro.world.catalog import Category, get_term, terms_in_category
+from repro.world.scenarios import Scenario
+
+#: Services a complaint portal tracks: providers, clouds, applications.
+_SERVICE_CATEGORIES = (Category.ISP, Category.CLOUD, Category.APPLICATION)
+
+
+def tracked_services() -> tuple[str, ...]:
+    """Service names with a complaint page (catalog providers + apps)."""
+    names: list[str] = []
+    for category in _SERVICE_CATEGORIES:
+        names.extend(term.name for term in terms_in_category(category))
+    return tuple(names)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ComplaintConfig:
+    """Volume model of the complaint stream."""
+
+    #: Baseline complaints per service per hour (national, busy hour).
+    baseline_per_hour: float = 6.0
+    #: Complaints generated per intensity unit at an event's peak.
+    complaints_per_intensity: float = 40.0
+    #: Sigma of multiplicative noise on hourly complaint counts.
+    noise_sigma: float = 0.35
+    seed: int = 777
+
+
+class ComplaintStream:
+    """Hourly complaint counts per service, derived from ground truth."""
+
+    def __init__(self, scenario: Scenario, config: ComplaintConfig | None = None):
+        self.scenario = scenario
+        self.config = config or ComplaintConfig()
+        self._span = scenario.window
+        self._cache: dict[str, np.ndarray] = {}
+
+    @property
+    def window(self) -> TimeWindow:
+        return self._span
+
+    def counts(self, service: str, window: TimeWindow | None = None) -> np.ndarray:
+        """Hourly complaint counts for *service* over *window*."""
+        get_term(service)  # validate the name against the catalog
+        series = self._cache.get(service)
+        if series is None:
+            series = self._build(service)
+            self._cache[service] = series
+        if window is None:
+            return series.copy()
+        lo = hour_index(self._span.start, window.start)
+        hi = hour_index(self._span.start, window.end)
+        if lo < 0 or hi > series.size:
+            raise ValueError("window outside scenario span")
+        return series[lo:hi].copy()
+
+    def _build(self, service: str) -> np.ndarray:
+        hours = self._span.hours
+        config = self.config
+        noise_key = stable_key(config.seed, "complaints", service)
+        noise = np.exp(
+            config.noise_sigma * hashed_normal(noise_key, np.arange(hours))
+        )
+        series = config.baseline_per_hour * noise
+        for event in self.scenario.events:
+            if service not in event.terms:
+                continue
+            # Complaints are national: every affected state's users pile
+            # onto the same service page, with no geography attached.
+            for impact in event.impacts:
+                shape = interest_shape(impact.interest_hours)
+                offset = hour_index(self._span.start, impact.onset)
+                lo = max(0, offset)
+                hi = min(hours, offset + shape.size)
+                if hi <= lo:
+                    continue
+                series[lo:hi] += (
+                    impact.intensity
+                    * config.complaints_per_intensity
+                    * shape[lo - offset : hi - offset]
+                )
+        return np.round(series).astype(np.float64)

@@ -1,0 +1,183 @@
+"""Iterative re-fetch averaging (paper §3.2, "Random sampling").
+
+Every Trends response is computed from an independent random sample, so
+a single crawl carries sampling error that can create or destroy small
+spikes.  SIFT's mitigation: fetch the same frames again, average the
+frame values position-wise, re-detect, and stop once the detected spike
+set stops changing between rounds.  The paper reports this converging
+after about six rounds; the convergence criterion here is a Jaccard
+similarity threshold between consecutive rounds' spike sets, with the
+round budget and threshold configurable.
+
+The averaging happens *per frame, on the indexed values* — before
+stitching — because frames from different rounds share the same
+piecewise scale (their own maximum), whereas stitched series from
+different rounds may not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.detection import DetectionConfig, detect_spikes
+from repro.core.series import HourlyTimeline
+from repro.core.spikes import SpikeSet
+from repro.core.stitching import StitchReport, stitch_frames
+from repro.errors import ConvergenceError
+from repro.trends.records import TimeFrameResponse
+
+#: A round of frame responses, one entry per weekly frame, in order.
+FrameFetcher = Callable[[int], list[TimeFrameResponse]]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AveragingConfig:
+    """Convergence policy for iterative re-fetch averaging."""
+
+    max_rounds: int = 6
+    min_rounds: int = 3
+    #: Consecutive rounds whose spike sets reach this match similarity
+    #: are considered converged.
+    similarity_threshold: float = 0.93
+    #: Peak-time slack when matching spikes between rounds: sampling
+    #: noise jitters a peak by an hour without making it a new spike.
+    tolerance_hours: int = 2
+    #: Quantize the stitched series onto the integer 0..100 *global*
+    #: index before detection.  Off by default: global quantization
+    #: couples detection to stitching-ratio noise (a region whose chain
+    #: of ratios drifted low would round to zero wholesale).  Frames are
+    #: always re-quantized to integers individually, which is where the
+    #: privacy-rounding zeros live.  The ablation benchmark exercises
+    #: the ``True`` setting.
+    quantize: bool = False
+    #: Raise :class:`ConvergenceError` when the budget runs out without
+    #: convergence instead of returning the best effort.
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.min_rounds < 1 or self.max_rounds < self.min_rounds:
+            raise ConvergenceError(
+                f"invalid round budget: min={self.min_rounds} max={self.max_rounds}"
+            )
+        if not 0.0 < self.similarity_threshold <= 1.0:
+            raise ConvergenceError(
+                f"similarity_threshold must be in (0, 1]: {self.similarity_threshold}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class AveragingResult:
+    """Output of one averaging run for one geography."""
+
+    timeline: HourlyTimeline  # stitched from the final averaged frames
+    spikes: SpikeSet
+    rounds_used: int
+    converged: bool
+    similarity_history: tuple[float, ...]  # between consecutive rounds
+    stitch_report: StitchReport
+    responses: tuple[TimeFrameResponse, ...]  # final averaged frames
+
+
+def _average_round(
+    running: list[np.ndarray], responses: list[TimeFrameResponse], rounds_done: int
+) -> list[np.ndarray]:
+    """Fold one more round of frame values into the running means."""
+    if not running:
+        return [response.values.astype(np.float64) for response in responses]
+    if len(running) != len(responses):
+        raise ConvergenceError(
+            f"round returned {len(responses)} frames, expected {len(running)}"
+        )
+    averaged = []
+    for mean, response in zip(running, responses):
+        fresh = response.values.astype(np.float64)
+        if fresh.shape != mean.shape:
+            raise ConvergenceError("frame shapes changed between rounds")
+        averaged.append(mean + (fresh - mean) / (rounds_done + 1))
+    return averaged
+
+
+def _to_responses(
+    template: list[TimeFrameResponse], averaged: list[np.ndarray]
+) -> list[TimeFrameResponse]:
+    """Wrap averaged values back into response records for stitching."""
+    rebuilt = []
+    for response, values in zip(template, averaged):
+        # Averaged index values are no longer integers; re-index onto
+        # 0..100 floats rounded to keep the response contract (ints).
+        peak = values.max()
+        scaled = np.round(100.0 * values / peak).astype(np.int16) if peak > 0 else (
+            np.zeros(values.shape, dtype=np.int16)
+        )
+        rebuilt.append(
+            TimeFrameResponse(
+                request=response.request,
+                values=scaled,
+                rising=response.rising,
+                sample_round=response.sample_round,
+            )
+        )
+    return rebuilt
+
+
+def average_until_convergence(
+    fetch_round: FrameFetcher,
+    config: AveragingConfig | None = None,
+    detection: DetectionConfig | None = None,
+) -> AveragingResult:
+    """Run the fetch-average-detect loop until the spike set stabilizes.
+
+    ``fetch_round(k)`` must return the full ordered list of weekly frame
+    responses for sample round *k*; the function handles averaging,
+    stitching, detection, and the convergence decision.
+    """
+    config = config or AveragingConfig()
+    running: list[np.ndarray] = []
+    template: list[TimeFrameResponse] = []
+    previous_spikes: SpikeSet | None = None
+    history: list[float] = []
+    result: AveragingResult | None = None
+    for round_index in range(config.max_rounds):
+        responses = fetch_round(round_index)
+        if not responses:
+            raise ConvergenceError("fetch_round returned no frames")
+        if not template:
+            template = responses
+        running = _average_round(running, responses, round_index)
+        averaged_responses = _to_responses(template, running)
+        timeline, report = stitch_frames(averaged_responses)
+        if config.quantize:
+            timeline = timeline.with_values(np.round(timeline.values))
+        spikes = SpikeSet(detect_spikes(timeline, detection))
+        converged = False
+        if previous_spikes is not None:
+            similarity = spikes.weighted_match_similarity(
+                previous_spikes, config.tolerance_hours
+            )
+            history.append(similarity)
+            converged = (
+                round_index + 1 >= config.min_rounds
+                and similarity >= config.similarity_threshold
+            )
+        previous_spikes = spikes
+        result = AveragingResult(
+            timeline=timeline,
+            spikes=spikes,
+            rounds_used=round_index + 1,
+            converged=converged,
+            similarity_history=tuple(history),
+            stitch_report=report,
+            responses=tuple(averaged_responses),
+        )
+        if converged:
+            return result
+    if config.strict:
+        raise ConvergenceError(
+            f"spike set did not converge within {config.max_rounds} rounds "
+            f"(similarities: {history})"
+        )
+    assert result is not None  # max_rounds >= 1 guarantees one iteration
+    return result

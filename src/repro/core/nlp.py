@@ -1,0 +1,166 @@
+"""Lightweight semantic clustering of search phrases.
+
+The paper's context stage uses an NLP library with pre-trained word
+vectors to merge paraphrases like ``<is Verizon down>`` and ``<Verizon
+outage>`` onto one concept.  Pre-trained vectors are unavailable
+offline, so this module substitutes a deterministic combination that
+solves the same (narrow) problem:
+
+1. **token overlap** after normalizing case, punctuation, and the
+   domain's stop words ("is", "down", "outage", "near", "me", ...);
+2. **character trigram cosine similarity**, which catches misspellings
+   and concatenations ("tmobile" vs "t-mobile") that token matching
+   misses.
+
+A :class:`PhraseClusterer` is primed with the canonical vocabulary (by
+default the catalog's topics and variants) and assigns each incoming
+phrase to its best-matching concept above a similarity threshold;
+unmatched phrases form their own singleton clusters, preserving
+genuinely novel suggestions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import re
+from collections import Counter
+
+from repro.world.catalog import TERMS
+
+#: Words that carry no concept identity in outage-related queries.
+STOP_WORDS: frozenset[str] = frozenset(
+    {
+        "is",
+        "are",
+        "my",
+        "the",
+        "a",
+        "an",
+        "down",
+        "outage",
+        "outages",
+        "out",
+        "not",
+        "no",
+        "working",
+        "near",
+        "me",
+        "today",
+        "now",
+        "why",
+        "current",
+        "map",
+        "report",
+        "status",
+        "issues",
+        "problems",
+    }
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9&]+")
+
+
+def tokenize(phrase: str) -> tuple[str, ...]:
+    """Lowercased content tokens of a phrase, stop words removed."""
+    tokens = _TOKEN_RE.findall(phrase.lower())
+    content = tuple(token for token in tokens if token not in STOP_WORDS)
+    # A phrase made entirely of stop words ("is it down") keeps them:
+    # an empty token set would match everything equally badly.
+    return content or tuple(tokens)
+
+
+def trigrams(phrase: str) -> Counter:
+    """Character trigram multiset of the squashed phrase."""
+    squashed = "".join(_TOKEN_RE.findall(phrase.lower()))
+    padded = f"  {squashed} "
+    return Counter(padded[i : i + 3] for i in range(len(padded) - 2))
+
+
+def _cosine(left: Counter, right: Counter) -> float:
+    if not left or not right:
+        return 0.0
+    common = set(left) & set(right)
+    dot = sum(left[gram] * right[gram] for gram in common)
+    norm = math.sqrt(sum(v * v for v in left.values())) * math.sqrt(
+        sum(v * v for v in right.values())
+    )
+    return dot / norm if norm else 0.0
+
+
+def token_overlap(left: tuple[str, ...], right: tuple[str, ...]) -> float:
+    """Jaccard overlap of content-token sets."""
+    a, b = set(left), set(right)
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def phrase_similarity(left: str, right: str) -> float:
+    """Blended similarity in [0, 1]: token overlap + trigram cosine."""
+    tokens = token_overlap(tokenize(left), tokenize(right))
+    grams = _cosine(trigrams(left), trigrams(right))
+    return 0.6 * tokens + 0.4 * grams
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ClusterMatch:
+    """Result of assigning a phrase to a concept."""
+
+    concept: str
+    similarity: float
+    matched_exemplar: str
+
+
+class PhraseClusterer:
+    """Assigns raw phrases to canonical concepts by similarity."""
+
+    def __init__(
+        self,
+        vocabulary: dict[str, tuple[str, ...]] | None = None,
+        threshold: float = 0.45,
+    ) -> None:
+        """``vocabulary`` maps concept name -> exemplar phrasings.
+
+        Defaults to the catalog's topics with their query variants —
+        the same lexicon the world simulator emits phrases from, so the
+        clustering task is end-to-end realistic.
+        """
+        if vocabulary is None:
+            vocabulary = {term.name: term.all_phrasings() for term in TERMS}
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1]: {threshold}")
+        self.threshold = threshold
+        self._exemplars: list[tuple[str, str, tuple[str, ...], Counter]] = []
+        for concept, phrasings in vocabulary.items():
+            for phrasing in phrasings:
+                self._exemplars.append(
+                    (concept, phrasing, tokenize(phrasing), trigrams(phrasing))
+                )
+
+    def match(self, phrase: str) -> ClusterMatch | None:
+        """Best concept for *phrase*, or None below the threshold."""
+        tokens = tokenize(phrase)
+        grams = trigrams(phrase)
+        best: ClusterMatch | None = None
+        for concept, exemplar, ex_tokens, ex_grams in self._exemplars:
+            score = 0.6 * token_overlap(tokens, ex_tokens) + 0.4 * _cosine(
+                grams, ex_grams
+            )
+            if best is None or score > best.similarity:
+                best = ClusterMatch(concept, score, exemplar)
+        if best is None or best.similarity < self.threshold:
+            return None
+        return best
+
+    def canonicalize(self, phrase: str) -> str:
+        """Concept name for *phrase*, or the phrase itself when novel."""
+        match = self.match(phrase)
+        return match.concept if match else phrase
+
+    def cluster(self, phrases: list[str] | tuple[str, ...]) -> dict[str, list[str]]:
+        """Group phrases by concept; novel phrases form singletons."""
+        clusters: dict[str, list[str]] = {}
+        for phrase in phrases:
+            clusters.setdefault(self.canonicalize(phrase), []).append(phrase)
+        return clusters

@@ -1,0 +1,214 @@
+"""The SIFT orchestrator: input -> frames -> timeline -> spikes -> context.
+
+:class:`Sift` wires the whole workflow of the paper's Fig. 2 together:
+
+1. partition the requested time range into consecutive, overlapping
+   weekly frames (step 2 in the figure);
+2. crawl them from the Trends service through a frame source — a plain
+   :class:`repro.trends.TrendsClient` or the collection layer's
+   rate-limit-aware multi-fetcher frontend (steps 3-5);
+3. average re-fetch rounds until the spike set converges, stitching and
+   renormalizing each round (step 6);
+4. detect spikes and rank them by magnitude within each geography
+   (step 7);
+5. annotate each spike with clustered rising suggestions from a daily
+   frame around its peak, and group concurrent spikes across
+   geographies into outages (steps 8-9).
+
+``run_study`` executes this per state over an arbitrary set of
+geographies — the paper's two-year, 51-geography study is
+``run_study(all_geos, two_year_window)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+from datetime import datetime
+
+from repro.core.averaging import (
+    AveragingConfig,
+    AveragingResult,
+    average_until_convergence,
+)
+from repro.core.area import AreaConfig, Outage, group_outages
+from repro.core.context import ContextConfig, SpikeAnnotator
+from repro.core.detection import DetectionConfig
+from repro.core.nlp import PhraseClusterer
+from repro.core.series import HourlyTimeline
+from repro.core.spikes import Spike, SpikeSet
+from repro.timeutil import TimeWindow, daily_frame, weekly_frames
+from repro.trends.records import RisingTerm, TimeFrameResponse
+
+
+class FrameSource:
+    """What the pipeline needs from a crawler (structural protocol).
+
+    :class:`repro.trends.TrendsClient` and the collection layer's
+    :class:`repro.collection.CollectionManager` both satisfy it.
+    """
+
+    def interest_over_time(
+        self,
+        term: str,
+        geo: str,
+        window: TimeWindow,
+        sample_round: int | None = None,
+        include_rising: bool = True,
+    ) -> TimeFrameResponse:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SiftConfig:
+    """End-to-end pipeline configuration."""
+
+    term: str = "Internet outage"
+    overlap_hours: int = 24
+    averaging: AveragingConfig = dataclasses.field(default_factory=AveragingConfig)
+    detection: DetectionConfig = dataclasses.field(default_factory=DetectionConfig)
+    area: AreaConfig = dataclasses.field(default_factory=AreaConfig)
+    context: ContextConfig = dataclasses.field(default_factory=ContextConfig)
+    annotate: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class StateResult:
+    """Everything SIFT learned about one geography."""
+
+    geo: str
+    timeline: HourlyTimeline
+    spikes: SpikeSet
+    averaging: AveragingResult
+
+
+@dataclasses.dataclass(frozen=True)
+class StudyResult:
+    """Everything SIFT learned across a multi-geography study."""
+
+    window: TimeWindow
+    spikes: SpikeSet  # all states, annotated when enabled
+    outages: list[Outage]
+    states: dict[str, StateResult]
+    heavy_hitters: tuple[str, ...]
+    suggestion_stats: tuple[int, int]  # (distinct terms, total suggestions)
+
+    @property
+    def spike_count(self) -> int:
+        return len(self.spikes)
+
+    def spikes_in_year(self, year: int) -> SpikeSet:
+        return self.spikes.in_year(year)
+
+
+ProgressHook = Callable[[str], None]
+
+
+class Sift:
+    """The detection and analysis tool, end to end."""
+
+    def __init__(
+        self,
+        source: FrameSource,
+        config: SiftConfig | None = None,
+        progress: ProgressHook | None = None,
+    ) -> None:
+        self.source = source
+        self.config = config or SiftConfig()
+        self.clusterer = PhraseClusterer()
+        self._progress = progress
+        self._daily_rising_cache: dict[tuple[str, datetime], tuple[RisingTerm, ...]] = {}
+
+    # -- workflow steps ----------------------------------------------------------
+
+    def fetch_week_frames(
+        self, geo: str, window: TimeWindow, sample_round: int
+    ) -> list[TimeFrameResponse]:
+        """Crawl one full round of weekly frames for a geography.
+
+        Rising suggestions ride along only on the first round: they are
+        frame metadata, not sampled values, and re-fetching them would
+        only burn request budget (exactly what a crawler must avoid
+        under IP rate limiting).
+        """
+        frames = weekly_frames(window, self.config.overlap_hours)
+        return [
+            self.source.interest_over_time(
+                self.config.term,
+                geo,
+                frame,
+                sample_round=sample_round,
+                include_rising=(sample_round == 0),
+            )
+            for frame in frames
+        ]
+
+    def build_timeline(self, geo: str, window: TimeWindow) -> AveragingResult:
+        """Reconstruct the calibrated continuous series for a geography."""
+        return average_until_convergence(
+            lambda round_index: self.fetch_week_frames(geo, window, round_index),
+            config=self.config.averaging,
+            detection=self.config.detection,
+        )
+
+    def analyze_state(self, geo: str, window: TimeWindow) -> StateResult:
+        """Timeline + ranked spikes for one geography."""
+        self._note(f"analyzing {geo}")
+        averaging = self.build_timeline(geo, window)
+        return StateResult(
+            geo=geo,
+            timeline=averaging.timeline,
+            spikes=averaging.spikes,
+            averaging=averaging,
+        )
+
+    def daily_rising(self, geo: str, peak: datetime) -> tuple[RisingTerm, ...]:
+        """Fine-grained rising terms for a spike day (cached per day)."""
+        day = daily_frame(peak)
+        key = (geo, day.start)
+        cached = self._daily_rising_cache.get(key)
+        if cached is None:
+            response = self.source.interest_over_time(
+                self.config.term, geo, day, sample_round=0, include_rising=True
+            )
+            cached = response.rising
+            self._daily_rising_cache[key] = cached
+        return cached
+
+    # -- the full study -------------------------------------------------------------
+
+    def run_study(self, geos: list[str] | tuple[str, ...], window: TimeWindow) -> StudyResult:
+        """The paper's workflow over many geographies."""
+        states: dict[str, StateResult] = {}
+        all_spikes: list[Spike] = []
+        for geo in geos:
+            result = self.analyze_state(geo, window)
+            states[geo] = result
+            all_spikes.extend(result.spikes)
+        self._note(f"detected {len(all_spikes)} spikes across {len(geos)} geographies")
+        annotator = SpikeAnnotator(
+            fetch_rising=self.daily_rising,
+            clusterer=self.clusterer,
+            config=self.config.context,
+        )
+        if self.config.annotate and all_spikes:
+            self._note("annotating spikes with rising suggestions")
+            all_spikes = annotator.annotate_all(all_spikes, two_pass=True)
+        spike_set = SpikeSet(all_spikes)
+        outages = group_outages(spike_set, self.config.area)
+        self._note(f"grouped into {len(outages)} outages")
+        return StudyResult(
+            window=window,
+            spikes=spike_set,
+            outages=outages,
+            states=states,
+            heavy_hitters=annotator.heavy_hitters and tuple(sorted(annotator.heavy_hitters)),
+            suggestion_stats=(
+                annotator.analyzer.distinct_terms,
+                annotator.analyzer.total_suggestions,
+            ),
+        )
+
+    def _note(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)

@@ -1,0 +1,234 @@
+"""Spike records and collections.
+
+A :class:`Spike` is SIFT's unit of finding: one surge of user interest
+in one geography, with start/peak/end times, magnitude on the
+geography's global 0-100 scale, duration, and (once the context stage
+has run) annotation terms.  :class:`SpikeSet` is the analysis-friendly
+container used by every evaluation module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable, Iterator
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro.errors import DetectionError
+from repro.timeutil import ensure_grid, format_spike_time
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Spike:
+    """One detected surge of user interest."""
+
+    term: str
+    geo: str  # "US-TX" style geography the spike was detected in
+    start: datetime
+    peak: datetime
+    end: datetime
+    magnitude: float  # peak value on the global 0-100 scale
+    magnitude_rank: int = 0  # 1-based rank within the geography (0 = unranked)
+    annotations: tuple[str, ...] = ()  # context terms, most relevant first
+
+    def __post_init__(self) -> None:
+        ensure_grid(self.start)
+        ensure_grid(self.peak)
+        ensure_grid(self.end)
+        if not self.start <= self.peak <= self.end:
+            raise DetectionError(
+                f"spike ordering violated: {self.start} <= {self.peak} <= {self.end}"
+            )
+        if self.magnitude < 0:
+            raise DetectionError(f"magnitude must be >= 0: {self.magnitude}")
+
+    @property
+    def state(self) -> str:
+        """Two-letter state code extracted from the geography."""
+        return self.geo.removeprefix("US-")
+
+    @property
+    def duration_hours(self) -> int:
+        """Hours of user interest, inclusive of start and end blocks."""
+        return int((self.end - self.start).total_seconds() // 3600) + 1
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``15 Feb. 2021-10h``."""
+        return format_spike_time(self.start)
+
+    def annotated(self, annotations: tuple[str, ...]) -> "Spike":
+        return dataclasses.replace(self, annotations=annotations)
+
+    def has_annotation(self, names: Iterable[str]) -> bool:
+        wanted = set(names)
+        return any(annotation in wanted for annotation in self.annotations)
+
+    def to_dict(self) -> dict:
+        return {
+            "term": self.term,
+            "geo": self.geo,
+            "start": self.start.isoformat(),
+            "peak": self.peak.isoformat(),
+            "end": self.end.isoformat(),
+            "magnitude": self.magnitude,
+            "magnitude_rank": self.magnitude_rank,
+            "annotations": list(self.annotations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Spike":
+        return cls(
+            term=data["term"],
+            geo=data["geo"],
+            start=datetime.fromisoformat(data["start"]),
+            peak=datetime.fromisoformat(data["peak"]),
+            end=datetime.fromisoformat(data["end"]),
+            magnitude=float(data["magnitude"]),
+            magnitude_rank=int(data.get("magnitude_rank", 0)),
+            annotations=tuple(data.get("annotations", ())),
+        )
+
+
+class SpikeSet:
+    """An immutable, analysis-friendly collection of spikes."""
+
+    def __init__(self, spikes: Iterable[Spike]) -> None:
+        self._spikes = tuple(sorted(spikes, key=lambda s: (s.peak, s.geo)))
+
+    def __len__(self) -> int:
+        return len(self._spikes)
+
+    def __iter__(self) -> Iterator[Spike]:
+        return iter(self._spikes)
+
+    def __getitem__(self, index: int) -> Spike:
+        return self._spikes[index]
+
+    @property
+    def spikes(self) -> tuple[Spike, ...]:
+        return self._spikes
+
+    # -- filters ----------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Spike], bool]) -> "SpikeSet":
+        return SpikeSet(spike for spike in self._spikes if predicate(spike))
+
+    def in_state(self, state: str) -> "SpikeSet":
+        code = state.removeprefix("US-")
+        return self.filter(lambda spike: spike.state == code)
+
+    def in_year(self, year: int) -> "SpikeSet":
+        return self.filter(lambda spike: spike.peak.year == year)
+
+    def at_least_hours(self, hours: int) -> "SpikeSet":
+        return self.filter(lambda spike: spike.duration_hours >= hours)
+
+    def with_annotation(self, names: Iterable[str]) -> "SpikeSet":
+        wanted = tuple(names)
+        return self.filter(lambda spike: spike.has_annotation(wanted))
+
+    # -- aggregate views -----------------------------------------------------------
+
+    def durations(self) -> np.ndarray:
+        return np.array([spike.duration_hours for spike in self._spikes], dtype=np.int64)
+
+    def magnitudes(self) -> np.ndarray:
+        return np.array([spike.magnitude for spike in self._spikes], dtype=np.float64)
+
+    def states(self) -> tuple[str, ...]:
+        return tuple(spike.state for spike in self._spikes)
+
+    def count_by_state(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for spike in self._spikes:
+            counts[spike.state] = counts.get(spike.state, 0) + 1
+        return counts
+
+    def top_by_duration(self, count: int) -> tuple[Spike, ...]:
+        ranked = sorted(
+            self._spikes, key=lambda s: (s.duration_hours, s.magnitude), reverse=True
+        )
+        return tuple(ranked[:count])
+
+    def merged_with(self, other: "SpikeSet") -> "SpikeSet":
+        return SpikeSet((*self._spikes, *other.spikes))
+
+    # -- comparison (used by averaging convergence) ------------------------------
+
+    def peak_signature(self) -> frozenset[tuple[str, datetime]]:
+        """Identity of the set for convergence checks: (geo, peak hour)."""
+        return frozenset((spike.geo, spike.peak) for spike in self._spikes)
+
+    def jaccard_similarity(self, other: "SpikeSet") -> float:
+        """Jaccard index between the two sets' peak signatures."""
+        mine = self.peak_signature()
+        theirs = other.peak_signature()
+        if not mine and not theirs:
+            return 1.0
+        union = mine | theirs
+        return len(mine & theirs) / len(union)
+
+    def match_similarity(self, other: "SpikeSet", tolerance_hours: int = 2) -> float:
+        """Jaccard-style similarity with peak-time tolerance.
+
+        Two spikes match when they share a geography and their peaks
+        are at most *tolerance_hours* apart; matching is greedy in time
+        order, each spike used at most once.  This is the convergence
+        metric for iterative averaging: sampling noise jitters a peak
+        by an hour without making it a different spike.
+        """
+        if len(self) == 0 and len(other) == 0:
+            return 1.0
+        matched = 0
+        mine_by_geo: dict[str, list[Spike]] = {}
+        for spike in self._spikes:
+            mine_by_geo.setdefault(spike.geo, []).append(spike)
+        window = timedelta(hours=tolerance_hours)
+        for geo, theirs in _group_by_geo(other).items():
+            mine = mine_by_geo.get(geo, [])
+            i = 0
+            for candidate in theirs:
+                while i < len(mine) and candidate.peak - mine[i].peak > window:
+                    i += 1
+                if i < len(mine) and abs(mine[i].peak - candidate.peak) <= window:
+                    matched += 1
+                    i += 1
+        union = len(self) + len(other) - matched
+        return matched / union if union else 1.0
+
+    def weighted_match_similarity(
+        self, other: "SpikeSet", tolerance_hours: int = 2
+    ) -> float:
+        """Magnitude-weighted match similarity.
+
+        Like :meth:`match_similarity`, but each spike counts with its
+        magnitude, so flickering privacy-threshold blips (magnitude ~1
+        on the global scale) cannot hold convergence hostage while the
+        actual spike picture is stable — which is how the paper's
+        six-round convergence behaves in practice.
+        """
+        total = float(sum(s.magnitude for s in self) + sum(s.magnitude for s in other))
+        if total <= 0:
+            return 1.0
+        matched_weight = 0.0
+        mine_by_geo = _group_by_geo(self)
+        window = timedelta(hours=tolerance_hours)
+        for geo, theirs in _group_by_geo(other).items():
+            mine = mine_by_geo.get(geo, [])
+            i = 0
+            for candidate in theirs:
+                while i < len(mine) and candidate.peak - mine[i].peak > window:
+                    i += 1
+                if i < len(mine) and abs(mine[i].peak - candidate.peak) <= window:
+                    matched_weight += mine[i].magnitude + candidate.magnitude
+                    i += 1
+        return matched_weight / total
+
+
+def _group_by_geo(spikes: "SpikeSet") -> dict[str, list[Spike]]:
+    grouped: dict[str, list[Spike]] = {}
+    for spike in spikes:
+        grouped.setdefault(spike.geo, []).append(spike)
+    return grouped

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the SIFT reproduction.
+
+All errors raised by this package derive from :class:`ReproError` so
+callers can catch package failures with a single ``except`` clause while
+still distinguishing the fine-grained conditions below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent parameters."""
+
+
+class TimeGridError(ReproError):
+    """A timestamp or range does not align with the hourly grid."""
+
+
+class UnknownGeoError(ReproError):
+    """A geography code does not name a supported US state."""
+
+    def __init__(self, geo: str) -> None:
+        super().__init__(f"unknown geography: {geo!r}")
+        self.geo = geo
+
+
+class UnknownTermError(ReproError):
+    """A search term is not present in the simulated search world."""
+
+    def __init__(self, term: str) -> None:
+        super().__init__(f"unknown search term: {term!r}")
+        self.term = term
+
+
+class TrendsRequestError(ReproError):
+    """The Trends service rejected a malformed request."""
+
+
+class RateLimitError(TrendsRequestError):
+    """The per-IP request budget is exhausted.
+
+    Attributes:
+        retry_after: seconds the caller should wait before retrying.
+    """
+
+    def __init__(self, ip: str, retry_after: float) -> None:
+        super().__init__(
+            f"rate limit exceeded for {ip}; retry after {retry_after:.2f}s"
+        )
+        self.ip = ip
+        self.retry_after = retry_after
+
+
+class StitchingError(ReproError):
+    """Consecutive time frames could not be stitched together."""
+
+
+class ConvergenceError(ReproError):
+    """Iterative averaging failed to converge within the round budget."""
+
+
+class DetectionError(ReproError):
+    """The spike detector received an invalid series."""
+
+
+class DatabaseError(ReproError):
+    """The collection database rejected an operation."""
+
+
+class CollectionError(ReproError):
+    """The collection scheduler could not complete a workload."""

@@ -1,0 +1,69 @@
+"""Counter-based deterministic randomness.
+
+The search-world simulator needs noise that is a pure *function* of
+(seed, term, state, hour): any window of any series can then be
+recomputed lazily, in any chunking, and always agree with itself.  A
+stateful generator cannot do that, so we derive uniforms from a
+SplitMix64-style integer hash, vectorized with numpy.
+
+The Trends service's per-request sampling, by contrast, must differ
+between re-fetches of the same frame; that path uses ordinary seeded
+``numpy.random.Generator`` streams keyed by (request, round).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U64_MAX_PLUS_1 = float(2**64)
+
+
+def stable_key(*parts: object) -> int:
+    """Derive a 64-bit key from arbitrary hashable parts, stable across runs.
+
+    Python's builtin ``hash`` is salted per process for strings, so we
+    fold the UTF-8 bytes manually (FNV-1a) instead.
+    """
+    acc = 0xCBF29CE484222325
+    for part in parts:
+        data = str(part).encode("utf-8") + b"\x1f"
+        for byte in data:
+            acc ^= byte
+            acc = (acc * 0x100000001B3) % (1 << 64)
+    return acc
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finalizer over a uint64 array."""
+    with np.errstate(over="ignore"):
+        z = (values + _GOLDEN).astype(np.uint64)
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        return z ^ (z >> np.uint64(31))
+
+
+def hashed_uniform(key: int, indices: np.ndarray, salt: int = 0) -> np.ndarray:
+    """Uniform(0, 1) values as a pure function of (key, salt, index)."""
+    base = np.uint64((key ^ (salt * 0x9E3779B97F4A7C15)) % (1 << 64))
+    with np.errstate(over="ignore"):
+        mixed = _splitmix64(indices.astype(np.uint64) * _GOLDEN + base)
+    # Scale into (0, 1); add half a ULP so 0.0 never appears (log-safe).
+    return (mixed.astype(np.float64) + 0.5) / _U64_MAX_PLUS_1
+
+
+def hashed_normal(key: int, indices: np.ndarray, salt: int = 0) -> np.ndarray:
+    """Standard-normal values as a pure function of (key, salt, index).
+
+    Box-Muller over two independent hashed uniform streams.
+    """
+    u1 = hashed_uniform(key, indices, salt=salt * 2 + 1)
+    u2 = hashed_uniform(key, indices, salt=salt * 2 + 2)
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
+def substream(seed: int, *parts: object) -> np.random.Generator:
+    """An independent ``Generator`` for a named substream of *seed*."""
+    return np.random.default_rng(np.random.SeedSequence([seed, stable_key(*parts)]))

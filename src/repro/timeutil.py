@@ -1,0 +1,167 @@
+"""Hour-grid time utilities shared by the whole pipeline.
+
+Everything inside the package works on a *UTC hour grid*: timestamps are
+timezone-aware ``datetime`` objects whose minute/second/microsecond parts
+are zero.  Series positions are integer hour offsets from a grid origin.
+Google-Trends-style weekly frames are produced by
+:func:`weekly_frames`, which mirrors the paper's "consecutive and
+overlapping weekly time frames" partitioning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+from datetime import datetime, timedelta, timezone
+
+from repro.errors import TimeGridError
+
+HOUR = timedelta(hours=1)
+HOURS_PER_WEEK = 168
+HOURS_PER_DAY = 24
+
+#: Default overlap between consecutive weekly frames, in hours.  One day
+#: of shared data is enough to estimate the inter-frame scaling ratio
+#: while keeping the number of frames close to ``ceil(span / week)``.
+DEFAULT_OVERLAP_HOURS = 24
+
+
+def utc(year: int, month: int, day: int, hour: int = 0) -> datetime:
+    """Build a timezone-aware UTC datetime on the hour grid."""
+    return datetime(year, month, day, hour, tzinfo=timezone.utc)
+
+
+def ensure_grid(moment: datetime) -> datetime:
+    """Validate that *moment* lies on the UTC hour grid and return it.
+
+    Naive datetimes are rejected rather than silently assumed to be UTC:
+    mixing naive and aware datetimes is the classic source of off-by-
+    timezone bugs in measurement pipelines.
+    """
+    if moment.tzinfo is None:
+        raise TimeGridError(f"naive datetime not allowed: {moment!r}")
+    moment = moment.astimezone(timezone.utc)
+    if moment.minute or moment.second or moment.microsecond:
+        raise TimeGridError(f"not aligned to the hour grid: {moment!r}")
+    return moment
+
+
+def hour_index(origin: datetime, moment: datetime) -> int:
+    """Integer hour offset of *moment* from *origin* (both on the grid)."""
+    origin = ensure_grid(origin)
+    moment = ensure_grid(moment)
+    delta = moment - origin
+    seconds = delta.total_seconds()
+    if seconds != int(seconds) or int(seconds) % 3600:
+        raise TimeGridError(f"{moment!r} is not a whole number of hours from {origin!r}")
+    return int(seconds) // 3600
+
+
+def hour_at(origin: datetime, index: int) -> datetime:
+    """Datetime at integer hour offset *index* from *origin*."""
+    return ensure_grid(origin) + index * HOUR
+
+
+def hour_range(start: datetime, end: datetime) -> Iterator[datetime]:
+    """Yield every grid hour in ``[start, end)``."""
+    start = ensure_grid(start)
+    end = ensure_grid(end)
+    current = start
+    while current < end:
+        yield current
+        current += HOUR
+
+
+def span_hours(start: datetime, end: datetime) -> int:
+    """Number of grid hours in ``[start, end)``."""
+    count = hour_index(start, end)
+    if count < 0:
+        raise TimeGridError(f"range end {end!r} precedes start {start!r}")
+    return count
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TimeWindow:
+    """A half-open ``[start, end)`` window on the hour grid."""
+
+    start: datetime
+    end: datetime
+
+    def __post_init__(self) -> None:
+        ensure_grid(self.start)
+        ensure_grid(self.end)
+        if self.end <= self.start:
+            raise TimeGridError(f"empty window: {self.start!r} .. {self.end!r}")
+
+    @property
+    def hours(self) -> int:
+        return span_hours(self.start, self.end)
+
+    def contains(self, moment: datetime) -> bool:
+        return self.start <= moment < self.end
+
+    def overlaps(self, other: "TimeWindow") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersection_hours(self, other: "TimeWindow") -> int:
+        """Number of grid hours shared with *other* (0 when disjoint)."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if hi <= lo:
+            return 0
+        return span_hours(lo, hi)
+
+    def shift(self, hours: int) -> "TimeWindow":
+        return TimeWindow(self.start + hours * HOUR, self.end + hours * HOUR)
+
+
+def weekly_frames(
+    window: TimeWindow, overlap_hours: int = DEFAULT_OVERLAP_HOURS
+) -> list[TimeWindow]:
+    """Partition *window* into consecutive, overlapping weekly frames.
+
+    Mirrors the paper's step (2): each frame is at most one week long
+    (the GT limit for hourly blocks) and consecutive frames share
+    *overlap_hours* hours so the stitching stage can estimate the
+    piecewise normalization ratio from the intersection.
+
+    The final frame is right-aligned to the window end so no hour is
+    lost, which can make the last overlap larger than requested (never
+    smaller, unless the whole window is shorter than one week).
+    """
+    if not 0 < overlap_hours < HOURS_PER_WEEK:
+        raise TimeGridError(
+            f"overlap must be in (0, {HOURS_PER_WEEK}): got {overlap_hours}"
+        )
+    total = window.hours
+    if total <= HOURS_PER_WEEK:
+        return [window]
+    step = HOURS_PER_WEEK - overlap_hours
+    frames = []
+    start = 0
+    while start + HOURS_PER_WEEK < total:
+        frames.append(
+            TimeWindow(
+                hour_at(window.start, start),
+                hour_at(window.start, start + HOURS_PER_WEEK),
+            )
+        )
+        start += step
+    frames.append(TimeWindow(hour_at(window.end, -HOURS_PER_WEEK), window.end))
+    return frames
+
+
+def daily_frame(day: datetime) -> TimeWindow:
+    """The one-day frame covering the UTC day of *day*.
+
+    Used for the paper's fine-grained rising-term fetches on spike days.
+    """
+    day = ensure_grid(day)
+    start = day.replace(hour=0)
+    return TimeWindow(start, start + timedelta(days=1))
+
+
+def format_spike_time(moment: datetime) -> str:
+    """Render a spike time like the paper's tables, e.g. ``15 Feb. 2021-10h``."""
+    moment = ensure_grid(moment)
+    return f"{moment.day:02d} {moment.strftime('%b')}. {moment.year}-{moment.hour:02d}h"

@@ -1,0 +1,51 @@
+"""Simulated Google Trends service: the data source SIFT crawls.
+
+Reproduces the service semantics the paper depends on — per-request
+sampling, anonymity rounding, piecewise 0-100 indexing, weekly hourly
+frames, rising suggestions, and per-IP rate limiting — over the
+ground-truth :mod:`repro.world` population.
+"""
+
+from repro.trends.client import RetryPolicy, TrendsClient
+from repro.trends.ratelimit import (
+    RateLimitConfig,
+    SimulatedClock,
+    TokenBucketLimiter,
+)
+from repro.trends.records import (
+    BREAKOUT_WEIGHT,
+    MAX_HOURLY_FRAME,
+    RisingTerm,
+    TimeFrameRequest,
+    TimeFrameResponse,
+)
+from repro.trends.rising import RisingConfig, rising_terms
+from repro.trends.sampling import (
+    index_frame,
+    privacy_round,
+    sample_counts,
+    sampling_standard_error,
+)
+from repro.trends.service import ServiceStats, TrendsConfig, TrendsService
+
+__all__ = [
+    "BREAKOUT_WEIGHT",
+    "MAX_HOURLY_FRAME",
+    "RateLimitConfig",
+    "RetryPolicy",
+    "RisingConfig",
+    "RisingTerm",
+    "ServiceStats",
+    "SimulatedClock",
+    "TimeFrameRequest",
+    "TimeFrameResponse",
+    "TokenBucketLimiter",
+    "TrendsClient",
+    "TrendsConfig",
+    "TrendsService",
+    "index_frame",
+    "privacy_round",
+    "rising_terms",
+    "sample_counts",
+    "sampling_standard_error",
+]

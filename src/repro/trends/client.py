@@ -1,0 +1,101 @@
+"""A pytrends-style convenience client for the simulated service.
+
+:class:`TrendsClient` is what the collection layer talks to: it owns a
+source IP, retries politely on rate limiting (honoring ``retry_after``
+with exponential backoff and jitter), and exposes the two calls SIFT
+needs — interest-over-time frames and rising related queries.
+
+The sleep function is injectable so the whole crawl runs on virtual
+time in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Callable
+
+from repro.errors import CollectionError, RateLimitError
+from repro.rand import substream
+from repro.timeutil import TimeWindow
+from repro.trends.records import RisingTerm, TimeFrameRequest, TimeFrameResponse
+from repro.trends.service import TrendsService
+
+Sleeper = Callable[[float], None]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Backoff behaviour when the service rate-limits the client."""
+
+    max_attempts: int = 8
+    backoff_base: float = 1.5
+    max_backoff: float = 120.0
+    jitter: float = 0.25  # +- fraction of the computed delay
+
+    def delay(self, attempt: int, retry_after: float, jitter_unit: float) -> float:
+        """Delay before retry *attempt* (0-based), respecting the hint."""
+        backoff = min(self.backoff_base**attempt, self.max_backoff)
+        base = max(retry_after, backoff)
+        return base * (1.0 + self.jitter * (2.0 * jitter_unit - 1.0))
+
+
+class TrendsClient:
+    """One crawler identity (one IP) against the Trends service."""
+
+    def __init__(
+        self,
+        service: TrendsService,
+        ip: str,
+        sleep: Sleeper = time.sleep,
+        policy: RetryPolicy | None = None,
+        seed: int = 1234,
+    ) -> None:
+        self.service = service
+        self.ip = ip
+        self.policy = policy or RetryPolicy()
+        self._sleep = sleep
+        self._jitter_rng = substream(seed, "client-jitter", ip)
+        self.fetches = 0
+        self.retries = 0
+
+    def interest_over_time(
+        self,
+        term: str,
+        geo: str,
+        window: TimeWindow,
+        sample_round: int | None = None,
+        include_rising: bool = True,
+    ) -> TimeFrameResponse:
+        """Fetch one hourly frame, retrying through rate limits."""
+        request = TimeFrameRequest(term=term, geo=geo, window=window)
+        last_error: RateLimitError | None = None
+        for attempt in range(self.policy.max_attempts):
+            try:
+                response = self.service.fetch(
+                    request,
+                    ip=self.ip,
+                    sample_round=sample_round,
+                    include_rising=include_rising,
+                )
+            except RateLimitError as error:
+                last_error = error
+                self.retries += 1
+                delay = self.policy.delay(
+                    attempt, error.retry_after, float(self._jitter_rng.random())
+                )
+                self._sleep(delay)
+                continue
+            self.fetches += 1
+            return response
+        raise CollectionError(
+            f"fetcher {self.ip} gave up after {self.policy.max_attempts} "
+            f"rate-limited attempts: {last_error}"
+        )
+
+    def rising_queries(
+        self, term: str, geo: str, window: TimeWindow
+    ) -> tuple[RisingTerm, ...]:
+        """Fetch only the rising related queries for a frame."""
+        response = self.interest_over_time(term, geo, window, include_rising=True)
+        return response.rising

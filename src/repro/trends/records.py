@@ -1,0 +1,102 @@
+"""Request/response records for the simulated Google Trends service.
+
+The shapes deliberately mirror what the real service gives a crawler:
+a weekly frame at hourly resolution is 168 integer data points indexed
+0-100 within the frame, plus a list of *rising* related search terms
+with percent-increase weights.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import TrendsRequestError
+from repro.timeutil import HOURS_PER_WEEK, TimeWindow
+from repro.world.states import is_known_geo
+
+#: GT caps hourly-resolution requests at one week (paper §2).
+MAX_HOURLY_FRAME = HOURS_PER_WEEK
+
+#: Rising weights above this are reported as "Breakout" by the real
+#: service; we keep the numeric weight and set a flag.
+BREAKOUT_WEIGHT = 5000
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TimeFrameRequest:
+    """One Trends request: a term over a geo and an hourly time frame."""
+
+    term: str
+    geo: str  # "US-TX" style state geography
+    window: TimeWindow
+
+    def __post_init__(self) -> None:
+        if not self.term or not self.term.strip():
+            raise TrendsRequestError("empty search term")
+        if not is_known_geo(self.geo):
+            raise TrendsRequestError(f"unsupported geography: {self.geo!r}")
+        if self.window.hours > MAX_HOURLY_FRAME:
+            raise TrendsRequestError(
+                f"hourly frames are limited to {MAX_HOURLY_FRAME} hours, "
+                f"got {self.window.hours}"
+            )
+
+    @property
+    def cache_key(self) -> tuple[str, str, str, str]:
+        """Identity of the request for caching/round-counting purposes."""
+        return (
+            self.term,
+            self.geo,
+            self.window.start.isoformat(),
+            self.window.end.isoformat(),
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RisingTerm:
+    """A related search term with a rising-interest weight.
+
+    ``phrase`` is a *raw query* (what users typed), not necessarily the
+    canonical topic name — downstream clustering has to merge variants,
+    which is exactly the job the paper gives its NLP stage.
+    """
+
+    phrase: str
+    weight: int  # percent increase over the preceding period
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise TrendsRequestError(f"rising weight must be positive: {self.weight}")
+
+    @property
+    def breakout(self) -> bool:
+        return self.weight >= BREAKOUT_WEIGHT
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TimeFrameResponse:
+    """The service's answer to one :class:`TimeFrameRequest`."""
+
+    request: TimeFrameRequest
+    values: np.ndarray  # int16 index values, 0..100, one per hour
+    rising: tuple[RisingTerm, ...]
+    sample_round: int  # which independent sample produced this response
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (self.request.window.hours,):
+            raise TrendsRequestError(
+                f"response shape {self.values.shape} does not match "
+                f"frame of {self.request.window.hours} hours"
+            )
+        if self.values.min() < 0 or self.values.max() > 100:
+            raise TrendsRequestError("index values must lie in [0, 100]")
+
+    @property
+    def window(self) -> TimeWindow:
+        return self.request.window
+
+    def is_flat(self) -> bool:
+        """True when privacy rounding zeroed out the whole frame."""
+        return bool((self.values == 0).all())

@@ -1,0 +1,100 @@
+"""Rising-suggestions computation (GT's "related queries: rising").
+
+For a requested (term, geo, frame) the real service surfaces search
+terms whose interest rose the most during the frame, weighted by their
+percent increase over the preceding period (paper §2).  The simulator
+recomputes exactly that from the ground-truth population:
+
+* candidate terms are every catalog topic except the requested one;
+* each candidate's sampled search count in the frame is compared to its
+  sampled count in the preceding window of equal length;
+* candidates under the anonymity threshold are invisible;
+* the weight is the integer percent increase, and the phrase reported
+  is one of the topic's raw query variants — chosen deterministically
+  per (term, geo, frame) so the downstream clustering stage has real
+  work to do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.rand import hashed_uniform, stable_key
+from repro.timeutil import TimeWindow
+from repro.trends.records import BREAKOUT_WEIGHT, RisingTerm, TimeFrameRequest
+from repro.world.catalog import TERMS
+from repro.world.population import SearchPopulation
+from repro.world.states import get_state
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RisingConfig:
+    """Tunables of the rising-suggestion computation."""
+
+    min_weight: int = 45  # smallest percent increase worth reporting
+    top_k: int = 25  # suggestions returned per frame
+    min_window_count: int = 5  # anonymity threshold on window totals
+
+
+def _variant_phrase(term_name: str, variants: tuple[str, ...], key: int) -> str:
+    """Pick one raw phrasing deterministically for this (term, frame)."""
+    phrasings = (term_name, *variants)
+    pick = hashed_uniform(key, np.array([1], dtype=np.uint64))[0]
+    return phrasings[int(pick * len(phrasings)) % len(phrasings)]
+
+
+def rising_terms(
+    population: SearchPopulation,
+    request: TimeFrameRequest,
+    rng: np.random.Generator,
+    sample_rate: float,
+    config: RisingConfig | None = None,
+) -> tuple[RisingTerm, ...]:
+    """Compute the rising suggestions for one frame."""
+    config = config or RisingConfig()
+    state = get_state(request.geo)
+    window = request.window
+    previous = window.shift(-window.hours)
+    if previous.start < population.window.start:
+        return ()  # no preceding period to compare against
+    suggestions: list[RisingTerm] = []
+    total_now = float(population.total_volume(state.code, window).sum())
+    total_prev = float(population.total_volume(state.code, previous).sum())
+    size_now = max(int(round(total_now * sample_rate)), 1)
+    size_prev = max(int(round(total_prev * sample_rate)), 1)
+    for term in TERMS:
+        if term.name == request.term:
+            continue
+        volume_now = float(population.term_volume(term.name, state.code, window).sum())
+        volume_prev = float(
+            population.term_volume(term.name, state.code, previous).sum()
+        )
+        count_now = int(
+            rng.binomial(size_now, min(volume_now / max(total_now, 1e-9), 1.0))
+        )
+        count_prev = int(
+            rng.binomial(size_prev, min(volume_prev / max(total_prev, 1e-9), 1.0))
+        )
+        if count_now < config.min_window_count:
+            continue  # anonymity: the term is invisible this window
+        share_now = count_now / size_now
+        share_prev = count_prev / size_prev
+        if share_prev <= 0:
+            weight = BREAKOUT_WEIGHT
+        else:
+            weight = int(round(100.0 * (share_now - share_prev) / share_prev))
+        if weight < config.min_weight:
+            continue
+        phrase_key = stable_key(
+            "rising-phrase", term.name, request.geo, window.start.isoformat()
+        )
+        suggestions.append(
+            RisingTerm(
+                phrase=_variant_phrase(term.name, term.variants, phrase_key),
+                weight=min(weight, BREAKOUT_WEIGHT),
+            )
+        )
+    suggestions.sort(key=lambda item: item.weight, reverse=True)
+    return tuple(suggestions[: config.top_k])

@@ -1,0 +1,85 @@
+"""Sampling and indexing semantics of the Trends service.
+
+The real service (paper §2) answers a request in three steps:
+
+1. draw an *unbiased random sample* of the search database for the
+   frame — this is why two fetches of the same frame disagree, and why
+   the paper's averaging stage exists;
+2. round tiny search volumes down to 0 for anonymity — this is why
+   quiet hours read as hard zeros, which the spike detector's
+   walk-to-zero rules rely on;
+3. index the frame's data points onto 0..100 relative to the frame's
+   own maximum — this piecewise normalization is why the stitching
+   stage must rescale frames against their overlaps.
+
+Each step is a small pure function here so the pipeline's tests can
+target them in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_counts(
+    rng: np.random.Generator,
+    volumes: np.ndarray,
+    totals: np.ndarray,
+    sample_rate: float,
+) -> np.ndarray:
+    """Draw sampled per-hour counts of a term from the search population.
+
+    For each hour the service samples ``n = sample_rate * total``
+    searches out of ``total`` and counts how many are for the term —
+    i.e. a binomial draw with the term's true proportion.  The binomial
+    standard error is what shrinks when the pipeline averages re-fetches.
+    """
+    if not 0 < sample_rate <= 1:
+        raise ValueError(f"sample_rate must be in (0, 1]: {sample_rate}")
+    if volumes.shape != totals.shape:
+        raise ValueError("volumes and totals must align")
+    proportions = np.clip(volumes / np.maximum(totals, 1e-9), 0.0, 1.0)
+    sizes = np.maximum(np.round(totals * sample_rate), 1.0).astype(np.int64)
+    return rng.binomial(sizes, proportions)
+
+
+def privacy_round(counts: np.ndarray, threshold: int) -> np.ndarray:
+    """Zero out counts below the anonymity threshold (GT's rounding)."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0: {threshold}")
+    rounded = counts.copy()
+    rounded[rounded < threshold] = 0
+    return rounded
+
+
+def index_frame(counts: np.ndarray, sizes: np.ndarray | None = None) -> np.ndarray:
+    """Index a frame's counts onto the 0..100 scale, GT style.
+
+    The service indexes *proportions* (count / sample size); when
+    *sizes* is None the counts are treated as already proportional.
+    The frame maximum maps to 100 and everything scales linearly,
+    rounded to integers.  An all-zero frame stays all-zero.
+    """
+    values = counts.astype(np.float64)
+    if sizes is not None:
+        if sizes.shape != counts.shape:
+            raise ValueError("sizes and counts must align")
+        values = values / np.maximum(sizes, 1)
+    peak = values.max()
+    if peak <= 0:
+        return np.zeros(counts.shape, dtype=np.int16)
+    indexed = np.round(100.0 * values / peak)
+    return indexed.astype(np.int16)
+
+
+def sampling_standard_error(proportion: float, sample_size: int) -> float:
+    """Standard error of a sampled proportion (normal approximation).
+
+    Used by tests and the averaging ablation to verify the simulator's
+    error actually shrinks as 1/sqrt(rounds), the paper's §3.2 premise.
+    """
+    if not 0 <= proportion <= 1:
+        raise ValueError(f"proportion must be in [0, 1]: {proportion}")
+    if sample_size <= 0:
+        raise ValueError(f"sample_size must be positive: {sample_size}")
+    return float(np.sqrt(proportion * (1.0 - proportion) / sample_size))

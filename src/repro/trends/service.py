@@ -1,0 +1,127 @@
+"""The simulated Google Trends service.
+
+:class:`TrendsService` is the only gateway between the SIFT pipeline
+and the ground-truth search world, and it degrades the data in exactly
+the ways the real service does (paper §2): per-request sampling,
+anonymity rounding, per-frame 0-100 indexing, one-week hourly-frame
+limits, and per-IP rate limiting.
+
+Each fetch of the same frame draws an *independent* sample (numbered
+``sample_round``), which is what makes the paper's iterative averaging
+meaningful.  Rounds are deterministic: round *k* of a given request
+always returns the same response, so full pipeline runs reproduce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import Counter
+
+import numpy as np
+
+from repro.rand import substream
+from repro.trends.ratelimit import Clock, RateLimitConfig, TokenBucketLimiter
+from repro.trends.records import RisingTerm, TimeFrameRequest, TimeFrameResponse
+from repro.trends.rising import RisingConfig, rising_terms
+from repro.trends.sampling import index_frame, privacy_round, sample_counts
+from repro.world.population import SearchPopulation
+from repro.world.states import get_state
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TrendsConfig:
+    """Service-level parameters."""
+
+    #: Fraction of the search database sampled per request.
+    sample_rate: float = 0.03
+    #: Anonymity threshold on sampled per-hour counts.
+    privacy_threshold: int = 3
+    #: Seed for per-request sampling streams.
+    seed: int = 99
+    rising: RisingConfig = dataclasses.field(default_factory=RisingConfig)
+    rate_limit: RateLimitConfig = dataclasses.field(default_factory=RateLimitConfig)
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Observable service counters (the paper reports 160 238 frames)."""
+
+    frames_served: int = 0
+    rising_computed: int = 0
+    rate_limited: int = 0
+    frames_by_geo: Counter = dataclasses.field(default_factory=Counter)
+
+
+class TrendsService:
+    """Answers :class:`TimeFrameRequest`s from the ground-truth population."""
+
+    def __init__(
+        self,
+        population: SearchPopulation,
+        config: TrendsConfig | None = None,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.population = population
+        self.config = config or TrendsConfig()
+        self.limiter = TokenBucketLimiter(self.config.rate_limit, clock=clock)
+        self.stats = ServiceStats()
+        self._round_counter: Counter = Counter()
+
+    def fetch(
+        self,
+        request: TimeFrameRequest,
+        ip: str = "198.51.100.1",
+        sample_round: int | None = None,
+        include_rising: bool = True,
+    ) -> TimeFrameResponse:
+        """Serve one frame, or raise :class:`repro.errors.RateLimitError`.
+
+        ``sample_round`` pins which independent sample to draw; when
+        omitted, consecutive fetches of the same frame get consecutive
+        rounds, mimicking "just fetch it again" crawling.
+        """
+        try:
+            self.limiter.acquire(ip)
+        except Exception:
+            self.stats.rate_limited += 1
+            raise
+        if sample_round is None:
+            sample_round = self._round_counter[request.cache_key]
+            self._round_counter[request.cache_key] += 1
+        values = self._sample_values(request, sample_round)
+        rising: tuple[RisingTerm, ...] = ()
+        if include_rising:
+            rising_rng = substream(
+                self.config.seed, "rising", request.cache_key, sample_round
+            )
+            rising = rising_terms(
+                self.population,
+                request,
+                rising_rng,
+                self.config.sample_rate,
+                self.config.rising,
+            )
+            self.stats.rising_computed += 1
+        self.stats.frames_served += 1
+        self.stats.frames_by_geo[request.geo] += 1
+        return TimeFrameResponse(
+            request=request,
+            values=values,
+            rising=rising,
+            sample_round=sample_round,
+        )
+
+    def _sample_values(
+        self, request: TimeFrameRequest, sample_round: int
+    ) -> np.ndarray:
+        state = get_state(request.geo)
+        rng = substream(self.config.seed, "frame", request.cache_key, sample_round)
+        volumes = self.population.term_volume(request.term, state.code, request.window)
+        totals = self.population.total_volume(state.code, request.window)
+        counts = sample_counts(rng, volumes, totals, self.config.sample_rate)
+        counts = privacy_round(counts, self.config.privacy_threshold)
+        sizes = np.maximum(
+            np.round(totals * self.config.sample_rate), 1.0
+        ).astype(np.int64)
+        return index_frame(counts, sizes)

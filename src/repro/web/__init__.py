@@ -1,0 +1,5 @@
+"""Web interface for browsing SIFT results."""
+
+from repro.web.app import SiftWebApp, serve
+
+__all__ = ["SiftWebApp", "serve"]

@@ -1,0 +1,180 @@
+"""A small web interface over SIFT results (paper §4, Implementation).
+
+The paper's system includes "a running web interface to display the
+requested data to the SIFT user"; this is a dependency-free equivalent
+on ``http.server``.  The request routing is a pure function
+(:meth:`SiftWebApp.handle_path`) so tests can exercise every endpoint
+without sockets; :func:`serve` binds the same app to a real port.
+
+Endpoints::
+
+    GET /                      HTML overview with a timeline sketch
+    GET /api/geos              known geographies
+    GET /api/timeline?geo=US-TX[&start=ISO&end=ISO]   series values
+    GET /api/spikes?geo=US-TX[&min_hours=N]           detected spikes
+    GET /api/outages[?min_states=N]                   grouped outages
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from datetime import datetime, timezone
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.analysis.reporting import render_timeline
+from repro.core.pipeline import StudyResult
+from repro.errors import ReproError
+from repro.timeutil import TimeWindow, ensure_grid
+
+
+class SiftWebApp:
+    """Routes paths to JSON/HTML payloads over a finished study."""
+
+    def __init__(self, study: StudyResult) -> None:
+        self.study = study
+
+    # -- routing -------------------------------------------------------------
+
+    def handle_path(self, path: str) -> tuple[int, str, str]:
+        """(status, content type, body) for a request path."""
+        parsed = urlparse(path)
+        params = {key: values[0] for key, values in parse_qs(parsed.query).items()}
+        try:
+            if parsed.path == "/":
+                return 200, "text/html; charset=utf-8", self._index(params)
+            if parsed.path == "/api/geos":
+                return self._json(sorted(self.study.states))
+            if parsed.path == "/api/timeline":
+                return self._json(self._timeline(params))
+            if parsed.path == "/api/spikes":
+                return self._json(self._spikes(params))
+            if parsed.path == "/api/outages":
+                return self._json(self._outages(params))
+        except (KeyError, ValueError, ReproError) as error:
+            return self._error(400, str(error))
+        return self._error(404, f"unknown path: {parsed.path}")
+
+    @staticmethod
+    def _json(payload: object, status: int = 200) -> tuple[int, str, str]:
+        return status, "application/json", json.dumps(payload, indent=1)
+
+    @classmethod
+    def _error(cls, status: int, message: str) -> tuple[int, str, str]:
+        return cls._json({"error": message}, status=status)
+
+    # -- endpoints -------------------------------------------------------------
+
+    def _state_result(self, params: dict[str, str]):
+        geo = params.get("geo")
+        if not geo:
+            raise ValueError("missing required parameter: geo")
+        result = self.study.states.get(geo)
+        if result is None:
+            raise ValueError(f"geography not in study: {geo}")
+        return result
+
+    def _window(self, params: dict[str, str], default: TimeWindow) -> TimeWindow:
+        start = params.get("start")
+        end = params.get("end")
+        if start is None and end is None:
+            return default
+        parse = lambda iso, fallback: (  # noqa: E731 - tiny local helper
+            ensure_grid(datetime.fromisoformat(iso).replace(tzinfo=timezone.utc))
+            if iso
+            else fallback
+        )
+        return TimeWindow(parse(start, default.start), parse(end, default.end))
+
+    def _timeline(self, params: dict[str, str]) -> dict:
+        result = self._state_result(params)
+        window = self._window(params, result.timeline.window)
+        sliced = result.timeline.slice(window)
+        return {
+            "geo": result.geo,
+            "term": sliced.term,
+            "start": sliced.start.isoformat(),
+            "hours": len(sliced),
+            "values": [round(float(v), 3) for v in sliced.values],
+        }
+
+    def _spikes(self, params: dict[str, str]) -> dict:
+        result = self._state_result(params)
+        min_hours = int(params.get("min_hours", 1))
+        spikes = [
+            spike.to_dict()
+            for spike in self.study.spikes.in_state(result.geo)
+            if spike.duration_hours >= min_hours
+        ]
+        return {"geo": result.geo, "count": len(spikes), "spikes": spikes}
+
+    def _outages(self, params: dict[str, str]) -> dict:
+        min_states = int(params.get("min_states", 1))
+        outages = [
+            {
+                "label": outage.label,
+                "states": sorted(outage.states),
+                "footprint": outage.footprint,
+                "max_duration_hours": outage.max_duration_hours,
+                "annotations": list(outage.annotations[:3]),
+            }
+            for outage in self.study.outages
+            if outage.footprint >= min_states
+        ]
+        return {"count": len(outages), "outages": outages}
+
+    def _index(self, params: dict[str, str]) -> str:
+        geo = params.get("geo") or next(iter(sorted(self.study.states)), "")
+        rows = [
+            "<!doctype html><html><head><title>SIFT</title></head><body>",
+            "<h1>SIFT &mdash; user-affecting Internet outages</h1>",
+            f"<p>{self.study.spike_count} spikes, {len(self.study.outages)} "
+            f"outages across {len(self.study.states)} geographies.</p>",
+        ]
+        result = self.study.states.get(geo)
+        if result is not None:
+            sketch = render_timeline(result.timeline.values, title="")
+            rows.append(f"<h2>{geo} timeline</h2><pre>{sketch}</pre>")
+            top = self.study.spikes.in_state(geo).top_by_duration(5)
+            rows.append("<h2>Top spikes</h2><ul>")
+            rows.extend(
+                f"<li>{spike.label} &mdash; {spike.duration_hours} h "
+                f"&mdash; {', '.join(spike.annotations) or 'unannotated'}</li>"
+                for spike in top
+            )
+            rows.append("</ul>")
+        rows.append("</body></html>")
+        return "".join(rows)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    app: SiftWebApp  # injected by serve()
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        status, content_type, body = self.app.handle_path(self.path)
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # keep pytest output clean
+
+
+def serve(
+    study: StudyResult, host: str = "127.0.0.1", port: int = 0
+) -> tuple[ThreadingHTTPServer, threading.Thread]:
+    """Serve a study over HTTP; returns (server, daemon thread).
+
+    ``port=0`` picks a free port (see ``server.server_address``).  Call
+    ``server.shutdown()`` to stop.
+    """
+    app = SiftWebApp(study)
+    handler = type("BoundHandler", (_Handler,), {"app": app})
+    server = ThreadingHTTPServer((host, port), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,50 @@
+"""Ground-truth search world: states, terms, events, and search volume.
+
+This subpackage is the *substrate* standing in for Google's search
+database and the real 2020-2021 US outage landscape.  The SIFT pipeline
+itself never imports from here except through the simulated Trends
+service — the separation mirrors the paper's situation, where ground
+truth is unobservable.
+"""
+
+from repro.world.behavior import BehaviorConfig, DEFAULT_BEHAVIOR, interest_shape
+from repro.world.catalog import (
+    HEAVY_HITTERS,
+    INTERNET_OUTAGE,
+    POWER_TERMS,
+    TERMS,
+    Category,
+    Term,
+    get_term,
+    resolve_phrase,
+)
+from repro.world.events import Cause, NewsRecord, OutageEvent, StateImpact
+from repro.world.population import SearchPopulation
+from repro.world.scenarios import Scenario, ScenarioConfig, headline_events
+from repro.world.states import ALL_CODES, STATES, State, get_state
+
+__all__ = [
+    "ALL_CODES",
+    "BehaviorConfig",
+    "Category",
+    "Cause",
+    "DEFAULT_BEHAVIOR",
+    "HEAVY_HITTERS",
+    "INTERNET_OUTAGE",
+    "NewsRecord",
+    "OutageEvent",
+    "POWER_TERMS",
+    "Scenario",
+    "ScenarioConfig",
+    "SearchPopulation",
+    "State",
+    "StateImpact",
+    "STATES",
+    "Term",
+    "TERMS",
+    "get_state",
+    "get_term",
+    "headline_events",
+    "interest_shape",
+    "resolve_phrase",
+]

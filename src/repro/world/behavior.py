@@ -1,0 +1,186 @@
+"""User search-behaviour model: from outage events to search volume.
+
+This module answers one question: *how many searches for term T happen
+in state S during hour H?*  The answer combines
+
+* a diurnal/weekly engagement curve in the state's local time,
+* a small per-capita baseline for each catalog term,
+* the interest contributed by ground-truth outage events, shaped by
+  :func:`interest_shape` (fast rise, slow decay while the problem
+  persists, sharp drop once it is resolved), and
+* deterministic multiplicative noise (hash-based, so any window can be
+  recomputed consistently).
+
+Scaling philosophy: outage-driven search volume scales with how many
+*users are affected and reach for the search box*, which the scenario
+encodes in each impact's ``intensity``.  One intensity unit corresponds
+to :data:`BehaviorConfig.unit_boost_volume` searches per hour at the
+spike peak, independent of state population — a tiny state with a bad
+outage produces a huge *relative* (and thus GT-indexed) spike, exactly
+the state-level normalization behaviour the paper describes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from datetime import timedelta
+
+import numpy as np
+
+from repro.timeutil import TimeWindow, hour_index
+from repro.world.catalog import INTERNET_OUTAGE, TERMS, Category, get_term
+from repro.world.events import OutageEvent
+from repro.world.states import get_state
+
+#: Relative popularity of each category's baseline search volume,
+#: as a per-capita searches-per-hour figure at the busiest local hour.
+_CATEGORY_BASE_PER_MILLION = {
+    Category.TRACKER: 0.8,
+    Category.ISP: 1.6,
+    Category.CLOUD: 0.25,
+    Category.APPLICATION: 6.0,
+    Category.CAUSE: 1.2,
+    Category.NOISE: 60.0,
+}
+
+#: How strongly an event boosts its *associated* terms relative to the
+#: tracked <Internet outage> topic itself.
+_ASSOCIATED_TERM_FACTOR = 0.85
+
+#: Spike interest never disappears instantly: after the underlying
+#: problem ends, interest collapses by this per-hour ratio for a few
+#: hours.  0.30 < 0.5 guarantees the detector's half-drop rule fires.
+_TAIL_RATIO = 0.30
+_TAIL_HOURS = 3
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BehaviorConfig:
+    """Tunables of the behaviour model."""
+
+    #: Total searches (all topics) per person per hour at the busiest hour.
+    engagement_per_capita: float = 0.10
+    #: Searches per hour contributed by one intensity unit at spike peak.
+    unit_boost_volume: float = 50.0
+    #: Sigma of the multiplicative log-normal noise on term volumes.
+    noise_sigma: float = 0.22
+    #: Floor on the diurnal modulation of outage-driven searches: people
+    #: do notice night outages, just less promptly.
+    night_response_floor: float = 0.35
+
+
+DEFAULT_BEHAVIOR = BehaviorConfig()
+
+
+@functools.lru_cache(maxsize=1)
+def diurnal_curve() -> np.ndarray:
+    """Relative engagement by local hour (0..23), peak 1.0 at ~20:00."""
+    hours = np.arange(24)
+    # Two-humped curve: daytime activity plus an evening leisure peak.
+    day = np.exp(-0.5 * ((hours - 14.0) / 4.5) ** 2)
+    evening = np.exp(-0.5 * ((hours - 20.0) / 2.5) ** 2)
+    curve = 0.18 + 0.55 * day + 0.75 * evening
+    return curve / curve.max()
+
+
+def local_diurnal(state_code: str, window: TimeWindow) -> np.ndarray:
+    """Diurnal engagement per UTC hour of *window*, in state-local time.
+
+    Computed via each UTC hour's local wall-clock hour, so daylight
+    saving transitions are handled by ``zoneinfo``.
+    """
+    state = get_state(state_code)
+    tz = state.tzinfo
+    curve = diurnal_curve()
+    values = np.empty(window.hours, dtype=np.float64)
+    moment = window.start
+    for i in range(window.hours):
+        values[i] = curve[moment.astimezone(tz).hour]
+        moment += timedelta(hours=1)
+    return values
+
+
+def interest_shape(interest_hours: int) -> np.ndarray:
+    """Spike interest envelope: rise, persist with slow decay, collapse.
+
+    Returns an array of ``interest_hours + _TAIL_HOURS`` relative values
+    with peak 1.0.  While the problem persists the per-hour decay ratio
+    stays above 0.5 (so the detector keeps walking), and the tail drops
+    at :data:`_TAIL_RATIO` per hour (so the half-drop rule terminates
+    the spike right at the end of user interest).
+    """
+    if interest_hours <= 0:
+        raise ValueError(f"interest_hours must be positive: {interest_hours}")
+    body = np.empty(interest_hours, dtype=np.float64)
+    body[0] = 0.6 if interest_hours > 1 else 1.0
+    if interest_hours > 1:
+        # Peak on the second block, then decay slowly over the event.
+        tau = 2.2 * interest_hours
+        decay = np.exp(-np.arange(interest_hours - 1) / tau)
+        body[1:] = decay
+    tail = body[-1] * _TAIL_RATIO ** np.arange(1, _TAIL_HOURS + 1)
+    return np.concatenate([body, tail])
+
+
+def event_boost(
+    event: OutageEvent,
+    term_name: str,
+    state_code: str,
+    window: TimeWindow,
+    config: BehaviorConfig = DEFAULT_BEHAVIOR,
+) -> np.ndarray | None:
+    """Hourly search-volume boost *event* adds to (term, state) in *window*.
+
+    Returns ``None`` when the event does not touch this term/state/window
+    so callers can skip the array work entirely.
+    """
+    impact = event.impact_on(state_code)
+    if impact is None:
+        return None
+    if term_name == INTERNET_OUTAGE.name:
+        factor = 1.0
+    elif term_name in event.terms:
+        factor = _ASSOCIATED_TERM_FACTOR
+    else:
+        return None
+    shape = interest_shape(impact.interest_hours)
+    onset_offset = hour_index(window.start, impact.onset)
+    lo = max(0, onset_offset)
+    hi = min(window.hours, onset_offset + shape.size)
+    if hi <= lo:
+        return None
+    boost = np.zeros(window.hours, dtype=np.float64)
+    boost[lo:hi] = shape[lo - onset_offset : hi - onset_offset]
+    boost *= impact.intensity * config.unit_boost_volume * factor
+    return boost
+
+
+#: Population pivot and exponent for baseline flattening.  Per-capita
+#: search interest in outage terms is mildly *higher* in small states
+#: (fewer alternative information channels, per-capita normalization of
+#: the real index) — sub-linear scaling keeps the privacy-threshold
+#: blip population from concentrating entirely in the largest states.
+_BASELINE_PIVOT = 5_000_000.0
+_BASELINE_FLATTENING = -0.2
+
+
+def term_baseline_per_hour(term_name: str, state_code: str) -> float:
+    """Busy-hour baseline volume for a term in a state (before diurnal)."""
+    term = get_term(term_name)
+    state = get_state(state_code)
+    per_million = _CATEGORY_BASE_PER_MILLION[term.category]
+    flattening = (state.population / _BASELINE_PIVOT) ** _BASELINE_FLATTENING
+    return per_million * flattening * state.population / 1_000_000.0
+
+
+def response_modulation(
+    state_code: str, window: TimeWindow, config: BehaviorConfig = DEFAULT_BEHAVIOR
+) -> np.ndarray:
+    """How promptly users translate an outage into searches, per hour."""
+    diurnal = local_diurnal(state_code, window)
+    return config.night_response_floor + (1.0 - config.night_response_floor) * diurnal
+
+
+def all_term_names() -> tuple[str, ...]:
+    return tuple(term.name for term in TERMS)

@@ -1,0 +1,185 @@
+"""Search-term catalog for the simulated search world.
+
+Google Trends distinguishes *search topics* (semantic clusters) from
+*search queries* (raw user inputs).  The catalog models both: every
+:class:`Term` is a topic with a canonical name, a category, and the raw
+query variants users actually type.  The variants feed two places:
+
+* the world simulator emits rising *queries* (like the paper's
+  ``<spectrum internet outage>``, ``<is verizon down>``), and
+* SIFT's context stage must cluster those variants back onto one topic,
+  exactly the job the paper solves with pre-trained word vectors.
+
+The ``HEAVY_HITTERS`` set reflects the paper's finding that a few dozen
+terms dominate the rising suggestions (Power outage, Xfinity, Spectrum,
+Comcast, AT&T, Cox Communications, Verizon, Electric power, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import UnknownTermError
+
+
+class Category(enum.Enum):
+    """Coarse semantic category of a search topic."""
+
+    TRACKER = "tracker"  # the tracked topic itself (<Internet outage>)
+    ISP = "isp"  # network providers
+    CLOUD = "cloud"  # CDN / cloud / backbone providers
+    APPLICATION = "application"  # consumer applications
+    CAUSE = "cause"  # root-cause terms (power, weather, ...)
+    NOISE = "noise"  # background terms unrelated to outages
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Term:
+    """One search topic with its raw query variants."""
+
+    name: str  # canonical topic name, e.g. "Verizon"
+    category: Category
+    variants: tuple[str, ...] = ()  # raw queries mapping to this topic
+
+    def all_phrasings(self) -> tuple[str, ...]:
+        """Canonical name first, then every raw variant."""
+        return (self.name, *self.variants)
+
+
+def _isp(name: str, *variants: str) -> Term:
+    return Term(name, Category.ISP, variants)
+
+
+def _cloud(name: str, *variants: str) -> Term:
+    return Term(name, Category.CLOUD, variants)
+
+
+def _app(name: str, *variants: str) -> Term:
+    return Term(name, Category.APPLICATION, variants)
+
+
+def _cause(name: str, *variants: str) -> Term:
+    return Term(name, Category.CAUSE, variants)
+
+
+def _noise(name: str, *variants: str) -> Term:
+    return Term(name, Category.NOISE, variants)
+
+
+#: The topic SIFT tracks, i.e. the paper's ``<Internet outage>``.
+INTERNET_OUTAGE = Term(
+    "Internet outage",
+    Category.TRACKER,
+    (
+        "internet outage",
+        "internet down",
+        "is my internet down",
+        "internet not working",
+        "no internet",
+        "wifi down",
+        "internet outage near me",
+    ),
+)
+
+TERMS: tuple[Term, ...] = (
+    INTERNET_OUTAGE,
+    # --- network providers -------------------------------------------------
+    _isp("Spectrum", "spectrum outage", "spectrum internet outage", "is spectrum down"),
+    _isp("Xfinity", "xfinity outage", "xfinity down", "is xfinity down"),
+    _isp("Comcast", "comcast outage", "comcast down", "comcast internet outage"),
+    _isp("AT&T", "att outage", "at&t outage", "att down", "is att down"),
+    _isp("Verizon", "verizon outage", "is verizon down", "verizon down", "verizon fios outage"),
+    _isp("Cox Communications", "cox outage", "cox internet outage", "is cox down"),
+    _isp("CenturyLink", "centurylink outage", "centurylink down", "is centurylink down"),
+    _isp("T-Mobile", "t-mobile outage", "tmobile down", "is tmobile down", "t mobile outage"),
+    _isp("Metro PCS", "metro pcs outage", "metropcs down", "metro pcs not working"),
+    _isp("Frontier", "frontier outage", "frontier internet down"),
+    _isp("Optimum", "optimum outage", "optimum down"),
+    _isp("Windstream", "windstream outage", "windstream down"),
+    _isp("Mediacom", "mediacom outage", "mediacom down"),
+    _isp("Suddenlink", "suddenlink outage", "suddenlink down"),
+    # --- cloud / CDN providers ---------------------------------------------
+    _cloud("Akamai", "akamai outage", "akamai down", "dns outage"),
+    _cloud("Cloudflare", "cloudflare outage", "cloudflare down", "is cloudflare down"),
+    _cloud("Fastly", "fastly outage", "fastly down", "websites down"),
+    _cloud("AWS", "aws outage", "aws down", "amazon web services outage"),
+    # --- consumer applications ----------------------------------------------
+    _app("Facebook", "facebook down", "facebook outage", "is facebook down", "instagram down"),
+    _app("Youtube", "youtube down", "youtube outage", "is youtube down", "youtube not loading"),
+    _app("Netflix", "netflix down", "netflix outage", "is netflix down"),
+    _app("Zoom", "zoom down", "zoom outage", "is zoom down"),
+    # --- root causes ---------------------------------------------------------
+    _cause(
+        "Power outage",
+        "power outage",
+        "power outage near me",
+        "power out",
+        "electricity out",
+        "san jose power outage",
+    ),
+    _cause("Electric power", "electric power", "power company", "power grid"),
+    _cause("Thunderstorm", "thunderstorm", "storm damage", "lightning storm"),
+    _cause("Winter storm", "winter storm", "ice storm", "snow storm",
+           "february 13-17, 2021 north american winter storm"),
+    _cause("Wildfire", "wildfire", "fire evacuation", "california wildfires"),
+    _cause("Heat wave", "heat wave", "rolling blackouts", "heat advisory"),
+    _cause("Hurricane", "hurricane", "tropical storm"),
+    _cause("Tornado", "tornado", "tornado warning"),
+    # --- background noise (candidate rising terms unrelated to outages) -----
+    _noise("Weather", "weather", "weather tomorrow"),
+    _noise("News", "news", "breaking news"),
+    _noise("Speed test", "speed test", "internet speed test"),
+    _noise("Router", "router reset", "restart router", "modem lights"),
+)
+
+_BY_NAME = {term.name: term for term in TERMS}
+_BY_PHRASE = {
+    phrase.lower(): term for term in TERMS for phrase in term.all_phrasings()
+}
+
+#: The paper: "only 33 of the 6655 search terms suggested comprise half
+#: of the overall suggestions".  These canonical names are the
+#: prioritized heavy-hitters listed in §3.4.
+HEAVY_HITTERS: frozenset[str] = frozenset(
+    {
+        "Power outage",
+        "Xfinity",
+        "Spectrum",
+        "Comcast",
+        "AT&T",
+        "Cox Communications",
+        "Verizon",
+        "Electric power",
+        "T-Mobile",
+        "CenturyLink",
+    }
+)
+
+#: Terms whose annotation marks a spike as power-related (Fig. 6).
+POWER_TERMS: frozenset[str] = frozenset({"Power outage", "Electric power"})
+
+
+def get_term(name: str) -> Term:
+    """Look up a topic by canonical name."""
+    term = _BY_NAME.get(name)
+    if term is None:
+        raise UnknownTermError(name)
+    return term
+
+
+def resolve_phrase(phrase: str) -> Term | None:
+    """Map a raw query phrase onto its topic, if the catalog knows it."""
+    return _BY_PHRASE.get(phrase.strip().lower())
+
+
+def terms_in_category(category: Category) -> tuple[Term, ...]:
+    return tuple(term for term in TERMS if term.category is category)
+
+
+def is_heavy_hitter(name: str) -> bool:
+    return name in HEAVY_HITTERS
+
+
+def is_power_term(name: str) -> bool:
+    return name in POWER_TERMS

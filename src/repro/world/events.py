@@ -1,0 +1,183 @@
+"""Ground-truth outage events for the simulated search world.
+
+An :class:`OutageEvent` is what *actually happened*: which states were
+affected, when, for how long user interest persisted, how intense it
+was, what caused it, and which search terms users reached for.  The
+behaviour model (:mod:`repro.world.behavior`) turns events into search
+volume; the SIFT pipeline never sees events directly — it must recover
+them from the simulated Trends service, which is exactly the paper's
+setting except that here a ground truth exists to validate against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from datetime import datetime, timedelta
+
+from repro.errors import ConfigurationError
+from repro.timeutil import TimeWindow, ensure_grid
+from repro.world.states import get_state
+
+
+class Cause(enum.Enum):
+    """Root cause of a ground-truth outage event."""
+
+    ISP = "isp"  # fixed-line provider network failure
+    MOBILE = "mobile"  # mobile-carrier network failure
+    CLOUD = "cloud"  # CDN / cloud / DNS provider failure
+    APPLICATION = "application"  # application-layer failure (backend, buffering)
+    POWER_WEATHER = "power-weather"  # weather-driven power outage
+    POWER_GRID = "power-grid"  # non-weather grid failure
+    OTHER = "other"  # anything else (fiber cuts, human error, ...)
+
+    @property
+    def is_power_related(self) -> bool:
+        return self in (Cause.POWER_WEATHER, Cause.POWER_GRID)
+
+
+#: Causes that take end-host address blocks offline and are therefore
+#: observable by ANT-style active probing.  Application/CDN/DNS problems
+#: leave hosts ping-responsive (the paper's Akamai and Youtube cases),
+#: and mobile-network failures are invisible because mobile nodes do not
+#: answer probes in the first place (the T-Mobile case).
+NETWORK_VISIBLE_CAUSES: frozenset[Cause] = frozenset(
+    {Cause.ISP, Cause.POWER_WEATHER, Cause.POWER_GRID, Cause.OTHER}
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NewsRecord:
+    """A machine-readable stand-in for the paper's manual news checks."""
+
+    headline: str
+    source: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class StateImpact:
+    """One event's effect on one state.
+
+    Attributes:
+        state: two-letter state code.
+        start: UTC hour when user interest begins to rise.
+        interest_hours: how long user interest persists.  This maps
+            (approximately) onto the spike duration SIFT should measure.
+        intensity: peak search-rate boost as a multiple of the state's
+            typical busy-hour interest in the tracked topic.  1.0 is a
+            barely-detectable blip; the Texas winter storm is ~40.
+        lag_hours: onset delay relative to the event's nominal start
+            (models the paper's observation of lagged spikes for leisure
+            applications across timezones).
+    """
+
+    state: str
+    start: datetime
+    interest_hours: int
+    intensity: float
+    lag_hours: int = 0
+
+    def __post_init__(self) -> None:
+        get_state(self.state)  # raises UnknownGeoError on bad codes
+        ensure_grid(self.start)
+        if self.interest_hours <= 0:
+            raise ConfigurationError(
+                f"interest_hours must be positive: {self.interest_hours}"
+            )
+        if self.intensity <= 0:
+            raise ConfigurationError(f"intensity must be positive: {self.intensity}")
+        if self.lag_hours < 0:
+            raise ConfigurationError(f"lag_hours must be >= 0: {self.lag_hours}")
+
+    @property
+    def onset(self) -> datetime:
+        return self.start + timedelta(hours=self.lag_hours)
+
+    @property
+    def window(self) -> TimeWindow:
+        """Hours during which this impact contributes search interest."""
+        return TimeWindow(
+            self.onset, self.onset + timedelta(hours=self.interest_hours)
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class OutageEvent:
+    """A ground-truth user-affecting outage."""
+
+    event_id: str
+    name: str
+    cause: Cause
+    impacts: tuple[StateImpact, ...]
+    terms: tuple[str, ...]  # canonical catalog topics users search alongside
+    news: NewsRecord | None = None
+
+    def __post_init__(self) -> None:
+        if not self.impacts:
+            raise ConfigurationError(f"event {self.event_id!r} affects no state")
+        codes = [impact.state for impact in self.impacts]
+        if len(set(codes)) != len(codes):
+            raise ConfigurationError(
+                f"event {self.event_id!r} lists a state twice: {codes}"
+            )
+
+    @property
+    def network_visible(self) -> bool:
+        """Whether ANT-style active probing can observe this event."""
+        return self.cause in NETWORK_VISIBLE_CAUSES
+
+    @property
+    def states(self) -> tuple[str, ...]:
+        return tuple(impact.state for impact in self.impacts)
+
+    @property
+    def footprint(self) -> int:
+        """Number of distinct affected states."""
+        return len(self.impacts)
+
+    @property
+    def start(self) -> datetime:
+        return min(impact.onset for impact in self.impacts)
+
+    @property
+    def end(self) -> datetime:
+        return max(impact.window.end for impact in self.impacts)
+
+    @property
+    def max_interest_hours(self) -> int:
+        return max(impact.interest_hours for impact in self.impacts)
+
+    @property
+    def peak_intensity(self) -> float:
+        return max(impact.intensity for impact in self.impacts)
+
+    def impact_on(self, state: str) -> StateImpact | None:
+        for impact in self.impacts:
+            if impact.state == state:
+                return impact
+        return None
+
+    def overlaps(self, window: TimeWindow) -> bool:
+        """Whether any impact contributes interest inside *window*."""
+        return any(impact.window.overlaps(window) for impact in self.impacts)
+
+
+def uniform_impacts(
+    states: tuple[str, ...],
+    start: datetime,
+    interest_hours: int,
+    intensity: float,
+    lag_hours: dict[str, int] | None = None,
+) -> tuple[StateImpact, ...]:
+    """Build identical impacts for several states (helper for scenarios)."""
+    lags = lag_hours or {}
+    return tuple(
+        StateImpact(
+            state=code,
+            start=start,
+            interest_hours=interest_hours,
+            intensity=intensity,
+            lag_hours=lags.get(code, 0),
+        )
+        for code in states
+    )

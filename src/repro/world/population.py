@@ -1,0 +1,166 @@
+"""The synthetic Google search database.
+
+:class:`SearchPopulation` is the ground-truth population the simulated
+Trends service samples from: expected hourly search volumes for every
+(term, state, hour) triple, plus the total all-topics search volume the
+proportions are taken against.
+
+Volumes are *expected values* (floats); the integer randomness of real
+user behaviour is folded into the service's per-request sampling, which
+is where Google Trends' own sampling error comes from.  Per-hour
+deterministic noise (hash-based log-normal) models organic popularity
+wobble that re-fetching cannot average away — the distinction matters:
+re-fetch averaging (paper §3.2) reduces *sampling* error only.
+
+Full-span series per (term, state) are computed once and cached; every
+windowed query is a cheap slice.  At paper scale one cached series is
+~140 KB, so even touching every catalog term in every state stays well
+under a gigabyte; an LRU bound keeps casual use far below that.
+"""
+
+from __future__ import annotations
+
+import collections
+from datetime import datetime
+
+import numpy as np
+
+from repro.errors import UnknownTermError
+from repro.rand import hashed_normal, stable_key
+from repro.timeutil import TimeWindow, hour_index
+from repro.world.behavior import (
+    DEFAULT_BEHAVIOR,
+    BehaviorConfig,
+    event_boost,
+    local_diurnal,
+    response_modulation,
+    term_baseline_per_hour,
+)
+from repro.world.catalog import get_term
+from repro.world.scenarios import Scenario
+from repro.world.states import get_state
+
+_CACHE_LIMIT = 512
+
+
+class SearchPopulation:
+    """Expected search volumes over a scenario's window."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        behavior: BehaviorConfig = DEFAULT_BEHAVIOR,
+        noise_seed: int = 7,
+    ) -> None:
+        self.scenario = scenario
+        self.behavior = behavior
+        self.noise_seed = noise_seed
+        self._span = scenario.window
+        self._series_cache: collections.OrderedDict[tuple[str, str], np.ndarray] = (
+            collections.OrderedDict()
+        )
+        self._diurnal_cache: dict[str, np.ndarray] = {}
+        self._response_cache: dict[str, np.ndarray] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def window(self) -> TimeWindow:
+        return self._span
+
+    def term_volume(
+        self, term_name: str, state_code: str, window: TimeWindow
+    ) -> np.ndarray:
+        """Expected hourly search volume for a term in a state."""
+        get_term(term_name)  # raise UnknownTermError early
+        full = self._full_series(term_name, get_state(state_code).code)
+        lo, hi = self._clip(window)
+        return full[lo:hi].copy()
+
+    def total_volume(self, state_code: str, window: TimeWindow) -> np.ndarray:
+        """Expected hourly volume of *all* searches in a state."""
+        state = get_state(state_code)
+        diurnal = self._diurnal(state.code)
+        lo, hi = self._clip(window)
+        base = state.population * self.behavior.engagement_per_capita
+        return base * diurnal[lo:hi]
+
+    def proportion(
+        self, term_name: str, state_code: str, window: TimeWindow
+    ) -> np.ndarray:
+        """Hourly share of the term among all searches (GT's raw metric)."""
+        volume = self.term_volume(term_name, state_code, window)
+        total = self.total_volume(state_code, window)
+        return volume / total
+
+    def volumes_matrix(
+        self, term_names: tuple[str, ...], state_code: str, window: TimeWindow
+    ) -> np.ndarray:
+        """Stacked term volumes, shape ``(len(term_names), window.hours)``."""
+        rows = [self.term_volume(name, state_code, window) for name in term_names]
+        return np.vstack(rows) if rows else np.empty((0, window.hours))
+
+    # -- internals ------------------------------------------------------------
+
+    def _clip(self, window: TimeWindow) -> tuple[int, int]:
+        lo = hour_index(self._span.start, window.start)
+        hi = hour_index(self._span.start, window.end)
+        if lo < 0 or hi > self._span.hours:
+            raise ValueError(
+                f"window {window.start}..{window.end} outside scenario span"
+            )
+        return lo, hi
+
+    def _diurnal(self, code: str) -> np.ndarray:
+        series = self._diurnal_cache.get(code)
+        if series is None:
+            series = local_diurnal(code, self._span)
+            self._diurnal_cache[code] = series
+        return series
+
+    def _response(self, code: str) -> np.ndarray:
+        series = self._response_cache.get(code)
+        if series is None:
+            series = response_modulation(code, self._span, self.behavior)
+            self._response_cache[code] = series
+        return series
+
+    def _full_series(self, term_name: str, code: str) -> np.ndarray:
+        key = (term_name, code)
+        cached = self._series_cache.get(key)
+        if cached is not None:
+            self._series_cache.move_to_end(key)
+            return cached
+        series = self._compute_series(term_name, code)
+        self._series_cache[key] = series
+        if len(self._series_cache) > _CACHE_LIMIT:
+            self._series_cache.popitem(last=False)
+        return series
+
+    def _compute_series(self, term_name: str, code: str) -> np.ndarray:
+        hours = self._span.hours
+        baseline = term_baseline_per_hour(term_name, code) * self._diurnal(code)
+        noise_key = stable_key(self.noise_seed, term_name, code)
+        noise = np.exp(
+            self.behavior.noise_sigma * hashed_normal(noise_key, np.arange(hours))
+        )
+        series = baseline * noise
+        response = self._response(code)
+        for event in self.scenario.events_in_state(code):
+            boost = event_boost(event, term_name, code, self._span, self.behavior)
+            if boost is not None:
+                series = series + boost * response
+        return series
+
+    # -- ground-truth helpers (for validation, never used by the pipeline) ----
+
+    def expected_peak(
+        self, term_name: str, state_code: str, around: datetime, radius_hours: int = 6
+    ) -> float:
+        """Max expected volume near a moment — handy in tests."""
+        lo_idx = max(0, hour_index(self._span.start, around) - radius_hours)
+        hi_idx = min(
+            self._span.hours, hour_index(self._span.start, around) + radius_hours
+        )
+        full = self._full_series(term_name, get_state(state_code).code)
+        return float(full[lo_idx:hi_idx].max()) if hi_idx > lo_idx else 0.0

@@ -1,0 +1,770 @@
+"""Scenario generator: the 2020-2021 US outage landscape.
+
+A :class:`Scenario` is the complete ground truth the simulated Trends
+service is built on: the paper's *headline* events (Texas winter storm,
+CA wildfires, T-Mobile, Akamai, Facebook, ...) plus a calibrated
+stochastic *background* outage process that reproduces the paper's
+distributional findings:
+
+* ~49 000 spikes over two years, slightly more in 2020 than 2021;
+* the top-10 states host about half of all spikes;
+* ~10% of spikes last >= 3 hours, ~3.5% last >= 5 hours;
+* ~11% of grouped outages span >= 10 states;
+* power-related causes dominate the long spikes (~73% of >= 5 h);
+* a weekday/weekend imbalance (fewer outages on weekends);
+* outlier months: California Aug/Sep 2020 (wildfires, heat waves) and
+  Texas Jan/Feb 2021 (winter storms).
+
+The generator is fully deterministic given a seed.  ``background_scale``
+shrinks the background event rate so tests and benchmarks can run the
+*entire* pipeline in seconds while preserving every distributional
+shape; the full paper-scale study is ``background_scale=1.0``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.timeutil import TimeWindow, utc
+from repro.world.events import Cause, NewsRecord, OutageEvent, StateImpact, uniform_impacts
+from repro.world.states import ALL_CODES, CODES_BY_POPULATION, STATES
+
+# --------------------------------------------------------------------------
+# Calibration constants (tuned against the paper's reported shapes).
+# --------------------------------------------------------------------------
+
+#: Background events per day at paper scale.  With a mean footprint of
+#: ~2.4 states per event this yields on the order of 49 000 state-level
+#: spikes over the two-year study window.
+_BASE_EVENTS_PER_DAY = 20.0
+
+#: Year-level modulation: the paper counts 25 494 spikes in 2020 versus
+#: 23 695 in 2021.
+_YEAR_RATE = {2020: 1.04, 2021: 0.96}
+
+#: Day-of-week modulation (Mon..Sun).  The paper's Fig. 4 shows a dip on
+#: weekends, conjectured to come from less service-side human error.
+_DOW_RATE = (1.06, 1.08, 1.07, 1.06, 1.04, 0.86, 0.83)
+
+#: Footprint distribution over background events: most outages are
+#: single-state, a minority are regional, and a deliberate tail of
+#: broad (>= 10 states) events reproduces Fig. 5's 11%.
+_FOOTPRINT_BUCKETS = (
+    (0.78, (1, 1)),  # single state
+    (0.12, (2, 9)),  # regional
+    (0.10, (10, 35)),  # broad / national
+)
+
+#: Duration (hours of user interest) mixture for background events.
+#: Calibrated so ~10% of spikes are >= 3 h and ~3.5% are >= 5 h (Fig. 3
+#: right, and the Fig. 6 caption).  The >=5 h tail extends to the
+#: mid-40s like the Texas winter storm.
+_DURATION_BUCKETS = (
+    (0.715, (1, 1)),
+    (0.212, (2, 2)),
+    (0.032, (3, 3)),
+    (0.016, (4, 4)),
+    (0.014, (5, 7)),
+    (0.008, (8, 16)),
+    (0.003, (17, 45)),
+)
+
+#: Extra weight on long durations in 2020: the paper reports 50% more
+#: long-lasting (>= 5 h) spikes in 2020 than in 2021.
+_LONG_TAIL_YEAR_BOOST = {2020: 1.25, 2021: 0.85}
+
+#: Cause mix for background events, by duration class.  Long-lasting
+#: interest is dominated by power/weather problems (73% of >= 5 h
+#: spikes carry a power annotation in the paper).
+_CAUSE_MIX_SHORT = (
+    (Cause.ISP, 0.52),
+    (Cause.MOBILE, 0.08),
+    (Cause.CLOUD, 0.07),
+    (Cause.APPLICATION, 0.09),
+    (Cause.POWER_WEATHER, 0.13),
+    (Cause.POWER_GRID, 0.05),
+    (Cause.OTHER, 0.06),
+)
+_CAUSE_MIX_LONG = (
+    (Cause.ISP, 0.05),
+    (Cause.MOBILE, 0.01),
+    (Cause.CLOUD, 0.01),
+    (Cause.APPLICATION, 0.01),
+    (Cause.POWER_WEATHER, 0.73),
+    (Cause.POWER_GRID, 0.17),
+    (Cause.OTHER, 0.02),
+)
+
+#: Broad (>= 10 state) events are service-side: provider, cloud or
+#: application failures rather than local power problems.
+_CAUSE_MIX_BROAD = (
+    (Cause.ISP, 0.45),
+    (Cause.MOBILE, 0.10),
+    (Cause.CLOUD, 0.22),
+    (Cause.APPLICATION, 0.18),
+    (Cause.OTHER, 0.05),
+)
+
+#: State attractiveness exponent: spike counts skew toward populous
+#: states but sub-linearly (state-level GT normalization means the
+#: imbalance is not purely population, per the paper's §4.1).
+_STATE_WEIGHT_EXPONENT = 1.15
+
+#: Outlier clusters driving Fig. 6: (state, first day, last day,
+#: extra long power events per day).  Wildfire/heat-wave season in
+#: California 2020 and the Texas winter storms of early 2021.
+_POWER_CLUSTERS = (
+    ("CA", utc(2020, 8, 14), utc(2020, 9, 30), 2.5, "Wildfire"),
+    ("CA", utc(2020, 9, 5), utc(2020, 9, 12), 2.0, "Heat wave"),
+    ("TX", utc(2021, 1, 9), utc(2021, 2, 1), 2.0, "Winter storm"),
+    ("TX", utc(2021, 2, 10), utc(2021, 2, 25), 3.0, "Winter storm"),
+)
+
+#: ISP terms a background provider outage can surface, with rough
+#: national popularity weights (heavy-hitters first).
+_ISP_TERM_WEIGHTS = (
+    ("Xfinity", 0.17),
+    ("Spectrum", 0.16),
+    ("Comcast", 0.14),
+    ("AT&T", 0.13),
+    ("Verizon", 0.12),
+    ("Cox Communications", 0.08),
+    ("CenturyLink", 0.06),
+    ("Frontier", 0.04),
+    ("Optimum", 0.04),
+    ("Windstream", 0.02),
+    ("Mediacom", 0.02),
+    ("Suddenlink", 0.02),
+)
+_MOBILE_TERMS = ("T-Mobile", "Metro PCS")
+_CLOUD_TERMS = ("Akamai", "Cloudflare", "Fastly", "AWS")
+_APP_TERMS = ("Facebook", "Youtube", "Netflix", "Zoom")
+
+#: Weather terms by meteorological season (Dec-Feb, Mar-May, ...).
+_SEASON_WEATHER = {
+    0: ("Winter storm", "Thunderstorm"),
+    1: ("Thunderstorm", "Tornado"),
+    2: ("Thunderstorm", "Heat wave", "Hurricane", "Wildfire"),
+    3: ("Thunderstorm", "Hurricane", "Winter storm"),
+}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ScenarioConfig:
+    """Parameters of a generated scenario."""
+
+    start: datetime = utc(2020, 1, 1)
+    end: datetime = utc(2022, 1, 1)
+    seed: int = 20221025  # IMC'22 first day; any integer works
+    background_scale: float = 1.0
+    include_headline_events: bool = True
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError("scenario end must follow start")
+        if not 0.0 <= self.background_scale <= 4.0:
+            raise ConfigurationError(
+                f"background_scale out of range: {self.background_scale}"
+            )
+
+    @property
+    def window(self) -> TimeWindow:
+        return TimeWindow(self.start, self.end)
+
+
+class Scenario:
+    """Ground truth: a window plus every outage event inside it."""
+
+    def __init__(self, config: ScenarioConfig, events: tuple[OutageEvent, ...]):
+        self.config = config
+        self.events = events
+        self._by_state: dict[str, list[OutageEvent]] = {}
+        for event in events:
+            for code in event.states:
+                self._by_state.setdefault(code, []).append(event)
+
+    @property
+    def window(self) -> TimeWindow:
+        return self.config.window
+
+    def events_in_state(self, state: str) -> tuple[OutageEvent, ...]:
+        return tuple(self._by_state.get(state, ()))
+
+    def events_overlapping(self, window: TimeWindow) -> tuple[OutageEvent, ...]:
+        return tuple(event for event in self.events if event.overlaps(window))
+
+    @property
+    def total_impacts(self) -> int:
+        """Total state-level impact count (upper bound on SIFT spikes)."""
+        return sum(event.footprint for event in self.events)
+
+    @classmethod
+    def build(cls, config: ScenarioConfig | None = None) -> "Scenario":
+        config = config or ScenarioConfig()
+        events: list[OutageEvent] = []
+        if config.include_headline_events:
+            events.extend(
+                event
+                for event in headline_events()
+                if event.overlaps(config.window)
+            )
+        if config.background_scale > 0:
+            events.extend(_background_events(config))
+        events.sort(key=lambda event: (event.start, event.event_id))
+        return cls(config, tuple(events))
+
+
+# --------------------------------------------------------------------------
+# Headline events: the paper's named, news-verified outages.
+# --------------------------------------------------------------------------
+
+def _broad_states(rng_seed: int, count: int, include: tuple[str, ...]) -> tuple[str, ...]:
+    """Deterministically pick *count* states, preferring populous ones."""
+    rng = np.random.default_rng(rng_seed)
+    chosen = list(include)
+    pool = [code for code in CODES_BY_POPULATION if code not in chosen]
+    weights = np.array(
+        [0.97**rank for rank, _ in enumerate(pool)], dtype=np.float64
+    )
+    weights /= weights.sum()
+    extra = rng.choice(len(pool), size=count - len(chosen), replace=False, p=weights)
+    chosen.extend(pool[i] for i in sorted(extra))
+    return tuple(chosen[:count])
+
+
+def headline_events() -> tuple[OutageEvent, ...]:
+    """The named outages behind the paper's Tables 1-3 and Figs. 1 and 6.
+
+    Spike times, durations and footprints follow the tables; states
+    beyond the anchor ones are picked deterministically by population.
+    """
+    events: list[OutageEvent] = []
+
+    def add(
+        event_id: str,
+        name: str,
+        cause: Cause,
+        impacts: tuple[StateImpact, ...],
+        terms: tuple[str, ...],
+        headline: str,
+        source: str,
+    ) -> None:
+        events.append(
+            OutageEvent(
+                event_id=event_id,
+                name=name,
+                cause=cause,
+                impacts=impacts,
+                terms=terms,
+                news=NewsRecord(headline, source),
+            )
+        )
+
+    # ---- Table 1: most impactful by duration --------------------------------
+    add(
+        "hl-tx-winter-storm",
+        "Texas winter storm power crisis",
+        Cause.POWER_WEATHER,
+        (
+            StateImpact("TX", utc(2021, 2, 15, 10), 45, 42.0),
+            StateImpact("OK", utc(2021, 2, 15, 11), 17, 7.0),
+            StateImpact("LA", utc(2021, 2, 15, 13), 14, 5.5),
+            StateImpact("MS", utc(2021, 2, 15, 14), 11, 4.0),
+            StateImpact("AR", utc(2021, 2, 15, 13), 10, 3.5),
+        ),
+        ("Power outage", "Winter storm", "Spectrum", "AT&T", "T-Mobile", "Electric power"),
+        "Networks are struggling in Texas amid historic winter storms",
+        "The Verge",
+    )
+    add(
+        "hl-ca-xfinity",
+        "Xfinity outage across California",
+        Cause.ISP,
+        (
+            StateImpact("CA", utc(2021, 11, 9, 4), 23, 17.0),
+            StateImpact("WA", utc(2021, 11, 9, 5), 9, 4.0),
+            StateImpact("OR", utc(2021, 11, 9, 5), 8, 3.5),
+        ),
+        ("Xfinity", "Comcast"),
+        "Comcast Xfinity internet outage hits customers across the US",
+        "CNN",
+    )
+    add(
+        "hl-fastly",
+        "Fastly global CDN outage",
+        Cause.CLOUD,
+        (StateImpact("CA", utc(2021, 6, 8, 9), 22, 14.0),)
+        + uniform_impacts(
+            tuple(
+                code
+                for code in _broad_states(
+                    rng_seed=8621, count=26, include=("CA", "NY", "TX", "FL", "WA")
+                )
+                if code != "CA"
+            ),
+            utc(2021, 6, 8, 9),
+            3,
+            9.0,
+        ),
+        ("Fastly",),
+        "Massive internet outage: websites and apps around the world go dark",
+        "CNN",
+    )
+    add(
+        "hl-tn-att",
+        "AT&T outage after Nashville bombing",
+        Cause.ISP,
+        (
+            StateImpact("TN", utc(2020, 12, 26, 12), 21, 16.0),
+            StateImpact("KY", utc(2020, 12, 26, 14), 9, 4.5),
+            StateImpact("AL", utc(2020, 12, 26, 15), 8, 4.0),
+            StateImpact("GA", utc(2020, 12, 26, 15), 6, 3.0),
+        ),
+        ("AT&T", "Power outage"),
+        "AT&T outage Sunday updates: progress continues after Nashville bombing",
+        "Tennessean",
+    )
+    add(
+        "hl-ga-comcast",
+        "Comcast outage in Georgia during tropical storm Zeta",
+        Cause.POWER_WEATHER,
+        (
+            StateImpact("GA", utc(2020, 10, 29, 9), 20, 13.0),
+            StateImpact("AL", utc(2020, 10, 29, 8), 9, 4.5),
+            StateImpact("SC", utc(2020, 10, 29, 11), 7, 3.5),
+        ),
+        ("Comcast", "Power outage", "Hurricane", "Xfinity"),
+        "Tropical storm Zeta causes disruptions in Georgia",
+        "Crisis24",
+    )
+    add(
+        "hl-tmobile",
+        "T-Mobile nationwide voice and data outage",
+        Cause.MOBILE,
+        (StateImpact("CA", utc(2020, 6, 15, 14), 19, 12.0),)
+        + uniform_impacts(
+            tuple(
+                code
+                for code in _broad_states(
+                    rng_seed=615, count=23, include=("CA", "TX", "FL", "NY")
+                )
+                if code != "CA"
+            ),
+            utc(2020, 6, 15, 14),
+            4,
+            8.0,
+        ),
+        ("T-Mobile", "Metro PCS"),
+        "June 15, 2020 T-Mobile network outage report",
+        "Benton Institute",
+    )
+    add(
+        "hl-nc-centurylink",
+        "CenturyLink outage in North Carolina",
+        Cause.ISP,
+        (
+            StateImpact("NC", utc(2020, 4, 13, 11), 18, 11.0),
+            StateImpact("VA", utc(2020, 4, 13, 12), 6, 3.0),
+        ),
+        ("CenturyLink",),
+        "Outages spike in late April as COVID-19 trends strain internet",
+        "S&P Global",
+    )
+
+    # ---- Table 2: most extensive by footprint -------------------------------
+    add(
+        "hl-akamai",
+        "Akamai Edge DNS outage",
+        Cause.CLOUD,
+        uniform_impacts(
+            _broad_states(rng_seed=722, count=34, include=("CA", "TX", "NY", "FL", "CO")),
+            utc(2021, 7, 22, 14),
+            3,
+            10.0,
+        ),
+        ("Akamai",),
+        "What led to internet outage that took down some major websites on July 22",
+        "Republic World",
+    )
+    add(
+        "hl-cloudflare",
+        "Cloudflare backbone outage",
+        Cause.OTHER,
+        uniform_impacts(
+            _broad_states(rng_seed=717, count=30, include=("CA", "NY", "TX", "IL")),
+            utc(2020, 7, 17, 19),
+            3,
+            9.5,
+        ),
+        ("Cloudflare",),
+        "Cloudflare outage on July 17, 2020",
+        "Cloudflare blog",
+    )
+    # Facebook spiked in every state; 29 states spiked at the outage hour
+    # while 22 lagged behind local daytime (paper §4.2).
+    facebook_prompt = _broad_states(
+        rng_seed=104, count=29, include=("CA", "NY", "TX", "FL", "IL")
+    )
+    facebook_lagged = tuple(
+        code for code in ALL_CODES if code not in facebook_prompt
+    )
+    add(
+        "hl-facebook",
+        "Facebook BGP withdrawal outage",
+        Cause.APPLICATION,
+        uniform_impacts(facebook_prompt, utc(2021, 10, 4, 15), 4, 11.0)
+        + uniform_impacts(
+            facebook_lagged,
+            utc(2021, 10, 4, 15),
+            3,
+            3.0,
+            lag_hours={code: 3 + (i % 3) for i, code in enumerate(facebook_lagged)},
+        ),
+        ("Facebook",),
+        "Update about the October 4th outage",
+        "Meta engineering",
+    )
+    add(
+        "hl-verizon",
+        "Verizon East Coast outage",
+        Cause.ISP,
+        uniform_impacts(
+            _broad_states(
+                rng_seed=126,
+                count=27,
+                include=("NY", "NJ", "PA", "VA", "MA", "TX"),
+            ),
+            utc(2021, 1, 26, 16),
+            4,
+            9.0,
+        ),
+        ("Verizon",),
+        "Thousands hit by internet outage on East Coast",
+        "Associated Press",
+    )
+    add(
+        "hl-youtube",
+        "Youtube worldwide playback outage",
+        Cause.APPLICATION,
+        uniform_impacts(
+            _broad_states(rng_seed=1111, count=27, include=("CA", "NY", "TX")),
+            utc(2020, 11, 11, 23),
+            3,
+            8.5,
+        ),
+        ("Youtube",),
+        "YouTube went down around the world, but it's now fixed",
+        "The Verge",
+    )
+    add(
+        "hl-aws",
+        "AWS us-east-1 outage",
+        Cause.CLOUD,
+        uniform_impacts(
+            _broad_states(rng_seed=1215, count=26, include=("VA", "CA", "NY", "WA")),
+            utc(2021, 12, 15, 14),
+            3,
+            8.0,
+        ),
+        ("AWS",),
+        "Amazon cloud unit recovers from brief outage affecting third-party services",
+        "Reuters",
+    )
+    add(
+        "hl-comcast-nationwide",
+        "Comcast nationwide outage",
+        Cause.ISP,
+        uniform_impacts(
+            _broad_states(rng_seed=123, count=25, include=("PA", "IL", "CA", "FL")),
+            utc(2020, 1, 23, 18),
+            3,
+            8.0,
+        ),
+        ("Comcast", "Xfinity"),
+        "Comcast experienced a nationwide internet outage on Thursday",
+        "PhillyVoice",
+    )
+    add(
+        "hl-centurylink-bgp",
+        "CenturyLink/Level 3 BGP outage",
+        Cause.ISP,
+        uniform_impacts(
+            _broad_states(rng_seed=830, count=24, include=("CO", "CA", "NY", "GA")),
+            utc(2020, 8, 30, 9),
+            3,
+            7.5,
+        ),
+        ("CenturyLink", "Cloudflare"),
+        "Major internet outage: dozens of websites and apps were down",
+        "CNN",
+    )
+
+    # ---- Table 3: high-profile power outages (beyond TX already added) ------
+    add(
+        "hl-ca-heatwave",
+        "California heat wave rotating blackouts",
+        Cause.POWER_WEATHER,
+        (StateImpact("CA", utc(2020, 9, 6, 18), 18, 13.0),),
+        ("Power outage", "Heat wave", "Electric power"),
+        "Rotating blackouts and power shutoffs possible in parts of Bay Area",
+        "SFist",
+    )
+    add(
+        "hl-mi-storm",
+        "Michigan heavy rain and storm power outage",
+        Cause.POWER_WEATHER,
+        (
+            StateImpact("MI", utc(2021, 8, 11, 9), 15, 10.0),
+            StateImpact("OH", utc(2021, 8, 11, 11), 6, 3.0),
+        ),
+        ("Power outage", "Thunderstorm"),
+        "Storms leave 600,000+ Michiganders without power",
+        "Detroit Free Press",
+    )
+    add(
+        "hl-wa-storm",
+        "Pacific Northwest storm power outage",
+        Cause.POWER_WEATHER,
+        (
+            StateImpact("WA", utc(2021, 10, 24, 18), 13, 9.0),
+            StateImpact("OR", utc(2021, 10, 24, 19), 8, 4.0),
+        ),
+        ("Power outage", "Thunderstorm"),
+        "Massive Pacific Northwest storm causes power outages, downed trees",
+        "OPB",
+    )
+    add(
+        "hl-co-powerline",
+        "Severed power line in Colorado City",
+        Cause.POWER_GRID,
+        (StateImpact("CO", utc(2021, 7, 22, 14), 9, 6.0),),
+        ("Power outage", "Electric power"),
+        "Severed power line causing water outages and issues in Colorado City",
+        "The Pueblo Chieftain",
+    )
+    add(
+        "hl-oh-storm",
+        "Ohio storm power outage",
+        Cause.POWER_WEATHER,
+        (StateImpact("OH", utc(2021, 8, 12, 20), 7, 5.0),),
+        ("Power outage", "Thunderstorm"),
+        "Several schools closed as thousands remain without power",
+        "Spectrum News",
+    )
+    add(
+        "hl-ky-tornado",
+        "Kentucky tornado outbreak power outage",
+        Cause.POWER_WEATHER,
+        (
+            StateImpact("KY", utc(2021, 12, 11, 23), 7, 5.5),
+            StateImpact("TN", utc(2021, 12, 12, 0), 5, 3.0),
+        ),
+        ("Power outage", "Tornado"),
+        "Thousands still without power in Kentucky following tornado outbreak",
+        "Courier Journal",
+    )
+    # Fig. 1's second anchor: a mid-February Verizon blip in Texas would be
+    # drowned by the storm; the paper's circled Verizon spike is the
+    # 26 Jan event already added above (27 states include TX).
+    return tuple(events)
+
+
+# --------------------------------------------------------------------------
+# Background process.
+# --------------------------------------------------------------------------
+
+def _pick_bucket(rng: np.random.Generator, buckets) -> tuple[int, int]:
+    probs = np.array([weight for weight, _ in buckets], dtype=np.float64)
+    probs /= probs.sum()
+    index = rng.choice(len(buckets), p=probs)
+    return buckets[index][1]
+
+
+def _pick_cause(rng: np.random.Generator, mix) -> Cause:
+    causes = [cause for cause, _ in mix]
+    probs = np.array([weight for _, weight in mix], dtype=np.float64)
+    probs /= probs.sum()
+    return causes[rng.choice(len(causes), p=probs)]
+
+
+def _state_weights() -> np.ndarray:
+    populations = np.array([state.population for state in STATES], dtype=np.float64)
+    weights = populations**_STATE_WEIGHT_EXPONENT
+    return weights / weights.sum()
+
+
+_CODES = tuple(state.code for state in STATES)
+
+
+def _season_index(month: int) -> int:
+    if month in (12, 1, 2):
+        return 0
+    if month in (3, 4, 5):
+        return 1
+    if month in (6, 7, 8):
+        return 2
+    return 3
+
+
+def _terms_for(
+    rng: np.random.Generator, cause: Cause, month: int
+) -> tuple[str, ...]:
+    """Pick the search terms users reach for during an event."""
+    if cause is Cause.ISP:
+        names = [name for name, _ in _ISP_TERM_WEIGHTS]
+        probs = np.array([w for _, w in _ISP_TERM_WEIGHTS])
+        probs /= probs.sum()
+        return (names[rng.choice(len(names), p=probs)],)
+    if cause is Cause.MOBILE:
+        return (_MOBILE_TERMS[rng.choice(len(_MOBILE_TERMS), p=(0.75, 0.25))],)
+    if cause is Cause.CLOUD:
+        return (_CLOUD_TERMS[rng.integers(len(_CLOUD_TERMS))],)
+    if cause is Cause.APPLICATION:
+        return (_APP_TERMS[rng.integers(len(_APP_TERMS))],)
+    if cause.is_power_related:
+        terms = ["Power outage"]
+        if rng.random() < 0.45:
+            terms.append("Electric power")
+        if cause is Cause.POWER_WEATHER:
+            weather = _SEASON_WEATHER[_season_index(month)]
+            terms.append(weather[rng.integers(len(weather))])
+        if rng.random() < 0.35:  # power outages drag provider names along
+            names = [name for name, _ in _ISP_TERM_WEIGHTS[:6]]
+            terms.append(names[rng.integers(len(names))])
+        return tuple(terms)
+    return ()  # Cause.OTHER: no specific term rises
+
+
+def _event_duration(rng: np.random.Generator, year: int, cause: Cause) -> int:
+    low, high = _pick_bucket(rng, _DURATION_BUCKETS)
+    duration = int(rng.integers(low, high + 1))
+    if duration >= 5:
+        # Rebalance the long tail across years per the paper's finding.
+        keep = _LONG_TAIL_YEAR_BOOST.get(year, 1.0)
+        if rng.random() > keep / max(_LONG_TAIL_YEAR_BOOST.values()):
+            duration = int(rng.integers(1, 5))
+    if cause.is_power_related and duration >= 3 and rng.random() < 0.3:
+        duration += int(rng.integers(1, 6))  # power problems linger
+    return min(duration, 46)
+
+
+def _start_hour(rng: np.random.Generator) -> int:
+    """Outage onsets skew toward (US) waking hours in UTC."""
+    hours = np.arange(24)
+    weights = 1.0 + 0.9 * np.cos((hours - 19.0) * np.pi / 12.0)
+    weights /= weights.sum()
+    return int(rng.choice(24, p=weights))
+
+
+def _background_events(config: ScenarioConfig) -> list[OutageEvent]:
+    rng = np.random.default_rng(config.seed)
+    state_weights = _state_weights()
+    events: list[OutageEvent] = []
+    day = config.start
+    serial = 0
+    while day < config.end:
+        dow = day.weekday()
+        rate = (
+            _BASE_EVENTS_PER_DAY
+            * config.background_scale
+            * _YEAR_RATE.get(day.year, 1.0)
+            * _DOW_RATE[dow]
+        )
+        for _ in range(rng.poisson(rate)):
+            serial += 1
+            events.append(_one_background_event(rng, config, day, serial, state_weights))
+        for cluster_state, first, last, per_day, weather_term in _POWER_CLUSTERS:
+            if first <= day < last:
+                cluster_rate = per_day * config.background_scale
+                for _ in range(rng.poisson(cluster_rate)):
+                    serial += 1
+                    events.append(
+                        _cluster_power_event(
+                            rng, day, serial, cluster_state, weather_term
+                        )
+                    )
+        day += timedelta(days=1)
+    return events
+
+
+def _one_background_event(
+    rng: np.random.Generator,
+    config: ScenarioConfig,
+    day: datetime,
+    serial: int,
+    state_weights: np.ndarray,
+) -> OutageEvent:
+    lo, hi = _pick_bucket(rng, _FOOTPRINT_BUCKETS)
+    footprint = int(rng.integers(lo, hi + 1))
+    if footprint >= 10:
+        cause = _pick_cause(rng, _CAUSE_MIX_BROAD)
+        duration = int(rng.integers(2, 4))
+    else:
+        duration = _event_duration(rng, day.year, Cause.OTHER)
+        mix = _CAUSE_MIX_LONG if duration >= 5 else _CAUSE_MIX_SHORT
+        cause = _pick_cause(rng, mix)
+        if cause.is_power_related and duration >= 5:
+            pass  # long power event, keep as drawn
+    states = rng.choice(
+        len(_CODES), size=footprint, replace=False, p=state_weights
+    )
+    codes = tuple(_CODES[i] for i in states)
+    start = day + timedelta(hours=_start_hour(rng))
+    # Seed state carries the full interest; secondary states decay.
+    impacts = []
+    for rank, code in enumerate(codes):
+        hours = duration if rank == 0 else max(1, int(round(duration * 0.6)))
+        intensity = float(
+            np.clip(rng.lognormal(mean=1.05, sigma=0.55), 1.6, 30.0)
+        )
+        if rank > 0:
+            intensity = max(1.6, intensity * 0.6)
+        impacts.append(
+            StateImpact(
+                state=code,
+                start=start,
+                interest_hours=hours,
+                intensity=intensity,
+                lag_hours=0 if rank == 0 else int(rng.integers(0, 2)),
+            )
+        )
+    return OutageEvent(
+        event_id=f"bg-{serial:06d}",
+        name=f"background {cause.value} outage",
+        cause=cause,
+        impacts=tuple(impacts),
+        terms=_terms_for(rng, cause, day.month),
+    )
+
+
+def _cluster_power_event(
+    rng: np.random.Generator,
+    day: datetime,
+    serial: int,
+    state: str,
+    weather_term: str,
+) -> OutageEvent:
+    duration = int(np.clip(rng.lognormal(mean=1.9, sigma=0.4), 5, 24))
+    start = day + timedelta(hours=_start_hour(rng))
+    intensity = float(np.clip(rng.lognormal(mean=1.7, sigma=0.5), 3.0, 35.0))
+    terms = ("Power outage", weather_term)
+    if rng.random() < 0.5:
+        terms += ("Electric power",)
+    return OutageEvent(
+        event_id=f"cl-{serial:06d}",
+        name=f"{state} {weather_term.lower()} power outage",
+        cause=Cause.POWER_WEATHER,
+        impacts=(
+            StateImpact(
+                state=state,
+                start=start,
+                interest_hours=duration,
+                intensity=intensity,
+            ),
+        ),
+        terms=terms,
+    )

@@ -1,0 +1,129 @@
+"""US state registry: codes, names, populations, and timezones.
+
+The registry drives both the search-world simulator (per-state user
+bases and local-time behaviour) and the SIFT pipeline (one Google
+Trends geography per state, ``US-XX`` codes as in the real service).
+
+Populations are 2020 census counts rounded to thousands — they only set
+*relative* search volumes, so rounding is harmless.  Each state is
+assigned its dominant IANA timezone; states split across timezones use
+the zone covering most of their population, which is the resolution the
+paper's per-state analysis works at anyway.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from zoneinfo import ZoneInfo
+
+from repro.errors import UnknownGeoError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class State:
+    """One US state (or DC) as a Trends geography."""
+
+    code: str  # two-letter postal code, e.g. "TX"
+    name: str  # full name, e.g. "Texas"
+    population: int  # 2020 census, rounded to thousands
+    tz_name: str  # dominant IANA timezone
+
+    @property
+    def geo(self) -> str:
+        """Google-Trends-style geography code, e.g. ``US-TX``."""
+        return f"US-{self.code}"
+
+    @property
+    def tzinfo(self) -> ZoneInfo:
+        return ZoneInfo(self.tz_name)
+
+
+_EASTERN = "America/New_York"
+_CENTRAL = "America/Chicago"
+_MOUNTAIN = "America/Denver"
+_ARIZONA = "America/Phoenix"
+_PACIFIC = "America/Los_Angeles"
+_ALASKA = "America/Anchorage"
+_HAWAII = "Pacific/Honolulu"
+
+#: All 50 states plus the District of Columbia, alphabetical by code.
+STATES: tuple[State, ...] = (
+    State("AK", "Alaska", 733_000, _ALASKA),
+    State("AL", "Alabama", 5_024_000, _CENTRAL),
+    State("AR", "Arkansas", 3_011_000, _CENTRAL),
+    State("AZ", "Arizona", 7_152_000, _ARIZONA),
+    State("CA", "California", 39_538_000, _PACIFIC),
+    State("CO", "Colorado", 5_774_000, _MOUNTAIN),
+    State("CT", "Connecticut", 3_606_000, _EASTERN),
+    State("DC", "District of Columbia", 690_000, _EASTERN),
+    State("DE", "Delaware", 990_000, _EASTERN),
+    State("FL", "Florida", 21_538_000, _EASTERN),
+    State("GA", "Georgia", 10_712_000, _EASTERN),
+    State("HI", "Hawaii", 1_455_000, _HAWAII),
+    State("IA", "Iowa", 3_190_000, _CENTRAL),
+    State("ID", "Idaho", 1_839_000, _MOUNTAIN),
+    State("IL", "Illinois", 12_813_000, _CENTRAL),
+    State("IN", "Indiana", 6_786_000, _EASTERN),
+    State("KS", "Kansas", 2_938_000, _CENTRAL),
+    State("KY", "Kentucky", 4_506_000, _EASTERN),
+    State("LA", "Louisiana", 4_658_000, _CENTRAL),
+    State("MA", "Massachusetts", 7_030_000, _EASTERN),
+    State("MD", "Maryland", 6_177_000, _EASTERN),
+    State("ME", "Maine", 1_363_000, _EASTERN),
+    State("MI", "Michigan", 10_077_000, _EASTERN),
+    State("MN", "Minnesota", 5_706_000, _CENTRAL),
+    State("MO", "Missouri", 6_155_000, _CENTRAL),
+    State("MS", "Mississippi", 2_961_000, _CENTRAL),
+    State("MT", "Montana", 1_084_000, _MOUNTAIN),
+    State("NC", "North Carolina", 10_439_000, _EASTERN),
+    State("ND", "North Dakota", 779_000, _CENTRAL),
+    State("NE", "Nebraska", 1_962_000, _CENTRAL),
+    State("NH", "New Hampshire", 1_378_000, _EASTERN),
+    State("NJ", "New Jersey", 9_289_000, _EASTERN),
+    State("NM", "New Mexico", 2_118_000, _MOUNTAIN),
+    State("NV", "Nevada", 3_105_000, _PACIFIC),
+    State("NY", "New York", 20_201_000, _EASTERN),
+    State("OH", "Ohio", 11_799_000, _EASTERN),
+    State("OK", "Oklahoma", 3_959_000, _CENTRAL),
+    State("OR", "Oregon", 4_237_000, _PACIFIC),
+    State("PA", "Pennsylvania", 13_003_000, _EASTERN),
+    State("RI", "Rhode Island", 1_097_000, _EASTERN),
+    State("SC", "South Carolina", 5_118_000, _EASTERN),
+    State("SD", "South Dakota", 887_000, _CENTRAL),
+    State("TN", "Tennessee", 6_911_000, _CENTRAL),
+    State("TX", "Texas", 29_146_000, _CENTRAL),
+    State("UT", "Utah", 3_272_000, _MOUNTAIN),
+    State("VA", "Virginia", 8_631_000, _EASTERN),
+    State("VT", "Vermont", 643_000, _EASTERN),
+    State("WA", "Washington", 7_705_000, _PACIFIC),
+    State("WI", "Wisconsin", 5_894_000, _CENTRAL),
+    State("WV", "West Virginia", 1_794_000, _EASTERN),
+    State("WY", "Wyoming", 577_000, _MOUNTAIN),
+)
+
+_BY_CODE = {state.code: state for state in STATES}
+_BY_GEO = {state.geo: state for state in STATES}
+
+#: Codes ordered by descending population — used by the scenario
+#: generator's state-weight model and by ranking plots.
+CODES_BY_POPULATION: tuple[str, ...] = tuple(
+    state.code for state in sorted(STATES, key=lambda s: s.population, reverse=True)
+)
+
+ALL_CODES: tuple[str, ...] = tuple(state.code for state in STATES)
+
+
+def get_state(code_or_geo: str) -> State:
+    """Look up a state by postal code (``TX``) or Trends geo (``US-TX``)."""
+    state = _BY_CODE.get(code_or_geo) or _BY_GEO.get(code_or_geo)
+    if state is None:
+        raise UnknownGeoError(code_or_geo)
+    return state
+
+
+def is_known_geo(code_or_geo: str) -> bool:
+    return code_or_geo in _BY_CODE or code_or_geo in _BY_GEO
+
+
+def total_population() -> int:
+    return sum(state.population for state in STATES)

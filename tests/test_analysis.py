@@ -1,0 +1,186 @@
+"""Unit tests for the evaluation analytics (figures/tables as functions)."""
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    daily_distribution,
+    duration_cdf,
+    footprint_cdf,
+    long_lasting_ratio,
+    long_spike_share,
+    monthly_power_long_spikes,
+    most_extensive_table,
+    most_impactful,
+    power_annotated,
+    power_share_of_long_spikes,
+    state_cdf,
+    top_power_outages_by_state,
+    yearly_counts,
+)
+from repro.core.area import Outage
+from repro.core.spikes import Spike, SpikeSet
+from repro.timeutil import utc
+
+
+def spike(geo="US-TX", peak=utc(2021, 2, 15, 12), duration=3, annotations=(), magnitude=50.0):
+    return Spike(
+        term="Internet outage",
+        geo=geo,
+        start=peak,
+        peak=peak,
+        end=peak + timedelta(hours=duration - 1),
+        magnitude=magnitude,
+        annotations=annotations,
+    )
+
+
+@pytest.fixture()
+def spikes():
+    items = []
+    # Texas hosts 4 spikes, California 2, Wyoming 1.
+    items.append(spike("US-TX", utc(2021, 2, 15, 12), 45, ("Power outage", "Winter storm")))
+    items.append(spike("US-TX", utc(2021, 1, 26, 16), 6, ("Verizon",)))
+    items.append(spike("US-TX", utc(2020, 3, 2, 10), 1))
+    items.append(spike("US-TX", utc(2020, 7, 4, 10), 2))
+    items.append(spike("US-CA", utc(2020, 9, 6, 18), 18, ("Power outage", "Heat wave")))
+    items.append(spike("US-CA", utc(2021, 6, 8, 9), 2, ("Fastly",)))
+    items.append(spike("US-WY", utc(2020, 5, 1, 12), 1))
+    return SpikeSet(items)
+
+
+class TestStateCdf:
+    def test_ranking(self, spikes):
+        cdf = state_cdf(spikes)
+        assert cdf.states[0] == "TX"
+        assert cdf.counts[0] == 4
+
+    def test_cumulative_reaches_one(self, spikes):
+        cdf = state_cdf(spikes)
+        assert cdf.cumulative[-1] == pytest.approx(1.0)
+
+    def test_share_of_top(self, spikes):
+        cdf = state_cdf(spikes)
+        assert cdf.share_of_top(1) == pytest.approx(4 / 7)
+        assert cdf.share_of_top(2) == pytest.approx(6 / 7)
+        assert cdf.share_of_top(100) == pytest.approx(1.0)
+        assert cdf.share_of_top(0) == 0.0
+
+
+class TestDurationCdf:
+    def test_fraction_at_least(self, spikes):
+        cdf = duration_cdf(spikes)
+        assert cdf.fraction_at_least(1) == pytest.approx(1.0)
+        assert cdf.fraction_at_least(3) == pytest.approx(3 / 7)
+        assert cdf.fraction_at_least(46) == pytest.approx(0.0)
+
+    def test_empty(self):
+        cdf = duration_cdf(SpikeSet([]))
+        assert cdf.hours.size == 0
+
+
+class TestImpactTables:
+    def test_most_impactful_ordering(self, spikes):
+        rows = most_impactful(spikes, count=3)
+        assert [row.duration_hours for row in rows] == [45, 18, 6]
+        assert rows[0].state == "TX"
+        assert rows[0].outage == "Power outage"
+
+    def test_label_style(self, spikes):
+        rows = most_impactful(spikes, count=1)
+        assert rows[0].label == "15 Feb. 2021-12h"
+
+    def test_unannotated_row(self, spikes):
+        rows = most_impactful(spikes, count=7)
+        assert any(row.outage == "(unannotated)" for row in rows)
+
+    def test_yearly_counts(self, spikes):
+        assert yearly_counts(spikes) == {2020: 4, 2021: 3}
+
+    def test_long_lasting_ratio(self, spikes):
+        # 2020 has one >=5h spike (CA 18h), 2021 has two (45h, 6h).
+        assert long_lasting_ratio(spikes) == pytest.approx(0.5)
+
+
+class TestDaily:
+    def test_fractions_sum_to_one(self, spikes):
+        dist = daily_distribution(spikes)
+        assert dist.fractions.sum() == pytest.approx(1.0)
+
+    def test_local_time_weekday(self):
+        # 03:00 UTC Saturday is Friday evening in California.
+        dist = daily_distribution(
+            SpikeSet([spike("US-CA", utc(2021, 6, 5, 3), 1)])
+        )
+        assert dist.counts[4] == 1  # Friday
+        assert dist.counts[5] == 0
+
+    def test_weekend_dip_metric(self):
+        items = [
+            spike("US-TX", utc(2021, 3, 1, 18) + timedelta(days=i), 1)
+            for i in range(5)  # Mon..Fri
+        ]
+        dist = daily_distribution(SpikeSet(items))
+        assert dist.weekend_dip == float("inf")
+
+
+class TestAreaStats:
+    @pytest.fixture()
+    def outages(self, spikes):
+        groups = [
+            Outage(spikes=tuple(spikes.in_state("TX"))),
+            Outage(spikes=tuple(spikes.in_state("CA"))),
+            Outage(spikes=tuple(spikes.in_state("WY"))),
+        ]
+        return groups
+
+    def test_footprint_cdf(self, outages):
+        cdf = footprint_cdf(outages)
+        assert cdf.fraction_at_least(1) == pytest.approx(1.0)
+        assert cdf.fraction_at_least(2) == pytest.approx(0.0)
+
+    def test_most_extensive_table(self, outages):
+        rows = most_extensive_table(outages, count=2)
+        assert all(row.footprint == 1 for row in rows)
+        assert rows[0].name != ""
+
+    def test_empty_cdf(self):
+        cdf = footprint_cdf([])
+        assert cdf.fraction_at_least(10) == 1.0  # vacuous: no outages below
+
+
+class TestContextStats:
+    def test_power_annotated_filter(self, spikes):
+        power = power_annotated(spikes)
+        assert len(power) == 2
+        assert all(s.has_annotation({"Power outage", "Electric power"}) for s in power)
+
+    def test_power_share_of_long(self, spikes):
+        # >=5h spikes: TX 45h (power), TX 6h (Verizon), CA 18h (power).
+        assert power_share_of_long_spikes(spikes) == pytest.approx(2 / 3)
+
+    def test_long_spike_share(self, spikes):
+        assert long_spike_share(spikes) == pytest.approx(3 / 7)
+
+    def test_monthly_power_long(self, spikes):
+        monthly = monthly_power_long_spikes(spikes)
+        assert monthly == {(2020, 9): 1, (2021, 2): 1}
+
+    def test_top_power_by_state_one_row_per_state(self, spikes):
+        rows = top_power_outages_by_state(spikes)
+        states = [row.state for row in rows]
+        assert len(states) == len(set(states))
+        assert rows[0].duration_hours == 45
+
+    def test_cause_hint_prefers_weather(self, spikes):
+        rows = top_power_outages_by_state(spikes)
+        assert rows[0].cause_hint == "Winter storm"
+        assert rows[1].cause_hint == "Heat wave"
+
+    def test_empty_set(self):
+        empty = SpikeSet([])
+        assert power_share_of_long_spikes(empty) == 0.0
+        assert long_spike_share(empty) == 0.0
+        assert monthly_power_long_spikes(empty) == {}

@@ -1,0 +1,230 @@
+"""Unit tests for the ANT active-probing substrate."""
+
+from datetime import timedelta
+
+import numpy as np
+import pytest
+
+from repro.ant.blocks import BlockUniverseConfig, blocks_by_state, build_universe
+from repro.ant.compare import (
+    CrossValidationConfig,
+    cross_validate,
+    expected_background_blocks,
+    trace_spike,
+)
+from repro.ant.dataset import AntDataset
+from repro.ant.probing import (
+    PROBE_ROUND_MINUTES,
+    ProbingConfig,
+    affected_fraction,
+    block_down_intervals,
+    merge_intervals,
+    probe_block,
+    quantize_to_rounds,
+    DownInterval,
+)
+from repro.core.spikes import Spike
+from repro.errors import ConfigurationError
+from repro.timeutil import TimeWindow, utc
+from repro.world.events import Cause, OutageEvent, StateImpact
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_universe(BlockUniverseConfig(blocks_per_million=4.0))
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Scenario.build(
+        ScenarioConfig(
+            start=utc(2021, 1, 1), end=utc(2021, 4, 1), background_scale=0.1
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset(scenario):
+    return AntDataset.build(scenario)
+
+
+class TestBlocks:
+    def test_counts_scale_with_population(self, universe):
+        by_state = blocks_by_state(universe, geolocated=False)
+        assert len(by_state["CA"]) > 20 * len(by_state["WY"])
+
+    def test_every_state_has_a_block(self, universe):
+        by_state = blocks_by_state(universe, geolocated=False)
+        assert len(by_state) == 51
+
+    def test_geolocation_mostly_correct(self, universe):
+        wrong = sum(
+            1 for block in universe if block.state != block.geolocated_state
+        )
+        assert 0 < wrong / len(universe) < 0.1
+
+    def test_deterministic(self):
+        config = BlockUniverseConfig(blocks_per_million=2.0)
+        assert build_universe(config) == build_universe(config)
+
+    def test_prefixes_unique(self, universe):
+        prefixes = [block.prefix for block in universe]
+        assert len(set(prefixes)) == len(prefixes)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockUniverseConfig(blocks_per_million=0)
+        with pytest.raises(ConfigurationError):
+            BlockUniverseConfig(geolocation_error_rate=1.0)
+
+
+class TestProbing:
+    def power_event(self, intensity=40.0, hours=10):
+        return OutageEvent(
+            event_id="evt-power",
+            name="big power outage",
+            cause=Cause.POWER_WEATHER,
+            impacts=(StateImpact("TX", utc(2021, 2, 15, 10), hours, intensity),),
+            terms=("Power outage",),
+        )
+
+    def test_affected_fraction_by_cause(self):
+        config = ProbingConfig()
+        power = self.power_event()
+        assert affected_fraction(power, 45.0, config) == pytest.approx(0.95)
+        assert affected_fraction(power, 9.0, config) == pytest.approx(0.2)
+        cloud = OutageEvent(
+            event_id="evt-cloud",
+            name="cdn outage",
+            cause=Cause.CLOUD,
+            impacts=(StateImpact("TX", utc(2021, 2, 15, 10), 2, 9.0),),
+            terms=("Fastly",),
+        )
+        assert affected_fraction(cloud, 9.0, config) == 0.0
+
+    def test_quantize_to_rounds(self):
+        begin = utc(2021, 2, 15, 10)
+        start, end = quantize_to_rounds(begin, begin + timedelta(minutes=25))
+        assert start <= begin < start + timedelta(minutes=11)
+        minutes = (end - start).total_seconds() / 60
+        assert minutes % 11 == 0
+        assert end >= begin + timedelta(minutes=25)
+
+    def test_quantize_uses_a_global_grid(self):
+        from repro.ant.probing import PROBE_EPOCH
+        start, _ = quantize_to_rounds(
+            utc(2021, 2, 15, 10), utc(2021, 2, 15, 11)
+        )
+        assert ((start - PROBE_EPOCH).total_seconds() / 60) % 11 == 0
+
+    def test_merge_intervals(self):
+        a = DownInterval(1, utc(2021, 1, 1, 0), utc(2021, 1, 1, 5), "e1")
+        b = DownInterval(1, utc(2021, 1, 1, 3), utc(2021, 1, 1, 8), "e2")
+        c = DownInterval(1, utc(2021, 1, 2, 0), utc(2021, 1, 2, 1), "e3")
+        merged = merge_intervals([c, b, a])
+        assert len(merged) == 2
+        assert merged[0].end == utc(2021, 1, 1, 8)
+
+    def test_probe_block_sees_power_event(self, scenario, universe):
+        tx_blocks = blocks_by_state(universe, geolocated=False)["TX"]
+        window = TimeWindow(utc(2021, 2, 15), utc(2021, 2, 18))
+        down_rounds = 0
+        for block in tx_blocks:
+            up = probe_block(block, window, scenario)
+            assert up.shape == (window.hours * 60 // PROBE_ROUND_MINUTES,)
+            down_rounds += int((~up).sum())
+        assert down_rounds > 0  # the winter storm darkens Texan blocks
+
+    def test_mobile_event_invisible(self, universe):
+        """A mobile-carrier outage must never take a block down."""
+        event = OutageEvent(
+            event_id="evt-mobile",
+            name="mobile outage",
+            cause=Cause.MOBILE,
+            impacts=(StateImpact("CA", utc(2021, 2, 1, 10), 19, 12.0),),
+            terms=("T-Mobile",),
+        )
+        scenario = Scenario(
+            ScenarioConfig(
+                start=utc(2021, 1, 1), end=utc(2021, 3, 1), background_scale=0.0,
+                include_headline_events=False,
+            ),
+            (event,),
+        )
+        for block in blocks_by_state(universe, geolocated=False)["CA"][:50]:
+            assert block_down_intervals(block, scenario) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProbingConfig(min_down_rounds=0)
+        with pytest.raises(ConfigurationError):
+            ProbingConfig(max_affected_fraction=0.0)
+
+
+class TestDataset:
+    def test_build_produces_records(self, dataset):
+        assert len(dataset) > 0
+
+    def test_records_sorted(self, dataset):
+        starts = [record.start for record in dataset.records]
+        assert starts == sorted(starts)
+
+    def test_storm_blocks_down_in_texas(self, dataset):
+        window = TimeWindow(utc(2021, 2, 15), utc(2021, 2, 18))
+        assert dataset.distinct_blocks_down("TX", window) > 50
+
+    def test_in_state_accepts_geo_prefix(self, dataset):
+        assert dataset.in_state("US-TX") == dataset.in_state("TX")
+
+    def test_overlapping_respects_window(self, dataset):
+        quiet = TimeWindow(utc(2021, 3, 25), utc(2021, 3, 26))
+        busy = TimeWindow(utc(2021, 2, 15), utc(2021, 2, 18))
+        assert len(dataset.overlapping("TX", busy)) > len(
+            dataset.overlapping("TX", quiet)
+        )
+
+    def test_durations_quantized(self, dataset):
+        for record in dataset.records[:200]:
+            minutes = round(record.duration_hours * 60)
+            assert minutes % PROBE_ROUND_MINUTES == 0
+
+
+class TestCrossValidation:
+    def make_spike(self, state, start, end):
+        return Spike(
+            term="Internet outage",
+            geo=f"US-{state}",
+            start=start,
+            peak=start,
+            end=end,
+            magnitude=60.0,
+        )
+
+    def test_power_confirmed_mobile_missed(self, dataset):
+        storm = self.make_spike("TX", utc(2021, 2, 15, 10), utc(2021, 2, 17, 6))
+        assert trace_spike(dataset, storm).confirmed
+
+    def test_background_estimate_positive(self, dataset):
+        assert expected_background_blocks(dataset, "TX", 24.0) > 0
+
+    def test_background_estimate_empty_state(self, dataset):
+        assert expected_background_blocks(dataset, "ZZ", 24.0) == 0.0
+
+    def test_report_aggregates(self, dataset):
+        spikes = [
+            self.make_spike("TX", utc(2021, 2, 15, 10), utc(2021, 2, 17, 6)),
+            self.make_spike("WY", utc(2021, 3, 20, 3), utc(2021, 3, 20, 5)),
+        ]
+        report = cross_validate(dataset, spikes)
+        assert len(report.results) == 2
+        assert 0.0 <= report.confirmation_rate <= 1.0
+        assert len(report.confirmed) + len(report.missed) == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrossValidationConfig(min_blocks=0)
+        with pytest.raises(ConfigurationError):
+            CrossValidationConfig(background_ratio=0.5)
+        with pytest.raises(ConfigurationError):
+            CrossValidationConfig(slack_hours=-1)

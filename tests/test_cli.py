@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scale == 0.05
+        assert args.command == "simulate"
+
+    def test_detect_options(self):
+        args = build_parser().parse_args(
+            ["detect", "--geo", "US-CA", "--top", "3", "--scale", "0.01"]
+        )
+        assert args.geo == "US-CA"
+        assert args.top == 3
+
+    def test_study_accepts_geo_list(self):
+        args = build_parser().parse_args(["study", "US-TX", "US-CA"])
+        assert args.geos == ["US-TX", "US-CA"]
+
+
+class TestCommands:
+    def test_simulate_prints_summary(self, capsys):
+        assert main(["simulate", "--scale", "0.02"]) == 0
+        output = capsys.readouterr().out
+        assert "events" in output
+        assert "isp" in output
+
+    def test_detect_prints_spike_table(self, capsys):
+        code = main(
+            ["detect", "--geo", "US-WY", "--scale", "0.02", "--top", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "spike time" in output
+        assert "US-WY" in output
+
+    def test_study_prints_headline_stats(self, capsys):
+        code = main(["study", "--scale", "0.02", "US-WY", "US-VT"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "spikes" in output
+        assert "top-10-state share" in output
+
+    def test_report_prints_table1(self, capsys):
+        code = main(["report", "--scale", "0.02", "US-WY", "US-VT"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output

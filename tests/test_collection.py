@@ -1,0 +1,242 @@
+"""Unit tests for the collection layer: database, fetchers, scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.collection.database import CollectionDatabase
+from repro.collection.fetchers import WorkItem, build_fleet
+from repro.collection.scheduler import CollectionManager, CollectionScheduler
+from repro.core.spikes import Spike
+from repro.errors import CollectionError, ConfigurationError
+from repro.timeutil import TimeWindow, utc
+from repro.trends.ratelimit import RateLimitConfig, SimulatedClock
+from repro.trends.records import RisingTerm, TimeFrameRequest, TimeFrameResponse
+from repro.trends.service import TrendsConfig, TrendsService
+from repro.world.population import SearchPopulation
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+WEEK = TimeWindow(utc(2021, 1, 4), utc(2021, 1, 11))
+WEEK2 = TimeWindow(utc(2021, 1, 10), utc(2021, 1, 17))
+
+
+@pytest.fixture(scope="module")
+def population():
+    scenario = Scenario.build(
+        ScenarioConfig(
+            start=utc(2021, 1, 1), end=utc(2021, 2, 1), background_scale=0.0
+        )
+    )
+    return SearchPopulation(scenario)
+
+
+def make_response(window=WEEK, sample_round=0):
+    request = TimeFrameRequest(term="Internet outage", geo="US-TX", window=window)
+    values = np.zeros(window.hours, dtype=np.int16)
+    values[10] = 100
+    return TimeFrameResponse(
+        request=request,
+        values=values,
+        rising=(RisingTerm("power outage", 120),),
+        sample_round=sample_round,
+    )
+
+
+class TestDatabase:
+    def test_frame_roundtrip(self):
+        with CollectionDatabase() as db:
+            response = make_response()
+            db.store_frame(response, fetched_by="fetcher-00")
+            loaded = db.load_frame("Internet outage", "US-TX", WEEK, 0)
+            np.testing.assert_array_equal(loaded.values, response.values)
+            assert loaded.rising == response.rising
+            assert loaded.sample_round == 0
+
+    def test_miss_returns_none(self):
+        with CollectionDatabase() as db:
+            assert db.load_frame("Internet outage", "US-TX", WEEK, 0) is None
+
+    def test_rounds_are_distinct(self):
+        with CollectionDatabase() as db:
+            db.store_frame(make_response(sample_round=0), "f")
+            db.store_frame(make_response(sample_round=1), "f")
+            assert db.frame_count() == 2
+            assert db.load_frame("Internet outage", "US-TX", WEEK, 1) is not None
+
+    def test_replace_is_idempotent(self):
+        with CollectionDatabase() as db:
+            db.store_frame(make_response(), "f")
+            db.store_frame(make_response(), "f")
+            assert db.frame_count() == 1
+
+    def test_frames_by_fetcher(self):
+        with CollectionDatabase() as db:
+            db.store_frame(make_response(WEEK), "a")
+            db.store_frame(make_response(WEEK2), "b")
+            assert db.frames_by_fetcher() == {"a": 1, "b": 1}
+
+    def test_series_roundtrip(self):
+        with CollectionDatabase() as db:
+            values = np.linspace(0, 100, 50)
+            db.store_series("Internet outage", "US-TX", utc(2021, 1, 1), values)
+            start, loaded = db.load_series("Internet outage", "US-TX")
+            assert start == utc(2021, 1, 1)
+            np.testing.assert_allclose(loaded, values)
+
+    def test_series_miss(self):
+        with CollectionDatabase() as db:
+            assert db.load_series("Internet outage", "US-WY") is None
+
+    def test_spikes_roundtrip(self):
+        with CollectionDatabase() as db:
+            spike = Spike(
+                term="Internet outage",
+                geo="US-TX",
+                start=utc(2021, 2, 15, 10),
+                peak=utc(2021, 2, 15, 12),
+                end=utc(2021, 2, 17, 6),
+                magnitude=100.0,
+                magnitude_rank=1,
+                annotations=("Power outage",),
+            )
+            db.store_spikes([spike])
+            loaded = db.load_spikes(geo="US-TX")
+            assert loaded == [spike]
+            assert db.spike_count() == 1
+
+    def test_spike_filters(self):
+        with CollectionDatabase() as db:
+            spike = Spike(
+                term="Internet outage",
+                geo="US-TX",
+                start=utc(2021, 2, 15, 10),
+                peak=utc(2021, 2, 15, 12),
+                end=utc(2021, 2, 17, 6),
+                magnitude=100.0,
+            )
+            db.store_spikes([spike])
+            assert db.load_spikes(geo="US-CA") == []
+            assert db.load_spikes(term="Internet outage", geo="US-TX") == [spike]
+
+    def test_persistence_to_file(self, tmp_path):
+        path = str(tmp_path / "sift.db")
+        with CollectionDatabase(path) as db:
+            db.store_frame(make_response(), "f")
+        with CollectionDatabase(path) as db:
+            assert db.frame_count() == 1
+
+
+class TestFleet:
+    def test_build_fleet_distinct_ips(self, population):
+        clock = SimulatedClock()
+        service = TrendsService(population, clock=clock)
+        fleet = build_fleet(service, 5, sleep=clock.sleep)
+        ips = {unit.ip for unit in fleet}
+        assert len(ips) == 5
+
+    def test_fleet_size_validation(self, population):
+        clock = SimulatedClock()
+        service = TrendsService(population, clock=clock)
+        with pytest.raises(ConfigurationError):
+            build_fleet(service, 0, sleep=clock.sleep)
+        with pytest.raises(ConfigurationError):
+            build_fleet(service, 500, sleep=clock.sleep)
+
+    def test_fetch_counts_completed(self, population):
+        clock = SimulatedClock()
+        service = TrendsService(population, clock=clock)
+        fleet = build_fleet(service, 1, sleep=clock.sleep)
+        fleet[0].fetch(WorkItem("Internet outage", "US-TX", WEEK))
+        assert fleet[0].completed == 1
+
+
+class TestScheduler:
+    def make_scheduler(self, population, fetchers=3, burst=2, refill=5.0):
+        clock = SimulatedClock()
+        service = TrendsService(
+            population,
+            TrendsConfig(
+                rate_limit=RateLimitConfig(burst=burst, refill_per_second=refill)
+            ),
+            clock=clock,
+        )
+        db = CollectionDatabase()
+        fleet = build_fleet(service, fetchers, sleep=clock.sleep)
+        return clock, CollectionScheduler(fleet, db)
+
+    def workload(self, count=12):
+        from datetime import timedelta
+
+        items = []
+        for i in range(count):
+            start = utc(2021, 1, 4) + timedelta(days=i % 4 * 7)
+            window = TimeWindow(start, start + timedelta(days=7))
+            items.append(
+                WorkItem(
+                    "Internet outage",
+                    "US-TX",
+                    window,
+                    sample_round=i // 4,
+                    include_rising=False,
+                )
+            )
+        return items
+
+    def test_execute_crawls_everything(self, population):
+        _, scheduler = self.make_scheduler(population)
+        report = scheduler.execute(self.workload())
+        assert report.fetched == 12
+        assert report.served_from_cache == 0
+        assert scheduler.database.frame_count() == 12
+
+    def test_execute_is_idempotent(self, population):
+        _, scheduler = self.make_scheduler(population)
+        scheduler.execute(self.workload())
+        report = scheduler.execute(self.workload())
+        assert report.fetched == 0
+        assert report.served_from_cache == 12
+
+    def test_load_balances_across_fetchers(self, population):
+        """The paper's point: the workload spreads over the units."""
+        _, scheduler = self.make_scheduler(population, fetchers=3)
+        report = scheduler.execute(self.workload(12))
+        assert set(report.per_fetcher.values()) == {4}
+
+    def test_rate_limit_survived_via_retries(self, population):
+        clock, scheduler = self.make_scheduler(
+            population, fetchers=1, burst=2, refill=1.0
+        )
+        report = scheduler.execute(self.workload(8))
+        assert report.fetched == 8
+        assert report.retries > 0
+        assert clock() > 0
+
+    def test_needs_a_fetcher(self, population):
+        with pytest.raises(CollectionError):
+            CollectionScheduler([], CollectionDatabase())
+
+
+class TestManager:
+    def test_manager_is_frame_source(self, population):
+        clock = SimulatedClock()
+        service = TrendsService(population, clock=clock)
+        manager = CollectionManager(service, sleep=clock.sleep, fetcher_count=2)
+        response = manager.interest_over_time("Internet outage", "US-TX", WEEK)
+        assert response.values.shape == (WEEK.hours,)
+        assert manager.frames_stored == 1
+
+    def test_manager_caches(self, population):
+        clock = SimulatedClock()
+        service = TrendsService(population, clock=clock)
+        manager = CollectionManager(service, sleep=clock.sleep, fetcher_count=2)
+        first = manager.interest_over_time("Internet outage", "US-TX", WEEK)
+        second = manager.interest_over_time("Internet outage", "US-TX", WEEK)
+        np.testing.assert_array_equal(first.values, second.values)
+        assert service.stats.frames_served == 1  # second came from the DB
+
+    def test_distinct_rounds_crawled_separately(self, population):
+        clock = SimulatedClock()
+        service = TrendsService(population, clock=clock)
+        manager = CollectionManager(service, sleep=clock.sleep, fetcher_count=2)
+        manager.interest_over_time("Internet outage", "US-TX", WEEK, sample_round=0)
+        manager.interest_over_time("Internet outage", "US-TX", WEEK, sample_round=1)
+        assert manager.frames_stored == 2

@@ -1,0 +1,152 @@
+"""Unit tests for the complaint-based (Downdetector) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.complaints import (
+    ComplaintConfig,
+    ComplaintStream,
+    Downdetector,
+    DowndetectorConfig,
+    detect_incidents,
+    tracked_services,
+)
+from repro.errors import ConfigurationError, UnknownTermError
+from repro.timeutil import TimeWindow, utc
+from repro.world.events import Cause, OutageEvent, StateImpact
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+
+def lab_scenario(events=()) -> Scenario:
+    config = ScenarioConfig(
+        start=utc(2021, 4, 1),
+        end=utc(2021, 5, 1),
+        background_scale=0.0,
+        include_headline_events=False,
+    )
+    return Scenario(config, tuple(events))
+
+
+def verizon_event(intensity=12.0, hours=6):
+    return OutageEvent(
+        event_id="lab-verizon",
+        name="Verizon outage",
+        cause=Cause.ISP,
+        impacts=(
+            StateImpact("NY", utc(2021, 4, 10, 15), hours, intensity),
+            StateImpact("NJ", utc(2021, 4, 10, 15), hours, intensity * 0.7),
+        ),
+        terms=("Verizon",),
+    )
+
+
+class TestComplaintStream:
+    def test_tracked_services_cover_service_categories(self):
+        services = tracked_services()
+        assert "Verizon" in services
+        assert "Fastly" in services
+        assert "Facebook" in services
+        assert "Power outage" not in services  # causes have no page
+
+    def test_counts_shape_and_type(self):
+        stream = ComplaintStream(lab_scenario())
+        counts = stream.counts("Verizon")
+        assert counts.shape == (stream.window.hours,)
+        assert (counts >= 0).all()
+
+    def test_unknown_service_rejected(self):
+        stream = ComplaintStream(lab_scenario())
+        with pytest.raises(UnknownTermError):
+            stream.counts("Carrier Pigeon Networks")
+
+    def test_event_raises_complaints_for_named_service(self):
+        stream = ComplaintStream(lab_scenario([verizon_event()]))
+        window = TimeWindow(utc(2021, 4, 10), utc(2021, 4, 11))
+        quiet = TimeWindow(utc(2021, 4, 3), utc(2021, 4, 4))
+        assert stream.counts("Verizon", window).max() > (
+            5 * stream.counts("Verizon", quiet).max()
+        )
+
+    def test_other_services_unaffected(self):
+        stream = ComplaintStream(lab_scenario([verizon_event()]))
+        window = TimeWindow(utc(2021, 4, 10), utc(2021, 4, 11))
+        quiet = TimeWindow(utc(2021, 4, 3), utc(2021, 4, 4))
+        assert stream.counts("Comcast", window).max() < (
+            3 * stream.counts("Comcast", quiet).max() + 10
+        )
+
+    def test_complaints_aggregate_across_states(self):
+        """No geography: NY and NJ users land on the same counter."""
+        both = ComplaintStream(lab_scenario([verizon_event()]))
+        single_event = verizon_event()
+        single = ComplaintStream(
+            lab_scenario(
+                [
+                    OutageEvent(
+                        event_id="lab-verizon-ny",
+                        name="NY only",
+                        cause=Cause.ISP,
+                        impacts=(single_event.impacts[0],),
+                        terms=("Verizon",),
+                    )
+                ]
+            )
+        )
+        window = TimeWindow(utc(2021, 4, 10), utc(2021, 4, 11))
+        assert both.counts("Verizon", window).max() > single.counts(
+            "Verizon", window
+        ).max()
+
+    def test_deterministic(self):
+        scenario = lab_scenario([verizon_event()])
+        a = ComplaintStream(scenario).counts("Verizon")
+        b = ComplaintStream(scenario).counts("Verizon")
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDowndetector:
+    def test_detects_the_outage(self):
+        stream = ComplaintStream(lab_scenario([verizon_event()]))
+        incidents = detect_incidents(stream, "Verizon")
+        assert incidents
+        hit = incidents[0]
+        assert hit.start.date().isoformat() == "2021-04-10"
+        assert hit.duration_hours >= 2
+
+    def test_quiet_service_no_incidents(self):
+        stream = ComplaintStream(lab_scenario([verizon_event()]))
+        assert detect_incidents(stream, "Netflix") == []
+
+    def test_weak_event_below_threshold(self):
+        stream = ComplaintStream(lab_scenario([verizon_event(intensity=0.2, hours=1)]))
+        assert detect_incidents(stream, "Verizon") == []
+
+    def test_all_incidents_sorted(self):
+        stream = ComplaintStream(lab_scenario([verizon_event()]))
+        portal = Downdetector(stream)
+        incidents = portal.all_incidents()
+        starts = [incident.start for incident in incidents]
+        assert starts == sorted(starts)
+
+    def test_incident_overlapping(self):
+        stream = ComplaintStream(lab_scenario([verizon_event()]))
+        portal = Downdetector(stream)
+        window = TimeWindow(utc(2021, 4, 10, 12), utc(2021, 4, 11))
+        assert portal.incident_overlapping("Verizon", window) is not None
+        assert portal.incident_overlapping("Netflix", window) is None
+
+    def test_incidents_have_no_geography(self):
+        """The structural limitation: an Incident carries a service and
+        times, never a state."""
+        stream = ComplaintStream(lab_scenario([verizon_event()]))
+        incident = detect_incidents(stream, "Verizon")[0]
+        assert not hasattr(incident, "state")
+        assert not hasattr(incident, "geo")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            DowndetectorConfig(baseline_hours=0)
+        with pytest.raises(ConfigurationError):
+            DowndetectorConfig(threshold_ratio=1.0)
+        with pytest.raises(ConfigurationError):
+            DowndetectorConfig(min_hours=0)

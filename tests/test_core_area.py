@@ -1,0 +1,154 @@
+"""Unit tests for concurrent-spike grouping into outages."""
+
+import pytest
+
+from repro.core.area import (
+    AreaConfig,
+    Outage,
+    footprint_distribution,
+    group_outages,
+    most_extensive,
+)
+from repro.core.spikes import Spike, SpikeSet
+from repro.errors import ConfigurationError
+from repro.timeutil import utc
+
+
+def spike(geo, peak, magnitude=50.0, annotations=(), duration=3):
+    from datetime import timedelta
+
+    return Spike(
+        term="Internet outage",
+        geo=geo,
+        start=peak,
+        peak=peak,
+        end=peak + timedelta(hours=duration - 1),
+        magnitude=magnitude,
+        annotations=annotations,
+    )
+
+
+class TestGrouping:
+    def test_concurrent_spikes_group(self):
+        spikes = [
+            spike("US-TX", utc(2021, 1, 26, 16)),
+            spike("US-NY", utc(2021, 1, 26, 16)),
+            spike("US-NJ", utc(2021, 1, 26, 17)),
+        ]
+        outages = group_outages(SpikeSet(spikes))
+        assert len(outages) == 1
+        assert outages[0].footprint == 3
+
+    def test_distant_spikes_split(self):
+        spikes = [
+            spike("US-TX", utc(2021, 1, 26, 16)),
+            spike("US-NY", utc(2021, 1, 27, 16)),
+        ]
+        outages = group_outages(SpikeSet(spikes))
+        assert len(outages) == 2
+
+    def test_same_state_concurrent_counts_once(self):
+        spikes = [
+            spike("US-TX", utc(2021, 1, 26, 16)),
+            spike("US-TX", utc(2021, 1, 26, 17)),
+        ]
+        outages = group_outages(SpikeSet(spikes))
+        assert len(outages) == 1
+        assert outages[0].footprint == 1
+
+    def test_window_zero_requires_same_hour(self):
+        spikes = [
+            spike("US-TX", utc(2021, 1, 26, 16)),
+            spike("US-NY", utc(2021, 1, 26, 17)),
+        ]
+        outages = group_outages(SpikeSet(spikes), AreaConfig(window_hours=0))
+        assert len(outages) == 2
+
+    def test_grouping_is_anchor_based_not_transitive(self):
+        """A lagged wave (the paper's Facebook case) must not chain into
+        the prompt wave: membership is measured from the group anchor."""
+        spikes = [
+            spike("US-TX", utc(2021, 1, 26, 16)),
+            spike("US-NY", utc(2021, 1, 26, 17)),
+            spike("US-CA", utc(2021, 1, 26, 18)),
+        ]
+        outages = group_outages(SpikeSet(spikes), AreaConfig(window_hours=1))
+        assert [o.footprint for o in outages] == [2, 1]
+
+    def test_empty(self):
+        assert group_outages(SpikeSet([])) == []
+
+    def test_chronological_order(self):
+        spikes = [
+            spike("US-CA", utc(2021, 3, 1, 12)),
+            spike("US-TX", utc(2021, 1, 1, 12)),
+        ]
+        outages = group_outages(SpikeSet(spikes))
+        assert outages[0].start < outages[1].start
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AreaConfig(window_hours=-1)
+
+
+class TestOutage:
+    def test_requires_spikes(self):
+        with pytest.raises(ConfigurationError):
+            Outage(spikes=())
+
+    def test_peak_is_strongest_member(self):
+        outage = Outage(
+            spikes=(
+                spike("US-TX", utc(2021, 1, 26, 16), magnitude=30.0),
+                spike("US-NY", utc(2021, 1, 26, 17), magnitude=90.0),
+            )
+        )
+        assert outage.peak == utc(2021, 1, 26, 17)
+
+    def test_max_duration(self):
+        outage = Outage(
+            spikes=(
+                spike("US-TX", utc(2021, 1, 26, 16), duration=2),
+                spike("US-NY", utc(2021, 1, 26, 17), duration=9),
+            )
+        )
+        assert outage.max_duration_hours == 9
+
+    def test_annotations_merged_by_frequency(self):
+        outage = Outage(
+            spikes=(
+                spike("US-TX", utc(2021, 1, 26, 16), annotations=("Verizon", "AT&T")),
+                spike("US-NY", utc(2021, 1, 26, 16), annotations=("Verizon",)),
+                spike("US-NJ", utc(2021, 1, 26, 17), annotations=("Comcast",)),
+            )
+        )
+        assert outage.annotations[0] == "Verizon"
+
+    def test_label(self):
+        outage = Outage(spikes=(spike("US-TX", utc(2021, 7, 22, 14)),))
+        assert outage.label == "22 Jul. 2021-14h"
+
+
+class TestRankings:
+    @pytest.fixture()
+    def outages(self):
+        national = Outage(
+            spikes=tuple(
+                spike(f"US-{code}", utc(2021, 7, 22, 14))
+                for code in ("CA", "TX", "NY", "FL", "CO")
+            )
+        )
+        regional = Outage(
+            spikes=tuple(
+                spike(f"US-{code}", utc(2021, 2, 15, 12)) for code in ("TX", "OK")
+            )
+        )
+        local = Outage(spikes=(spike("US-MI", utc(2021, 8, 11, 9)),))
+        return [national, regional, local]
+
+    def test_most_extensive(self, outages):
+        top = most_extensive(outages, 2)
+        assert [o.footprint for o in top] == [5, 2]
+
+    def test_footprint_distribution(self, outages):
+        assert footprint_distribution(outages) == {1: 1, 2: 1, 5: 1}

@@ -1,0 +1,173 @@
+"""Unit tests for context annotation (heavy hitters, ranking)."""
+
+import pytest
+
+from repro.core.context import (
+    ContextConfig,
+    HeavyHitterAnalyzer,
+    SpikeAnnotator,
+    rank_suggestions,
+)
+from repro.core.nlp import PhraseClusterer
+from repro.core.spikes import Spike
+from repro.errors import ConfigurationError
+from repro.timeutil import utc
+from repro.trends.records import RisingTerm
+
+
+def spike(geo="US-TX"):
+    return Spike(
+        term="Internet outage",
+        geo=geo,
+        start=utc(2021, 2, 15, 10),
+        peak=utc(2021, 2, 15, 12),
+        end=utc(2021, 2, 16, 6),
+        magnitude=90.0,
+    )
+
+
+class TestConfig:
+    def test_rejects_bad_max_annotations(self):
+        with pytest.raises(ConfigurationError):
+            ContextConfig(max_annotations=0)
+
+    def test_rejects_bad_coverage(self):
+        with pytest.raises(ConfigurationError):
+            ContextConfig(heavy_hitter_coverage=1.0)
+
+
+class TestHeavyHitterAnalyzer:
+    def test_head_covers_half(self):
+        analyzer = HeavyHitterAnalyzer()
+        # "Power outage" appears 6 times out of 10 suggestions total.
+        for _ in range(6):
+            analyzer.add(["Power outage"])
+        analyzer.add(["Verizon", "Comcast", "AT&T", "Fastly"])
+        heavy = analyzer.heavy_hitters(coverage=0.5)
+        assert heavy == ("Power outage",)
+
+    def test_coverage_grows_head(self):
+        analyzer = HeavyHitterAnalyzer()
+        analyzer.add(["a"] * 5 + ["b"] * 3 + ["c"] * 2)
+        assert analyzer.heavy_hitters(0.5) == ("a",)
+        assert analyzer.heavy_hitters(0.8) == ("a", "b")
+
+    def test_empty(self):
+        assert HeavyHitterAnalyzer().heavy_hitters(0.5) == ()
+
+    def test_stats(self):
+        analyzer = HeavyHitterAnalyzer()
+        analyzer.add(["a", "b"])
+        analyzer.add(["a"])
+        assert analyzer.total_suggestions == 3
+        assert analyzer.distinct_terms == 2
+        assert analyzer.frequency("a") == 2
+        assert analyzer.spikes_seen == 2
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ConfigurationError):
+            HeavyHitterAnalyzer().heavy_hitters(0.0)
+
+
+class TestRankSuggestions:
+    @pytest.fixture(scope="class")
+    def clusterer(self):
+        return PhraseClusterer()
+
+    def test_variants_merge_weights(self, clusterer):
+        rising = [
+            RisingTerm("is verizon down", 100),
+            RisingTerm("verizon outage", 150),
+        ]
+        ranked = rank_suggestions(rising, clusterer, frozenset())
+        assert len(ranked) == 1
+        assert ranked[0].concept == "Verizon"
+        assert ranked[0].weight == 250
+
+    def test_weight_ordering(self, clusterer):
+        rising = [
+            RisingTerm("fastly down", 80),
+            RisingTerm("netflix down", 300),
+        ]
+        ranked = rank_suggestions(rising, clusterer, frozenset())
+        assert [item.concept for item in ranked] == ["Netflix", "Fastly"]
+
+    def test_heavy_hitters_promoted(self, clusterer):
+        """Paper §3.4: heavy-hitters outrank heavier-weighted noise."""
+        rising = [
+            RisingTerm("netflix down", 900),
+            RisingTerm("power outage", 100),
+        ]
+        ranked = rank_suggestions(rising, clusterer, frozenset({"Power outage"}))
+        assert ranked[0].concept == "Power outage"
+        assert ranked[0].is_heavy_hitter
+
+    def test_empty(self, clusterer):
+        assert rank_suggestions([], clusterer, frozenset()) == []
+
+
+class TestSpikeAnnotator:
+    def make_annotator(self, rising_by_geo, **config):
+        fetches = []
+
+        def fetch(geo, peak):
+            fetches.append((geo, peak))
+            return rising_by_geo.get(geo, ())
+
+        annotator = SpikeAnnotator(
+            fetch_rising=fetch,
+            config=ContextConfig(**config) if config else None,
+        )
+        annotator.fetch_count = lambda: len(fetches)  # test hook
+        return annotator
+
+    def test_annotate_attaches_top_concepts(self):
+        annotator = self.make_annotator(
+            {
+                "US-TX": (
+                    RisingTerm("power outage", 5000),
+                    RisingTerm("winter storm", 900),
+                    RisingTerm("att outage", 400),
+                    RisingTerm("netflix down", 100),
+                )
+            }
+        )
+        annotated = annotator.annotate(spike())
+        assert annotated.annotations[0] == "Power outage"
+        assert len(annotated.annotations) == 4  # default max_annotations
+
+    def test_annotate_all_fetches_once_per_spike(self):
+        annotator = self.make_annotator(
+            {"US-TX": (RisingTerm("power outage", 100),)}
+        )
+        annotator.annotate_all([spike(), spike()], two_pass=True)
+        assert annotator.fetch_count() == 2
+
+    def test_two_pass_discovers_heavy_hitters(self):
+        """A term dominating the suggestion mass must become heavy and
+        therefore outrank higher-weighted one-off suggestions."""
+        rising = (
+            RisingTerm("frontier outage", 200),  # frequent but light
+            RisingTerm("netflix down", 900),  # heavy weight, also frequent
+        )
+        annotator = self.make_annotator({"US-TX": rising})
+        batch = [spike() for _ in range(5)]
+        annotated = annotator.annotate_all(batch, two_pass=True)
+        assert "Frontier" in annotator.heavy_hitters
+        assert annotated[0].annotations  # ranked without error
+
+    def test_empty_rising_yields_no_annotations(self):
+        annotator = self.make_annotator({})
+        annotated = annotator.annotate(spike())
+        assert annotated.annotations == ()
+
+    def test_max_annotations_respected(self):
+        rising = tuple(
+            RisingTerm(phrase, 100 + i)
+            for i, phrase in enumerate(
+                ["power outage", "winter storm", "att outage", "verizon outage"]
+            )
+        )
+        annotator = self.make_annotator({"US-TX": rising}, max_annotations=2)
+        annotated = annotator.annotate(spike())
+        assert len(annotated.annotations) == 2

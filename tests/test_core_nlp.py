@@ -1,0 +1,113 @@
+"""Unit tests for phrase clustering (the word-vector substitute)."""
+
+import pytest
+
+from repro.core.nlp import (
+    PhraseClusterer,
+    phrase_similarity,
+    token_overlap,
+    tokenize,
+    trigrams,
+)
+
+
+class TestTokenize:
+    def test_strips_stop_words(self):
+        assert tokenize("is verizon down") == ("verizon",)
+
+    def test_keeps_content_words(self):
+        assert tokenize("spectrum internet outage") == ("spectrum", "internet")
+
+    def test_all_stopwords_phrase_keeps_tokens(self):
+        # "is it down" is all stop words except "it"; never return ().
+        assert tokenize("is down") != ()
+
+    def test_punctuation_ignored(self):
+        assert tokenize("at&t outage!") == ("at&t",)
+
+    def test_case_insensitive(self):
+        assert tokenize("VERIZON Outage") == ("verizon",)
+
+
+class TestSimilarity:
+    def test_paraphrases_close(self):
+        """The paper's example: <is Verizon down> ~ <Verizon outage>."""
+        assert phrase_similarity("is verizon down", "verizon outage") > 0.5
+
+    def test_unrelated_far(self):
+        assert phrase_similarity("verizon outage", "heat wave") < 0.2
+
+    def test_symmetry(self):
+        a = phrase_similarity("xfinity down", "comcast xfinity outage")
+        b = phrase_similarity("comcast xfinity outage", "xfinity down")
+        assert a == pytest.approx(b)
+
+    def test_identity(self):
+        assert phrase_similarity("power outage", "power outage") == pytest.approx(1.0)
+
+    def test_misspelling_caught_by_trigrams(self):
+        # Token overlap is zero ("tmobile" vs "t"/"mobile"); the trigram
+        # channel must still carry the match.
+        assert phrase_similarity("tmobile outage", "t-mobile outage") > 0.35
+
+    def test_misspelled_variant_clusters_correctly(self):
+        assert PhraseClusterer().canonicalize("tmobile outage") == "T-Mobile"
+
+    def test_token_overlap_bounds(self):
+        assert token_overlap(("a", "b"), ("b", "c")) == pytest.approx(1 / 3)
+        assert token_overlap((), ("a",)) == 0.0
+
+    def test_trigrams_multiset(self):
+        grams = trigrams("abc")
+        assert sum(grams.values()) > 0
+
+
+class TestPhraseClusterer:
+    @pytest.fixture(scope="class")
+    def clusterer(self):
+        return PhraseClusterer()
+
+    def test_canonicalizes_variants(self, clusterer):
+        assert clusterer.canonicalize("is verizon down") == "Verizon"
+        assert clusterer.canonicalize("verizon outage") == "Verizon"
+        assert clusterer.canonicalize("san jose power outage") == "Power outage"
+
+    def test_unknown_phrase_is_its_own_cluster(self, clusterer):
+        novel = "zebra migration patterns"
+        assert clusterer.canonicalize(novel) == novel
+
+    def test_cluster_groups(self, clusterer):
+        clusters = clusterer.cluster(
+            ["is verizon down", "verizon outage", "xfinity down"]
+        )
+        assert set(clusters["Verizon"]) == {"is verizon down", "verizon outage"}
+        assert clusters["Xfinity"] == ["xfinity down"]
+
+    def test_match_reports_similarity(self, clusterer):
+        match = clusterer.match("spectrum internet outage")
+        assert match.concept == "Spectrum"
+        assert match.similarity > 0.5
+
+    def test_custom_vocabulary(self):
+        clusterer = PhraseClusterer(
+            vocabulary={"Starlink": ("starlink", "starlink outage")},
+            threshold=0.4,
+        )
+        assert clusterer.canonicalize("starlink down") == "Starlink"
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PhraseClusterer(threshold=0.0)
+
+    def test_catalog_variants_all_resolve(self, clusterer):
+        """Every raw variant the world can emit must cluster back onto
+        its own topic — the end-to-end guarantee annotation relies on."""
+        from repro.world.catalog import TERMS
+
+        failures = []
+        for term in TERMS:
+            for variant in term.variants:
+                concept = clusterer.canonicalize(variant)
+                if concept != term.name:
+                    failures.append((variant, concept, term.name))
+        assert not failures, failures

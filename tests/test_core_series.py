@@ -1,0 +1,101 @@
+"""Unit tests for the continuous hourly timeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.series import HourlyTimeline
+from repro.errors import DetectionError
+from repro.timeutil import TimeWindow, utc
+
+
+def make_timeline(values, start=utc(2021, 1, 1)) -> HourlyTimeline:
+    return HourlyTimeline(
+        term="Internet outage",
+        geo="US-TX",
+        start=start,
+        values=np.asarray(values, dtype=np.float64),
+    )
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(DetectionError):
+            make_timeline([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DetectionError):
+            make_timeline([1.0, -0.5])
+
+    def test_rejects_nan(self):
+        with pytest.raises(DetectionError):
+            make_timeline([1.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(DetectionError):
+            make_timeline([[1.0], [2.0]])
+
+
+class TestGeometry:
+    def test_len_and_window(self):
+        timeline = make_timeline(np.ones(48))
+        assert len(timeline) == 48
+        assert timeline.window == TimeWindow(utc(2021, 1, 1), utc(2021, 1, 3))
+
+    def test_time_index_roundtrip(self):
+        timeline = make_timeline(np.ones(48))
+        moment = utc(2021, 1, 2, 5)
+        assert timeline.time_at(timeline.index_of(moment)) == moment
+
+    def test_time_at_bounds(self):
+        timeline = make_timeline(np.ones(4))
+        with pytest.raises(IndexError):
+            timeline.time_at(4)
+        with pytest.raises(IndexError):
+            timeline.time_at(-1)
+
+    def test_index_of_outside_raises(self):
+        timeline = make_timeline(np.ones(4))
+        with pytest.raises(IndexError):
+            timeline.index_of(utc(2021, 1, 2))
+
+
+class TestTransformations:
+    def test_slice(self):
+        timeline = make_timeline(np.arange(72, dtype=float))
+        window = TimeWindow(utc(2021, 1, 2), utc(2021, 1, 3))
+        sliced = timeline.slice(window)
+        assert len(sliced) == 24
+        assert sliced.values[0] == 24.0
+        assert sliced.start == window.start
+
+    def test_slice_outside_raises(self):
+        timeline = make_timeline(np.ones(24))
+        with pytest.raises(IndexError):
+            timeline.slice(TimeWindow(utc(2021, 1, 1), utc(2021, 1, 3)))
+
+    def test_renormalized(self):
+        timeline = make_timeline([1.0, 2.0, 4.0])
+        scaled = timeline.renormalized()
+        np.testing.assert_allclose(scaled.values, [25.0, 50.0, 100.0])
+
+    def test_renormalized_flat_is_noop(self):
+        timeline = make_timeline(np.zeros(5))
+        np.testing.assert_array_equal(timeline.renormalized().values, np.zeros(5))
+
+    def test_slice_copies(self):
+        timeline = make_timeline(np.ones(24))
+        sliced = timeline.slice(TimeWindow(utc(2021, 1, 1), utc(2021, 1, 1, 4)))
+        sliced.values[0] = 99.0
+        assert timeline.values[0] == 1.0
+
+
+class TestSummaries:
+    def test_peak_and_nonzero(self):
+        timeline = make_timeline([0.0, 5.0, 0.0, 2.0])
+        assert timeline.peak_value == 5.0
+        assert timeline.nonzero_hours == 2
+
+    def test_describe_mentions_term_and_geo(self):
+        text = make_timeline(np.ones(3)).describe()
+        assert "Internet outage" in text
+        assert "US-TX" in text

@@ -1,0 +1,188 @@
+"""Unit tests for spike records and spike sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.spikes import Spike, SpikeSet
+from repro.errors import DetectionError
+from repro.timeutil import utc
+
+
+def spike(
+    geo="US-TX",
+    start=utc(2021, 2, 15, 10),
+    peak=utc(2021, 2, 15, 12),
+    end=utc(2021, 2, 16, 6),
+    magnitude=80.0,
+    annotations=(),
+):
+    return Spike(
+        term="Internet outage",
+        geo=geo,
+        start=start,
+        peak=peak,
+        end=end,
+        magnitude=magnitude,
+        annotations=annotations,
+    )
+
+
+class TestSpike:
+    def test_duration_inclusive(self):
+        s = spike(
+            start=utc(2021, 2, 15, 10), peak=utc(2021, 2, 15, 10),
+            end=utc(2021, 2, 15, 10),
+        )
+        assert s.duration_hours == 1
+
+    def test_storm_duration(self):
+        s = spike()  # 10h on the 15th .. 06h on the 16th
+        assert s.duration_hours == 21
+
+    def test_state_from_geo(self):
+        assert spike().state == "TX"
+
+    def test_label_matches_paper_format(self):
+        assert spike().label == "15 Feb. 2021-10h"
+
+    def test_rejects_disordered_times(self):
+        with pytest.raises(DetectionError):
+            spike(peak=utc(2021, 2, 17, 0))
+
+    def test_rejects_negative_magnitude(self):
+        with pytest.raises(DetectionError):
+            spike(magnitude=-1.0)
+
+    def test_annotated_returns_new_spike(self):
+        s = spike()
+        annotated = s.annotated(("Power outage",))
+        assert annotated.annotations == ("Power outage",)
+        assert s.annotations == ()
+
+    def test_has_annotation(self):
+        s = spike(annotations=("Power outage", "Winter storm"))
+        assert s.has_annotation({"Power outage"})
+        assert not s.has_annotation({"Verizon"})
+
+    def test_dict_roundtrip(self):
+        s = spike(annotations=("Power outage",))
+        assert Spike.from_dict(s.to_dict()) == s
+
+
+class TestSpikeSet:
+    @pytest.fixture()
+    def spikes(self):
+        return SpikeSet(
+            [
+                spike(geo="US-TX", magnitude=100.0),
+                spike(
+                    geo="US-CA",
+                    start=utc(2020, 6, 15, 14),
+                    peak=utc(2020, 6, 15, 18),
+                    end=utc(2020, 6, 16, 8),
+                    magnitude=60.0,
+                    annotations=("T-Mobile",),
+                ),
+                spike(
+                    geo="US-TX",
+                    start=utc(2021, 1, 26, 16),
+                    peak=utc(2021, 1, 26, 17),
+                    end=utc(2021, 1, 26, 21),
+                    magnitude=20.0,
+                    annotations=("Verizon",),
+                ),
+            ]
+        )
+
+    def test_sorted_by_peak(self, spikes):
+        peaks = [s.peak for s in spikes]
+        assert peaks == sorted(peaks)
+
+    def test_filters(self, spikes):
+        assert len(spikes.in_state("TX")) == 2
+        assert len(spikes.in_state("US-TX")) == 2
+        assert len(spikes.in_year(2020)) == 1
+        assert len(spikes.at_least_hours(20)) == 1
+        assert len(spikes.at_least_hours(19)) == 2
+        assert len(spikes.with_annotation({"Verizon"})) == 1
+
+    def test_aggregates(self, spikes):
+        assert spikes.durations().tolist() == [19, 6, 21]
+        assert spikes.count_by_state() == {"TX": 2, "CA": 1}
+
+    def test_top_by_duration(self, spikes):
+        top = spikes.top_by_duration(2)
+        assert [s.duration_hours for s in top] == [21, 19]
+
+    def test_merge(self, spikes):
+        merged = spikes.merged_with(SpikeSet([spike(geo="US-NY")]))
+        assert len(merged) == 4
+
+    def test_indexing(self, spikes):
+        assert isinstance(spikes[0], Spike)
+        with pytest.raises(IndexError):
+            spikes[99]
+
+
+class TestSimilarity:
+    def test_identical_sets(self):
+        a = SpikeSet([spike()])
+        assert a.jaccard_similarity(a) == 1.0
+        assert a.match_similarity(a) == 1.0
+        assert a.weighted_match_similarity(a) == 1.0
+
+    def test_empty_sets_similar(self):
+        empty = SpikeSet([])
+        assert empty.jaccard_similarity(SpikeSet([])) == 1.0
+        assert empty.match_similarity(SpikeSet([])) == 1.0
+
+    def test_disjoint_sets(self):
+        a = SpikeSet([spike()])
+        b = SpikeSet([spike(geo="US-CA")])
+        assert a.jaccard_similarity(b) == 0.0
+        assert a.match_similarity(b) == 0.0
+
+    def test_tolerance_matches_jittered_peaks(self):
+        a = SpikeSet([spike(peak=utc(2021, 2, 15, 12))])
+        b = SpikeSet(
+            [spike(peak=utc(2021, 2, 15, 13))]
+        )  # one hour of sampling jitter
+        assert a.jaccard_similarity(b) == 0.0
+        assert a.match_similarity(b, tolerance_hours=2) == 1.0
+
+    def test_tolerance_bounds(self):
+        a = SpikeSet([spike(peak=utc(2021, 2, 15, 12))])
+        b = SpikeSet([spike(peak=utc(2021, 2, 15, 16), end=utc(2021, 2, 16, 6))])
+        assert a.match_similarity(b, tolerance_hours=2) == 0.0
+
+    def test_weighted_similarity_ignores_blips(self):
+        """A flickering magnitude-1 blip barely moves the weighted
+        metric while halving the unweighted one."""
+        big = spike(magnitude=100.0)
+        blip = spike(
+            geo="US-CA",
+            start=utc(2021, 2, 1, 1),
+            peak=utc(2021, 2, 1, 1),
+            end=utc(2021, 2, 1, 1),
+            magnitude=1.0,
+        )
+        a = SpikeSet([big, blip])
+        b = SpikeSet([big])
+        assert a.match_similarity(b) == 0.5
+        assert a.weighted_match_similarity(b) > 0.95
+
+    def test_greedy_matching_one_to_one(self):
+        """Two nearby peaks in one set cannot both match a single peak."""
+        a = SpikeSet(
+            [
+                spike(peak=utc(2021, 2, 15, 12)),
+                spike(
+                    peak=utc(2021, 2, 15, 13),
+                    start=utc(2021, 2, 15, 13),
+                    end=utc(2021, 2, 16, 6),
+                ),
+            ]
+        )
+        b = SpikeSet([spike(peak=utc(2021, 2, 15, 12))])
+        # 1 matched out of union 2.
+        assert a.match_similarity(b) == pytest.approx(0.5)

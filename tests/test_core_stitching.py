@@ -1,0 +1,184 @@
+"""Unit tests for frame stitching and renormalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.stitching import (
+    estimate_ratio,
+    naive_concatenation,
+    stitch_frames,
+)
+from repro.errors import StitchingError
+from repro.timeutil import TimeWindow, utc
+from repro.trends.records import TimeFrameRequest, TimeFrameResponse
+from repro.trends.sampling import index_frame
+
+
+def _hours(count):
+    from datetime import timedelta
+
+    return timedelta(hours=count)
+
+
+def frame(start, values, geo="US-TX", term="Internet outage"):
+    """Build a response whose raw values are indexed GT-style."""
+    values = np.asarray(values)
+    window = TimeWindow(start, start + _hours(len(values)))
+    request = TimeFrameRequest(term=term, geo=geo, window=window)
+    return TimeFrameResponse(
+        request=request,
+        values=index_frame(values),
+        rising=(),
+        sample_round=0,
+    )
+
+
+def make_signal(hours: int, seed: int = 0) -> np.ndarray:
+    """A sparse synthetic truth: baseline blips plus two big spikes."""
+    rng = np.random.default_rng(seed)
+    signal = np.where(rng.random(hours) < 0.3, rng.integers(3, 8, hours), 0).astype(
+        float
+    )
+    signal[hours // 4] = 60.0
+    signal[hours // 2] = 120.0
+    return signal
+
+
+def split_into_frames(signal: np.ndarray, frame_hours: int, overlap: int):
+    start = utc(2021, 1, 1)
+    frames = []
+    position = 0
+    while position + frame_hours < signal.size:
+        frames.append(
+            frame(start + _hours(position), signal[position : position + frame_hours])
+        )
+        position += frame_hours - overlap
+    frames.append(frame(start + _hours(signal.size - frame_hours), signal[-frame_hours:]))
+    return frames
+
+
+class TestEstimateRatio:
+    def test_exact_scale_recovered(self):
+        truth = np.array([10.0, 20.0, 0.0, 5.0])
+        ratio = estimate_ratio(truth, truth * 4.0)
+        assert ratio == pytest.approx(0.25, rel=0.05)
+
+    def test_silent_overlap_returns_none(self):
+        assert estimate_ratio(np.zeros(5), np.zeros(5)) is None
+
+    def test_one_sided_silence_is_bounded(self):
+        ratio = estimate_ratio(np.zeros(5), np.full(5, 100.0))
+        assert 0 < ratio < 0.1
+
+    def test_clamped(self):
+        ratio = estimate_ratio(np.full(5, 1e6), np.full(5, 1e-6))
+        assert ratio <= 100.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(StitchingError):
+            estimate_ratio(np.zeros(3), np.zeros(4))
+
+    def test_empty_overlap_raises(self):
+        with pytest.raises(StitchingError):
+            estimate_ratio(np.zeros(0), np.zeros(0))
+
+
+class TestStitchFrames:
+    def test_recovers_relative_spike_heights(self):
+        """The whole point of stitching: the 120-spike must come out
+        about twice the 60-spike even though each maxed its own frame."""
+        signal = make_signal(600)
+        frames = split_into_frames(signal, frame_hours=168, overlap=48)
+        timeline, report = stitch_frames(frames)
+        i_small = int(600 // 4)
+        i_big = int(600 // 2)
+        measured = timeline.values[i_big] / timeline.values[i_small]
+        assert measured == pytest.approx(2.0, rel=0.35)
+        assert report.frames == len(frames)
+
+    def test_output_covers_full_span(self):
+        signal = make_signal(600)
+        frames = split_into_frames(signal, 168, 48)
+        timeline, _ = stitch_frames(frames)
+        assert len(timeline) == 600
+        assert timeline.start == utc(2021, 1, 1)
+
+    def test_renormalized_to_100(self):
+        signal = make_signal(600)
+        frames = split_into_frames(signal, 168, 48)
+        timeline, _ = stitch_frames(frames)
+        assert timeline.peak_value == pytest.approx(100.0)
+
+    def test_no_renormalize_option(self):
+        signal = make_signal(400)
+        frames = split_into_frames(signal, 168, 48)
+        timeline, _ = stitch_frames(frames, renormalize=False)
+        assert timeline.values[: 168].max() == 100.0  # first frame kept as-is
+
+    def test_zeros_preserved(self):
+        """Privacy zeros must survive stitching exactly (the detector's
+        walk rules depend on them)."""
+        signal = make_signal(400)
+        frames = split_into_frames(signal, 168, 48)
+        timeline, _ = stitch_frames(frames)
+        np.testing.assert_array_equal(timeline.values == 0, signal == 0)
+
+    def test_single_frame(self):
+        frames = [frame(utc(2021, 1, 1), make_signal(168))]
+        timeline, report = stitch_frames(frames)
+        assert len(timeline) == 168
+        assert report.ratios == ()
+
+    def test_empty_raises(self):
+        with pytest.raises(StitchingError):
+            stitch_frames([])
+
+    def test_mixed_geo_raises(self):
+        a = frame(utc(2021, 1, 1), make_signal(168))
+        b = frame(utc(2021, 1, 7), make_signal(168), geo="US-CA")
+        with pytest.raises(StitchingError):
+            stitch_frames([a, b])
+
+    def test_disjoint_frames_raise(self):
+        a = frame(utc(2021, 1, 1), make_signal(168))
+        b = frame(utc(2021, 2, 1), make_signal(168))
+        with pytest.raises(StitchingError):
+            stitch_frames([a, b])
+
+    def test_all_silent_frames(self):
+        zero = np.zeros(168)
+        frames = [
+            frame(utc(2021, 1, 1), zero),
+            frame(utc(2021, 1, 7), zero),
+        ]
+        timeline, report = stitch_frames(frames)
+        assert timeline.peak_value == 0.0
+        assert report.carried_ratios == 1
+
+    def test_contained_frame_skipped(self):
+        signal = make_signal(200)
+        outer = frame(utc(2021, 1, 1), signal[:168])
+        inner = frame(utc(2021, 1, 2), signal[24:96])
+        timeline, _ = stitch_frames([outer, inner])
+        assert len(timeline) == 168
+
+
+class TestNaiveConcatenation:
+    def test_misses_relative_scale(self):
+        """The ablation baseline: naive concatenation cannot recover the
+        2:1 ratio between the spikes (both read ~100)."""
+        signal = make_signal(600)
+        frames = split_into_frames(signal, 168, 48)
+        timeline = naive_concatenation(frames)
+        i_small, i_big = 150, 300
+        ratio = timeline.values[i_big] / timeline.values[i_small]
+        assert ratio == pytest.approx(1.0, rel=0.3)
+
+    def test_covers_span(self):
+        signal = make_signal(600)
+        frames = split_into_frames(signal, 168, 48)
+        assert len(naive_concatenation(frames)) == 600
+
+    def test_empty_raises(self):
+        with pytest.raises(StitchingError):
+            naive_concatenation([])

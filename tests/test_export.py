@@ -1,0 +1,61 @@
+"""Tests for CSV/JSON study export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import export_study
+
+
+@pytest.fixture(scope="module")
+def exported(mini_study, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("export")
+    files = export_study(mini_study, directory)
+    return directory, files
+
+
+class TestExport:
+    def test_all_artifacts_written(self, exported):
+        directory, files = exported
+        names = {path.name for path in files}
+        for expected in (
+            "fig3_states.csv",
+            "fig3_durations.csv",
+            "fig4_daily.csv",
+            "fig5_footprints.csv",
+            "fig6_monthly.csv",
+            "table1.csv",
+            "table2.csv",
+            "table3.csv",
+            "summary.json",
+        ):
+            assert expected in names
+        assert "fig1_tx.csv" in names  # one timeline per studied geo
+
+    def test_timeline_rows_match_series(self, exported, mini_study):
+        directory, _ = exported
+        with (directory / "fig1_tx.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        timeline = mini_study.states["US-TX"].timeline
+        assert len(rows) == len(timeline)
+        assert float(rows[0]["value"]) == pytest.approx(
+            float(timeline.values[0]), abs=1e-3
+        )
+
+    def test_summary_is_valid_json(self, exported, mini_study):
+        directory, _ = exported
+        summary = json.loads((directory / "summary.json").read_text())
+        assert summary["spikes"] == mini_study.spike_count
+        assert 0 <= summary["top10_state_share"] <= 1
+
+    def test_csv_headers(self, exported):
+        directory, _ = exported
+        with (directory / "table1.csv").open() as handle:
+            header = next(csv.reader(handle))
+        assert header == ["spike_time", "state", "duration_hours", "annotations"]
+
+    def test_export_is_idempotent(self, exported, mini_study):
+        directory, files = exported
+        again = export_study(mini_study, directory)
+        assert {p.name for p in again} == {p.name for p in files}

@@ -1,0 +1,147 @@
+"""Failure-injection and degenerate-input tests across the stack."""
+
+import pytest
+
+from repro.collection import CollectionManager
+from repro.core import AveragingConfig, Sift, SiftConfig
+from repro.core.area import group_outages
+from repro.core.spikes import SpikeSet
+from repro.timeutil import TimeWindow, utc
+from repro.trends import (
+    RateLimitConfig,
+    SimulatedClock,
+    TrendsConfig,
+    TrendsService,
+)
+from repro.web import SiftWebApp
+from repro.world import Scenario, ScenarioConfig, SearchPopulation
+
+
+def build_sift(scenario, trends_config=None, sift_config=None):
+    population = SearchPopulation(scenario)
+    clock = SimulatedClock()
+    service = TrendsService(
+        population,
+        trends_config
+        or TrendsConfig(
+            rate_limit=RateLimitConfig(burst=10_000, refill_per_second=10_000)
+        ),
+        clock=clock,
+    )
+    manager = CollectionManager(service, sleep=clock.sleep, fetcher_count=2)
+    return Sift(manager, sift_config or SiftConfig())
+
+
+def empty_world(threshold=50):
+    """A world with no events and a brutal anonymity threshold."""
+    scenario = Scenario.build(
+        ScenarioConfig(
+            start=utc(2021, 6, 1),
+            end=utc(2021, 7, 1),
+            background_scale=0.0,
+            include_headline_events=False,
+        )
+    )
+    config = TrendsConfig(
+        privacy_threshold=threshold,
+        rate_limit=RateLimitConfig(burst=10_000, refill_per_second=10_000),
+    )
+    return scenario, config
+
+
+class TestSilentWorld:
+    def test_study_with_zero_signal(self):
+        scenario, config = empty_world()
+        sift = build_sift(scenario, config)
+        study = sift.run_study(geos=("US-TX", "US-WY"), window=scenario.window)
+        assert study.spike_count == 0
+        assert study.outages == []
+        assert study.suggestion_stats == (0, 0)
+
+    def test_web_app_over_empty_study(self):
+        scenario, config = empty_world()
+        sift = build_sift(scenario, config)
+        study = sift.run_study(geos=("US-WY",), window=scenario.window)
+        app = SiftWebApp(study)
+        status, _, _ = app.handle_path("/")
+        assert status == 200
+        status, _, body = app.handle_path("/api/spikes?geo=US-WY")
+        assert status == 200
+        assert '"count": 0' in body
+
+    def test_group_outages_empty(self):
+        assert group_outages(SpikeSet([])) == []
+
+
+class TestDegenerateConfigurations:
+    def test_single_round_crawl(self):
+        """A one-shot crawl (no averaging) still yields a study."""
+        scenario = Scenario.build(
+            ScenarioConfig(
+                start=utc(2021, 2, 1), end=utc(2021, 3, 1), background_scale=0.1
+            )
+        )
+        sift = build_sift(
+            scenario,
+            sift_config=SiftConfig(
+                averaging=AveragingConfig(min_rounds=1, max_rounds=1),
+                annotate=False,
+            ),
+        )
+        result = sift.analyze_state("US-TX", scenario.window)
+        assert result.averaging.rounds_used == 1
+        assert not result.averaging.converged  # one round can't converge
+        assert len(result.spikes) > 0
+
+    def test_window_shorter_than_a_week(self):
+        """A sub-week study is a single frame: no stitching at all."""
+        scenario = Scenario.build(
+            ScenarioConfig(
+                start=utc(2021, 2, 14), end=utc(2021, 2, 17), background_scale=0.0
+            )
+        )
+        sift = build_sift(scenario)
+        result = sift.analyze_state("US-TX", scenario.window)
+        assert len(result.timeline) == 72
+        assert result.averaging.stitch_report.frames == 1
+
+    def test_dense_data_with_zero_privacy_threshold(self):
+        """Threshold 0 floods the series with nonzero hours; the
+        pipeline must survive (durations inflate, nothing crashes)."""
+        scenario = Scenario.build(
+            ScenarioConfig(
+                start=utc(2021, 2, 1), end=utc(2021, 2, 15), background_scale=0.1
+            )
+        )
+        config = TrendsConfig(
+            privacy_threshold=0,
+            rate_limit=RateLimitConfig(burst=10_000, refill_per_second=10_000),
+        )
+        sift = build_sift(scenario, config)
+        result = sift.analyze_state("US-CA", scenario.window)
+        assert result.timeline.nonzero_hours > 200
+        assert len(result.spikes) >= 1
+
+
+class TestStarvedCollection:
+    def test_single_fetcher_tight_budget_completes(self):
+        """One IP against a near-empty token bucket: slow but correct."""
+        scenario = Scenario.build(
+            ScenarioConfig(
+                start=utc(2021, 2, 1), end=utc(2021, 2, 15), background_scale=0.0
+            )
+        )
+        population = SearchPopulation(scenario)
+        clock = SimulatedClock()
+        service = TrendsService(
+            population,
+            TrendsConfig(
+                rate_limit=RateLimitConfig(burst=2, refill_per_second=0.5)
+            ),
+            clock=clock,
+        )
+        manager = CollectionManager(service, sleep=clock.sleep, fetcher_count=1)
+        sift = Sift(manager, SiftConfig(annotate=False))
+        result = sift.analyze_state("US-TX", scenario.window)
+        assert result.timeline is not None
+        assert clock() > 0  # the crawl had to wait out the limiter

@@ -1,0 +1,95 @@
+"""Unit tests for counter-based deterministic randomness."""
+
+import numpy as np
+import pytest
+
+from repro.rand import hashed_normal, hashed_uniform, stable_key, substream
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        assert stable_key("a", 1, "b") == stable_key("a", 1, "b")
+
+    def test_sensitive_to_order(self):
+        assert stable_key("a", "b") != stable_key("b", "a")
+
+    def test_sensitive_to_boundaries(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        assert stable_key("ab", "c") != stable_key("a", "bc")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= stable_key("anything", 123) < 2**64
+
+
+class TestHashedUniform:
+    def test_pure_function_of_inputs(self):
+        indices = np.arange(100, dtype=np.uint64)
+        left = hashed_uniform(42, indices)
+        right = hashed_uniform(42, indices)
+        np.testing.assert_array_equal(left, right)
+
+    def test_chunking_invariance(self):
+        """Computing a window in pieces must agree with one shot."""
+        indices = np.arange(1000, dtype=np.uint64)
+        whole = hashed_uniform(7, indices)
+        pieces = np.concatenate(
+            [hashed_uniform(7, indices[:300]), hashed_uniform(7, indices[300:])]
+        )
+        np.testing.assert_array_equal(whole, pieces)
+
+    def test_in_unit_interval_exclusive(self):
+        values = hashed_uniform(1, np.arange(10_000, dtype=np.uint64))
+        assert values.min() > 0.0
+        assert values.max() < 1.0
+
+    def test_different_keys_decorrelate(self):
+        indices = np.arange(10_000, dtype=np.uint64)
+        a = hashed_uniform(1, indices)
+        b = hashed_uniform(2, indices)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.05
+
+    def test_different_salts_decorrelate(self):
+        indices = np.arange(10_000, dtype=np.uint64)
+        a = hashed_uniform(1, indices, salt=0)
+        b = hashed_uniform(1, indices, salt=1)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.05
+
+    def test_roughly_uniform(self):
+        values = hashed_uniform(3, np.arange(50_000, dtype=np.uint64))
+        histogram, _ = np.histogram(values, bins=10, range=(0, 1))
+        assert histogram.min() > 4500
+        assert histogram.max() < 5500
+
+
+class TestHashedNormal:
+    def test_moments(self):
+        values = hashed_normal(11, np.arange(100_000, dtype=np.uint64))
+        assert abs(values.mean()) < 0.02
+        assert abs(values.std() - 1.0) < 0.02
+
+    def test_deterministic(self):
+        indices = np.arange(64, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            hashed_normal(5, indices), hashed_normal(5, indices)
+        )
+
+    def test_finite(self):
+        values = hashed_normal(9, np.arange(100_000, dtype=np.uint64))
+        assert np.isfinite(values).all()
+
+
+class TestSubstream:
+    def test_same_name_same_stream(self):
+        a = substream(1, "alpha").random(5)
+        b = substream(1, "alpha").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_differ(self):
+        a = substream(1, "alpha").random(5)
+        b = substream(1, "beta").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = substream(1, "alpha").random(5)
+        b = substream(2, "alpha").random(5)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,88 @@
+"""Unit tests for ASCII report rendering."""
+
+import numpy as np
+
+from repro.analysis.reporting import (
+    paper_vs_measured,
+    render_bars,
+    render_cdf,
+    render_table,
+    render_timeline,
+)
+
+
+class TestRenderTable:
+    def test_headers_and_alignment(self):
+        text = render_table(
+            ("state", "duration"), [("TX", 45), ("CA", 3)], title="Impact"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Impact"
+        assert "state" in lines[1]
+        assert "TX" in lines[3]
+        # Columns align: every row has the separator at the same offset.
+        offset = lines[1].index("duration")
+        assert lines[3][offset - 2 : offset] == "  "
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(("a",), [("a-very-long-value",)])
+        assert "a-very-long-value" in text
+
+    def test_empty_rows(self):
+        text = render_table(("x", "y"), [])
+        assert "x" in text
+
+
+class TestRenderCdf:
+    def test_contains_sampled_points(self):
+        xs = np.arange(1, 101)
+        ys = xs / 100.0
+        text = render_cdf(xs, ys, "hours", "fraction", title="durations")
+        assert "durations" in text
+        assert "100.0%" in text
+
+    def test_empty(self):
+        text = render_cdf(np.array([]), np.array([]), "x", "y")
+        assert "(empty)" in text
+
+
+class TestRenderBars:
+    def test_bar_lengths_proportional(self):
+        text = render_bars(["a", "b"], [1.0, 0.5])
+        lines = text.splitlines()
+        assert lines[0].count("#") == 2 * lines[1].count("#")
+
+    def test_percent_formatting(self):
+        text = render_bars(["Mon."], [0.152])
+        assert "15.2%" in text
+
+
+class TestRenderTimeline:
+    def test_peak_column_full_height(self):
+        values = np.zeros(50)
+        values[25] = 100.0
+        text = render_timeline(values, height=5)
+        lines = text.splitlines()
+        assert lines[0][25] == "|"
+
+    def test_pools_wide_series(self):
+        values = np.zeros(1000)
+        values[990] = 50.0
+        text = render_timeline(values, width=80, height=4)
+        assert "|" in text  # the spike survives max-pooling
+
+    def test_flat_series(self):
+        assert "(flat)" in render_timeline(np.zeros(10))
+
+    def test_empty_series(self):
+        assert "(empty)" in render_timeline(np.array([]))
+
+
+class TestPaperVsMeasured:
+    def test_three_columns(self):
+        text = paper_vs_measured(
+            [("total spikes", 49189, 8808), ("top-10 share", "51%", "55%")]
+        )
+        assert "paper" in text
+        assert "measured" in text
+        assert "49189" in text

@@ -1,0 +1,160 @@
+"""Unit tests for the hour-grid time utilities."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.errors import TimeGridError
+from repro.timeutil import (
+    DEFAULT_OVERLAP_HOURS,
+    HOURS_PER_WEEK,
+    TimeWindow,
+    daily_frame,
+    ensure_grid,
+    format_spike_time,
+    hour_at,
+    hour_index,
+    hour_range,
+    span_hours,
+    utc,
+    weekly_frames,
+)
+
+
+class TestEnsureGrid:
+    def test_accepts_aligned_utc(self):
+        moment = utc(2021, 2, 15, 10)
+        assert ensure_grid(moment) == moment
+
+    def test_rejects_naive(self):
+        with pytest.raises(TimeGridError):
+            ensure_grid(datetime(2021, 2, 15, 10))
+
+    def test_rejects_sub_hour(self):
+        with pytest.raises(TimeGridError):
+            ensure_grid(datetime(2021, 2, 15, 10, 30, tzinfo=timezone.utc))
+
+    def test_converts_other_zones_to_utc(self):
+        eastern = timezone(timedelta(hours=-5))
+        moment = datetime(2021, 2, 15, 5, tzinfo=eastern)
+        assert ensure_grid(moment) == utc(2021, 2, 15, 10)
+
+
+class TestHourArithmetic:
+    def test_hour_index_roundtrip(self):
+        origin = utc(2020, 1, 1)
+        moment = utc(2020, 1, 3, 7)
+        index = hour_index(origin, moment)
+        assert index == 55
+        assert hour_at(origin, index) == moment
+
+    def test_negative_index(self):
+        assert hour_index(utc(2020, 1, 2), utc(2020, 1, 1)) == -24
+
+    def test_span_hours(self):
+        assert span_hours(utc(2020, 1, 1), utc(2020, 1, 8)) == 168
+
+    def test_span_rejects_reversed(self):
+        with pytest.raises(TimeGridError):
+            span_hours(utc(2020, 1, 8), utc(2020, 1, 1))
+
+    def test_hour_range_yields_every_hour(self):
+        hours = list(hour_range(utc(2020, 1, 1), utc(2020, 1, 1, 5)))
+        assert len(hours) == 5
+        assert hours[0] == utc(2020, 1, 1)
+        assert hours[-1] == utc(2020, 1, 1, 4)
+
+
+class TestTimeWindow:
+    def test_rejects_empty(self):
+        with pytest.raises(TimeGridError):
+            TimeWindow(utc(2020, 1, 1), utc(2020, 1, 1))
+
+    def test_hours(self):
+        window = TimeWindow(utc(2020, 1, 1), utc(2020, 1, 2))
+        assert window.hours == 24
+
+    def test_contains_is_half_open(self):
+        window = TimeWindow(utc(2020, 1, 1), utc(2020, 1, 2))
+        assert window.contains(utc(2020, 1, 1))
+        assert not window.contains(utc(2020, 1, 2))
+
+    def test_overlaps(self):
+        left = TimeWindow(utc(2020, 1, 1), utc(2020, 1, 3))
+        right = TimeWindow(utc(2020, 1, 2), utc(2020, 1, 4))
+        disjoint = TimeWindow(utc(2020, 1, 3), utc(2020, 1, 4))
+        assert left.overlaps(right)
+        assert not left.overlaps(disjoint)
+
+    def test_intersection_hours(self):
+        left = TimeWindow(utc(2020, 1, 1), utc(2020, 1, 3))
+        right = TimeWindow(utc(2020, 1, 2), utc(2020, 1, 4))
+        assert left.intersection_hours(right) == 24
+        assert right.intersection_hours(left) == 24
+
+    def test_shift(self):
+        window = TimeWindow(utc(2020, 1, 1), utc(2020, 1, 2))
+        shifted = window.shift(-24)
+        assert shifted.start == utc(2019, 12, 31)
+        assert shifted.hours == window.hours
+
+
+class TestWeeklyFrames:
+    def test_short_window_is_single_frame(self):
+        window = TimeWindow(utc(2020, 1, 1), utc(2020, 1, 4))
+        assert weekly_frames(window) == [window]
+
+    def test_frames_cover_window(self):
+        window = TimeWindow(utc(2020, 1, 1), utc(2020, 3, 1))
+        frames = weekly_frames(window)
+        assert frames[0].start == window.start
+        assert frames[-1].end == window.end
+
+    def test_frames_are_at_most_a_week(self):
+        window = TimeWindow(utc(2020, 1, 1), utc(2020, 6, 1))
+        for frame in weekly_frames(window):
+            assert frame.hours <= HOURS_PER_WEEK
+
+    def test_consecutive_frames_overlap(self):
+        window = TimeWindow(utc(2020, 1, 1), utc(2020, 6, 1))
+        frames = weekly_frames(window)
+        for left, right in zip(frames, frames[1:]):
+            assert left.intersection_hours(right) >= DEFAULT_OVERLAP_HOURS
+
+    def test_custom_overlap(self):
+        window = TimeWindow(utc(2020, 1, 1), utc(2020, 3, 1))
+        frames = weekly_frames(window, overlap_hours=72)
+        for left, right in zip(frames[:-1], frames[1:]):
+            assert left.intersection_hours(right) >= 72
+
+    def test_no_gap_between_frames(self):
+        window = TimeWindow(utc(2020, 1, 1), utc(2021, 1, 1))
+        frames = weekly_frames(window)
+        for left, right in zip(frames, frames[1:]):
+            assert right.start < left.end
+
+    def test_invalid_overlap_rejected(self):
+        window = TimeWindow(utc(2020, 1, 1), utc(2020, 3, 1))
+        with pytest.raises(TimeGridError):
+            weekly_frames(window, overlap_hours=0)
+        with pytest.raises(TimeGridError):
+            weekly_frames(window, overlap_hours=HOURS_PER_WEEK)
+
+
+class TestDailyFrame:
+    def test_covers_the_utc_day(self):
+        frame = daily_frame(utc(2021, 2, 15, 13))
+        assert frame.start == utc(2021, 2, 15)
+        assert frame.hours == 24
+
+    def test_midnight_belongs_to_its_day(self):
+        frame = daily_frame(utc(2021, 2, 15))
+        assert frame.start == utc(2021, 2, 15)
+
+
+class TestFormatting:
+    def test_format_spike_time_matches_paper_style(self):
+        assert format_spike_time(utc(2021, 2, 15, 10)) == "15 Feb. 2021-10h"
+
+    def test_format_pads_day_and_hour(self):
+        assert format_spike_time(utc(2020, 6, 1, 4)) == "01 Jun. 2020-04h"

@@ -1,0 +1,104 @@
+"""Unit tests for the retrying Trends client."""
+
+import pytest
+
+from repro.errors import CollectionError
+from repro.timeutil import TimeWindow, utc
+from repro.trends.client import RetryPolicy, TrendsClient
+from repro.trends.ratelimit import RateLimitConfig, SimulatedClock
+from repro.trends.service import TrendsConfig, TrendsService
+from repro.world.population import SearchPopulation
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+WEEK = TimeWindow(utc(2021, 1, 4), utc(2021, 1, 11))
+
+
+@pytest.fixture(scope="module")
+def population():
+    scenario = Scenario.build(
+        ScenarioConfig(
+            start=utc(2021, 1, 1), end=utc(2021, 2, 1), background_scale=0.0
+        )
+    )
+    return SearchPopulation(scenario)
+
+
+def make_pair(population, burst=2, refill=1.0):
+    clock = SimulatedClock()
+    service = TrendsService(
+        population,
+        TrendsConfig(
+            rate_limit=RateLimitConfig(burst=burst, refill_per_second=refill)
+        ),
+        clock=clock,
+    )
+    client = TrendsClient(service, ip="198.18.0.1", sleep=clock.sleep)
+    return clock, service, client
+
+
+class TestRetryPolicy:
+    def test_delay_honors_retry_after(self):
+        policy = RetryPolicy(jitter=0.0)
+        assert policy.delay(0, retry_after=10.0, jitter_unit=0.5) == 10.0
+
+    def test_delay_backs_off_exponentially(self):
+        policy = RetryPolicy(jitter=0.0, backoff_base=2.0)
+        assert policy.delay(3, retry_after=0.0, jitter_unit=0.5) == 8.0
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(jitter=0.0, max_backoff=30.0)
+        assert policy.delay(50, retry_after=0.0, jitter_unit=0.5) == 30.0
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(jitter=0.25)
+        low = policy.delay(0, retry_after=10.0, jitter_unit=0.0)
+        high = policy.delay(0, retry_after=10.0, jitter_unit=1.0)
+        assert low == pytest.approx(7.5)
+        assert high == pytest.approx(12.5)
+
+
+class TestClient:
+    def test_fetch_counts(self, population):
+        _, _, client = make_pair(population, burst=10)
+        client.interest_over_time("Internet outage", "US-TX", WEEK)
+        assert client.fetches == 1
+        assert client.retries == 0
+
+    def test_retries_through_rate_limit(self, population):
+        clock, service, client = make_pair(population, burst=2, refill=1.0)
+        for _ in range(5):
+            client.interest_over_time(
+                "Internet outage", "US-TX", WEEK, include_rising=False
+            )
+        assert client.fetches == 5
+        assert client.retries >= 3
+        assert clock() > 0  # the client actually waited (virtually)
+
+    def test_gives_up_eventually(self, population):
+        clock = SimulatedClock()
+        service = TrendsService(
+            population,
+            TrendsConfig(
+                rate_limit=RateLimitConfig(burst=1, refill_per_second=0.000001)
+            ),
+            clock=clock,
+        )
+        # A sleeper that doesn't advance time: the bucket never refills.
+        client = TrendsClient(
+            service,
+            ip="198.18.0.2",
+            sleep=lambda seconds: None,
+            policy=RetryPolicy(max_attempts=3),
+        )
+        client.interest_over_time("Internet outage", "US-TX", WEEK)
+        with pytest.raises(CollectionError):
+            client.interest_over_time("Internet outage", "US-TX", WEEK)
+
+    def test_rising_queries_helper(self, population):
+        _, _, client = make_pair(population, burst=10)
+        rising = client.rising_queries(
+            "Internet outage",
+            "US-TX",
+            TimeWindow(utc(2021, 1, 11), utc(2021, 1, 18)),
+        )
+        assert isinstance(rising, tuple)

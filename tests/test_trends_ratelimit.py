@@ -1,0 +1,94 @@
+"""Unit tests for the token-bucket rate limiter and simulated clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RateLimitError
+from repro.trends.ratelimit import (
+    RateLimitConfig,
+    SimulatedClock,
+    TokenBucketLimiter,
+)
+
+
+@pytest.fixture()
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture()
+def limiter(clock):
+    return TokenBucketLimiter(
+        RateLimitConfig(burst=5, refill_per_second=1.0), clock=clock
+    )
+
+
+class TestConfig:
+    def test_rejects_nonpositive_burst(self):
+        with pytest.raises(ConfigurationError):
+            RateLimitConfig(burst=0)
+
+    def test_rejects_nonpositive_refill(self):
+        with pytest.raises(ConfigurationError):
+            RateLimitConfig(refill_per_second=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_reject(self, limiter):
+        for _ in range(5):
+            assert limiter.try_acquire("1.1.1.1")
+        assert not limiter.try_acquire("1.1.1.1")
+        assert limiter.rejections == 1
+
+    def test_acquire_raises_with_retry_hint(self, limiter):
+        for _ in range(5):
+            limiter.acquire("1.1.1.1")
+        with pytest.raises(RateLimitError) as excinfo:
+            limiter.acquire("1.1.1.1")
+        assert 0 < excinfo.value.retry_after <= 1.0
+        assert excinfo.value.ip == "1.1.1.1"
+
+    def test_refill_restores_budget(self, limiter, clock):
+        for _ in range(5):
+            limiter.acquire("1.1.1.1")
+        clock.advance(2.0)
+        assert limiter.try_acquire("1.1.1.1")
+        assert limiter.try_acquire("1.1.1.1")
+        assert not limiter.try_acquire("1.1.1.1")
+
+    def test_refill_caps_at_burst(self, limiter, clock):
+        clock.advance(1_000.0)
+        for _ in range(5):
+            assert limiter.try_acquire("1.1.1.1")
+        assert not limiter.try_acquire("1.1.1.1")
+
+    def test_ips_are_independent(self, limiter):
+        """Separate IPs get separate buckets — the property the paper's
+        fetcher-unit design exploits."""
+        for _ in range(5):
+            limiter.acquire("1.1.1.1")
+        assert limiter.try_acquire("2.2.2.2")
+
+    def test_retry_after_zero_when_tokens_available(self, limiter):
+        assert limiter.retry_after("3.3.3.3") == 0.0
+
+    def test_tokens_available(self, limiter):
+        assert limiter.tokens_available("4.4.4.4") == pytest.approx(5.0)
+        limiter.acquire("4.4.4.4")
+        assert limiter.tokens_available("4.4.4.4") == pytest.approx(4.0)
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self, clock):
+        assert clock() == 0.0
+
+    def test_advance(self, clock):
+        clock.advance(3.5)
+        assert clock() == 3.5
+
+    def test_sleep_is_advance(self, clock):
+        clock.sleep(2.0)
+        assert clock() == 2.0
+
+    def test_rejects_rewind(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)

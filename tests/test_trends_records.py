@@ -1,0 +1,97 @@
+"""Unit tests for Trends request/response records."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrendsRequestError
+from repro.timeutil import TimeWindow, utc
+from repro.trends.records import (
+    BREAKOUT_WEIGHT,
+    RisingTerm,
+    TimeFrameRequest,
+    TimeFrameResponse,
+)
+
+WEEK = TimeWindow(utc(2021, 2, 14), utc(2021, 2, 21))
+
+
+def make_request(**overrides) -> TimeFrameRequest:
+    defaults = dict(term="Internet outage", geo="US-TX", window=WEEK)
+    defaults.update(overrides)
+    return TimeFrameRequest(**defaults)
+
+
+class TestTimeFrameRequest:
+    def test_valid_request(self):
+        request = make_request()
+        assert request.window.hours == 168
+
+    def test_rejects_empty_term(self):
+        with pytest.raises(TrendsRequestError):
+            make_request(term="   ")
+
+    def test_rejects_unknown_geo(self):
+        with pytest.raises(TrendsRequestError):
+            make_request(geo="US-XX")
+
+    def test_rejects_over_week_hourly_frame(self):
+        """GT limits hourly data to one-week frames (paper §2)."""
+        with pytest.raises(TrendsRequestError):
+            make_request(window=TimeWindow(utc(2021, 2, 1), utc(2021, 2, 10)))
+
+    def test_accepts_daily_frame(self):
+        request = make_request(
+            window=TimeWindow(utc(2021, 2, 15), utc(2021, 2, 16))
+        )
+        assert request.window.hours == 24
+
+    def test_cache_key_identity(self):
+        assert make_request().cache_key == make_request().cache_key
+        other = make_request(geo="US-CA")
+        assert other.cache_key != make_request().cache_key
+
+
+class TestRisingTerm:
+    def test_breakout_threshold(self):
+        assert RisingTerm("verizon outage", BREAKOUT_WEIGHT).breakout
+        assert not RisingTerm("verizon outage", 120).breakout
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(TrendsRequestError):
+            RisingTerm("verizon outage", 0)
+
+
+class TestTimeFrameResponse:
+    def test_valid_response(self):
+        response = TimeFrameResponse(
+            request=make_request(),
+            values=np.zeros(168, dtype=np.int16),
+            rising=(),
+            sample_round=0,
+        )
+        assert response.is_flat()
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(TrendsRequestError):
+            TimeFrameResponse(
+                request=make_request(),
+                values=np.zeros(100, dtype=np.int16),
+                rising=(),
+                sample_round=0,
+            )
+
+    def test_rejects_out_of_range_values(self):
+        values = np.zeros(168, dtype=np.int16)
+        values[0] = 101
+        with pytest.raises(TrendsRequestError):
+            TimeFrameResponse(
+                request=make_request(), values=values, rising=(), sample_round=0
+            )
+
+    def test_is_flat_detects_signal(self):
+        values = np.zeros(168, dtype=np.int16)
+        values[10] = 100
+        response = TimeFrameResponse(
+            request=make_request(), values=values, rising=(), sample_round=0
+        )
+        assert not response.is_flat()

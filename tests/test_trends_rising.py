@@ -1,0 +1,85 @@
+"""Unit tests for rising-suggestion computation."""
+
+import numpy as np
+import pytest
+
+from repro.timeutil import TimeWindow, utc
+from repro.trends.records import BREAKOUT_WEIGHT, TimeFrameRequest
+from repro.trends.rising import RisingConfig, rising_terms
+from repro.world.catalog import resolve_phrase
+from repro.world.population import SearchPopulation
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+STORM_WEEK = TimeWindow(utc(2021, 2, 14), utc(2021, 2, 21))
+FIRST_WEEK = TimeWindow(utc(2021, 1, 1), utc(2021, 1, 8))
+
+
+@pytest.fixture(scope="module")
+def population():
+    scenario = Scenario.build(
+        ScenarioConfig(
+            start=utc(2021, 1, 1), end=utc(2021, 3, 1), background_scale=0.0
+        )
+    )
+    return SearchPopulation(scenario)
+
+
+def compute(population, window, geo="US-TX", **config_overrides):
+    request = TimeFrameRequest(term="Internet outage", geo=geo, window=window)
+    rng = np.random.default_rng(7)
+    config = RisingConfig(**config_overrides) if config_overrides else None
+    return rising_terms(population, request, rng, sample_rate=0.03, config=config)
+
+
+class TestRisingTerms:
+    def test_storm_terms_rise_in_texas(self, population):
+        rising = compute(population, STORM_WEEK)
+        concepts = {resolve_phrase(term.phrase) for term in rising}
+        names = {term.name for term in concepts if term is not None}
+        assert "Power outage" in names
+        assert "Winter storm" in names
+
+    def test_weights_sorted_descending(self, population):
+        rising = compute(population, STORM_WEEK)
+        weights = [term.weight for term in rising]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_requested_term_never_suggested(self, population):
+        rising = compute(population, STORM_WEEK)
+        for term in rising:
+            resolved = resolve_phrase(term.phrase)
+            assert resolved is None or resolved.name != "Internet outage"
+
+    def test_first_window_has_no_suggestions(self, population):
+        """No preceding period to compare against -> empty, not an error."""
+        assert compute(population, FIRST_WEEK) == ()
+
+    def test_quiet_state_quiet_week_mostly_empty(self, population):
+        rising = compute(
+            population,
+            TimeWindow(utc(2021, 1, 18), utc(2021, 1, 25)),
+            geo="US-WY",
+        )
+        # Tiny states rarely clear the anonymity threshold, so only a
+        # handful of random correlations (the paper's term) survive.
+        assert len(rising) <= 8
+
+    def test_top_k_respected(self, population):
+        rising = compute(population, STORM_WEEK, top_k=2, min_weight=1)
+        assert len(rising) <= 2
+
+    def test_weights_capped_at_breakout(self, population):
+        rising = compute(population, STORM_WEEK)
+        assert all(term.weight <= BREAKOUT_WEIGHT for term in rising)
+
+    def test_min_weight_filters(self, population):
+        loose = compute(population, STORM_WEEK, min_weight=1)
+        strict = compute(population, STORM_WEEK, min_weight=400)
+        assert len(strict) <= len(loose)
+        assert all(term.weight >= 400 for term in strict)
+
+    def test_phrases_are_raw_queries(self, population):
+        """At least some suggestions surface as typed variants, not
+        canonical names — the clustering stage's raison d'etre."""
+        rising = compute(population, STORM_WEEK, min_weight=1)
+        assert any(term.phrase != term.phrase.title() for term in rising)

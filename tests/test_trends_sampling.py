@@ -1,0 +1,123 @@
+"""Unit tests for GT sampling, anonymity rounding, and indexing."""
+
+import numpy as np
+import pytest
+
+from repro.trends.sampling import (
+    index_frame,
+    privacy_round,
+    sample_counts,
+    sampling_standard_error,
+)
+
+
+class TestSampleCounts:
+    def test_unbiased_estimator(self):
+        """Sample proportions must be unbiased (paper §3.2 premise)."""
+        rng = np.random.default_rng(0)
+        volumes = np.full(2000, 500.0)
+        totals = np.full(2000, 1_000_000.0)
+        counts = sample_counts(rng, volumes, totals, sample_rate=0.05)
+        estimate = counts.mean() / (1_000_000 * 0.05)
+        assert estimate == pytest.approx(500 / 1_000_000, rel=0.05)
+
+    def test_error_shrinks_with_sample_rate(self):
+        """Larger samples -> smaller relative error (the averaging premise)."""
+        rng = np.random.default_rng(1)
+        volumes = np.full(3000, 200.0)
+        totals = np.full(3000, 1_000_000.0)
+        small = sample_counts(rng, volumes, totals, 0.01) / (1e6 * 0.01)
+        large = sample_counts(rng, volumes, totals, 0.25) / (1e6 * 0.25)
+        assert large.std() < small.std()
+
+    def test_zero_volume_zero_counts(self):
+        rng = np.random.default_rng(2)
+        counts = sample_counts(
+            rng, np.zeros(10), np.full(10, 1000.0), sample_rate=0.1
+        )
+        assert (counts == 0).all()
+
+    def test_rejects_bad_rate(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            sample_counts(rng, np.ones(3), np.ones(3), 0.0)
+        with pytest.raises(ValueError):
+            sample_counts(rng, np.ones(3), np.ones(3), 1.5)
+
+    def test_rejects_misaligned_arrays(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            sample_counts(rng, np.ones(3), np.ones(4), 0.1)
+
+    def test_proportion_clipped(self):
+        """Volumes above total (possible under boosts) must not crash."""
+        rng = np.random.default_rng(5)
+        counts = sample_counts(
+            rng, np.array([2000.0]), np.array([1000.0]), sample_rate=0.5
+        )
+        assert counts[0] == 500  # p clipped to 1.0
+
+
+class TestPrivacyRound:
+    def test_zeroes_below_threshold(self):
+        counts = np.array([0, 1, 2, 3, 4])
+        rounded = privacy_round(counts, threshold=3)
+        np.testing.assert_array_equal(rounded, [0, 0, 0, 3, 4])
+
+    def test_threshold_zero_is_identity(self):
+        counts = np.array([0, 1, 2])
+        np.testing.assert_array_equal(privacy_round(counts, 0), counts)
+
+    def test_does_not_mutate_input(self):
+        counts = np.array([1, 5])
+        privacy_round(counts, 3)
+        np.testing.assert_array_equal(counts, [1, 5])
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            privacy_round(np.array([1]), -1)
+
+
+class TestIndexFrame:
+    def test_max_maps_to_100(self):
+        values = index_frame(np.array([1, 2, 4]))
+        np.testing.assert_array_equal(values, [25, 50, 100])
+
+    def test_all_zero_stays_zero(self):
+        values = index_frame(np.zeros(5))
+        np.testing.assert_array_equal(values, np.zeros(5))
+
+    def test_dtype_and_bounds(self):
+        rng = np.random.default_rng(6)
+        counts = rng.integers(0, 1000, size=200)
+        values = index_frame(counts)
+        assert values.dtype == np.int16
+        assert values.min() >= 0
+        assert values.max() == 100
+
+    def test_proportional_indexing_with_sizes(self):
+        """Equal counts over unequal sample sizes index differently."""
+        counts = np.array([10, 10])
+        sizes = np.array([1000, 2000])
+        values = index_frame(counts, sizes)
+        np.testing.assert_array_equal(values, [100, 50])
+
+    def test_rejects_misaligned_sizes(self):
+        with pytest.raises(ValueError):
+            index_frame(np.array([1, 2]), np.array([1]))
+
+
+class TestStandardError:
+    def test_formula(self):
+        assert sampling_standard_error(0.5, 100) == pytest.approx(0.05)
+
+    def test_shrinks_with_sample_size(self):
+        assert sampling_standard_error(0.1, 10_000) < sampling_standard_error(
+            0.1, 100
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sampling_standard_error(1.5, 100)
+        with pytest.raises(ValueError):
+            sampling_standard_error(0.5, 0)

@@ -1,0 +1,124 @@
+"""Unit tests for the simulated Trends service."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RateLimitError
+from repro.timeutil import TimeWindow, utc
+from repro.trends.ratelimit import RateLimitConfig, SimulatedClock
+from repro.trends.records import TimeFrameRequest
+from repro.trends.service import TrendsConfig, TrendsService
+from repro.world.population import SearchPopulation
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+STORM_WEEK = TimeWindow(utc(2021, 2, 14), utc(2021, 2, 21))
+QUIET_WEEK = TimeWindow(utc(2021, 1, 4), utc(2021, 1, 11))
+
+
+@pytest.fixture(scope="module")
+def population():
+    scenario = Scenario.build(
+        ScenarioConfig(
+            start=utc(2021, 1, 1), end=utc(2021, 3, 1), background_scale=0.05
+        )
+    )
+    return SearchPopulation(scenario)
+
+
+@pytest.fixture()
+def service(population):
+    return TrendsService(
+        population,
+        TrendsConfig(rate_limit=RateLimitConfig(burst=1000, refill_per_second=1000)),
+        clock=SimulatedClock(),
+    )
+
+
+def storm_request() -> TimeFrameRequest:
+    return TimeFrameRequest(term="Internet outage", geo="US-TX", window=STORM_WEEK)
+
+
+class TestFetch:
+    def test_response_contract(self, service):
+        response = service.fetch(storm_request())
+        assert response.values.shape == (168,)
+        assert response.values.dtype == np.int16
+        assert response.values.max() == 100  # the storm dominates its frame
+
+    def test_same_round_is_reproducible(self, service):
+        a = service.fetch(storm_request(), sample_round=3)
+        b = service.fetch(storm_request(), sample_round=3)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_rounds_differ(self, service):
+        """Independent samples: the paper's motivation for averaging."""
+        a = service.fetch(storm_request(), sample_round=0)
+        b = service.fetch(storm_request(), sample_round=1)
+        assert (a.values != b.values).any()
+
+    def test_auto_round_increments(self, service):
+        a = service.fetch(storm_request())
+        b = service.fetch(storm_request())
+        assert a.sample_round == 0
+        assert b.sample_round == 1
+
+    def test_quiet_small_state_is_flat(self, service):
+        """Privacy rounding wipes tiny volumes to zero (paper §2)."""
+        response = service.fetch(
+            TimeFrameRequest(term="Internet outage", geo="US-WY", window=QUIET_WEEK)
+        )
+        assert response.is_flat()
+
+    def test_piecewise_normalization(self, service):
+        """A quiet frame still maxes at 100: each frame is indexed
+        against its own maximum, which is why stitching must rescale."""
+        quiet = service.fetch(
+            TimeFrameRequest(term="Internet outage", geo="US-TX", window=QUIET_WEEK)
+        )
+        storm = service.fetch(storm_request())
+        assert quiet.values.max() in (0, 100)
+        assert storm.values.max() == 100
+
+    def test_rising_terms_reflect_storm(self, service):
+        response = service.fetch(storm_request(), sample_round=0)
+        from repro.core.nlp import PhraseClusterer
+
+        clusterer = PhraseClusterer()
+        concepts = {clusterer.canonicalize(t.phrase) for t in response.rising}
+        assert {"Power outage", "Winter storm"} & concepts
+
+    def test_rising_skipped_when_not_requested(self, service):
+        response = service.fetch(storm_request(), include_rising=False)
+        assert response.rising == ()
+
+    def test_stats_accumulate(self, service):
+        service.fetch(storm_request())
+        service.fetch(storm_request(), include_rising=False)
+        assert service.stats.frames_served == 2
+        assert service.stats.rising_computed == 1
+        assert service.stats.frames_by_geo["US-TX"] == 2
+
+
+class TestRateLimiting:
+    def test_limited_service_rejects(self, population):
+        clock = SimulatedClock()
+        service = TrendsService(
+            population,
+            TrendsConfig(rate_limit=RateLimitConfig(burst=2, refill_per_second=0.1)),
+            clock=clock,
+        )
+        service.fetch(storm_request(), ip="9.9.9.9")
+        service.fetch(storm_request(), ip="9.9.9.9")
+        with pytest.raises(RateLimitError):
+            service.fetch(storm_request(), ip="9.9.9.9")
+        assert service.stats.rate_limited == 1
+
+    def test_other_ip_unaffected(self, population):
+        clock = SimulatedClock()
+        service = TrendsService(
+            population,
+            TrendsConfig(rate_limit=RateLimitConfig(burst=1, refill_per_second=0.1)),
+            clock=clock,
+        )
+        service.fetch(storm_request(), ip="9.9.9.9")
+        service.fetch(storm_request(), ip="8.8.8.8")  # must not raise

@@ -1,0 +1,166 @@
+"""Tests for ground-truth validation and SIFT/ANT characterization."""
+
+import pytest
+
+from repro.analysis import validate_study
+from repro.ant import AntDataset, characterize
+from repro.core.spikes import Spike, SpikeSet
+from repro.timeutil import utc
+from repro.world.events import Cause, OutageEvent, StateImpact
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+
+def lab_scenario(events) -> Scenario:
+    config = ScenarioConfig(
+        start=utc(2021, 4, 1),
+        end=utc(2021, 5, 1),
+        background_scale=0.0,
+        include_headline_events=False,
+    )
+    return Scenario(config, tuple(events))
+
+
+def event(state="TX", hour=12, hours=5, intensity=10.0, cause=Cause.ISP,
+          terms=("Verizon",), event_id="lab-1"):
+    return OutageEvent(
+        event_id=event_id,
+        name="lab event",
+        cause=cause,
+        impacts=(StateImpact(state, utc(2021, 4, 10, hour), hours, intensity),),
+        terms=terms,
+    )
+
+
+def spike(state="TX", start_hour=12, duration=5, magnitude=50.0, annotations=()):
+    from datetime import timedelta
+
+    start = utc(2021, 4, 10, start_hour)
+    return Spike(
+        term="Internet outage",
+        geo=f"US-{state}",
+        start=start,
+        peak=start + timedelta(hours=min(1, duration - 1)),
+        end=start + timedelta(hours=duration - 1),
+        magnitude=magnitude,
+        annotations=annotations,
+    )
+
+
+class TestValidateStudy:
+    def test_perfect_detection(self):
+        scenario = lab_scenario([event()])
+        spikes = SpikeSet([spike(annotations=("Verizon",))])
+        report = validate_study(spikes, scenario)
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+        assert report.annotation_accuracy() == 1.0
+        assert report.mean_absolute_duration_error == 0.0
+
+    def test_missed_impact(self):
+        scenario = lab_scenario([event()])
+        report = validate_study(SpikeSet([]), scenario)
+        assert report.recall == 0.0
+
+    def test_noise_spike_hurts_precision(self):
+        scenario = lab_scenario([event()])
+        noise = spike(state="WY", start_hour=2, duration=1)
+        spikes = SpikeSet([spike(annotations=("Verizon",)), noise])
+        report = validate_study(spikes, scenario)
+        assert report.precision == pytest.approx(0.5)
+        assert report.recall == 1.0
+
+    def test_duration_error_measured(self):
+        scenario = lab_scenario([event(hours=5)])
+        spikes = SpikeSet([spike(duration=8)])
+        report = validate_study(spikes, scenario)
+        assert report.mean_absolute_duration_error == pytest.approx(3.0)
+
+    def test_spike_in_wrong_state_does_not_match(self):
+        scenario = lab_scenario([event(state="TX")])
+        spikes = SpikeSet([spike(state="CA")])
+        report = validate_study(spikes, scenario)
+        assert report.recall == 0.0
+        assert report.precision == 0.0
+
+    def test_recall_by_intensity(self):
+        strong = event(intensity=20.0, event_id="lab-strong")
+        weak = event(state="CA", intensity=1.8, event_id="lab-weak")
+        scenario = lab_scenario([strong, weak])
+        spikes = SpikeSet([spike()])  # only the strong one found
+        report = validate_study(spikes, scenario)
+        assert report.recall == pytest.approx(0.5)
+        assert report.recall_above_intensity(10.0) == 1.0
+
+    def test_annotation_accuracy_ignores_termless_events(self):
+        termless = event(cause=Cause.OTHER, terms=(), event_id="lab-other")
+        scenario = lab_scenario([termless])
+        spikes = SpikeSet([spike(annotations=("Weather",))])
+        report = validate_study(spikes, scenario)
+        assert report.annotation_accuracy() == 0.0  # nothing relevant
+
+    def test_end_to_end_recall_on_pipeline_output(self, small_env, mini_study):
+        """The real pipeline must recover most strong ground-truth
+        impacts in the states it studied."""
+        from tests.conftest import MINI_GEOS
+
+        states = {geo.removeprefix("US-") for geo in MINI_GEOS}
+        scenario = small_env.scenario
+        relevant = [
+            e for e in scenario.events if set(e.states) & states
+        ]
+        assert relevant
+        report = validate_study(mini_study.spikes, scenario)
+        # Only impacts within studied states count for this check.
+        studied = [
+            m for m in report.matches if m.impact.state in states
+        ]
+        strong = [m for m in studied if m.impact.intensity >= 5.0]
+        detected = sum(1 for m in strong if m.detected)
+        assert detected / len(strong) > 0.8
+
+
+class TestCharacterize:
+    def test_three_way_split(self):
+        power = event(
+            cause=Cause.POWER_WEATHER,
+            intensity=40.0,
+            hours=12,
+            terms=("Power outage",),
+            event_id="lab-power",
+        )
+        mobile = event(
+            state="CA",
+            cause=Cause.MOBILE,
+            intensity=12.0,
+            hours=8,
+            terms=("T-Mobile",),
+            event_id="lab-mobile",
+        )
+        scenario = lab_scenario([power, mobile])
+        dataset = AntDataset.build(scenario)
+        spikes = SpikeSet(
+            [
+                spike(state="TX", duration=12, magnitude=90.0),
+                spike(state="CA", duration=8, magnitude=60.0),
+            ]
+        )
+        report = characterize(spikes, dataset, scenario, top_spikes=10)
+        both_states = {s.state for s in report.seen_by_both}
+        only_states = {s.state for s in report.sift_only}
+        assert "TX" in both_states  # power outage: ANT sees it
+        assert "CA" in only_states  # mobile outage: SIFT-only
+        assert report.sift_only_causes["mobile"] == 1
+        assert 0.0 <= report.sift_only_share <= 1.0
+
+    def test_ant_only_counts_unsensed_episodes(self):
+        power = event(
+            cause=Cause.POWER_WEATHER,
+            intensity=40.0,
+            hours=12,
+            terms=("Power outage",),
+        )
+        scenario = lab_scenario([power])
+        dataset = AntDataset.build(scenario)
+        # SIFT saw nothing at all: the darkening episode is ANT-only.
+        report = characterize(SpikeSet([]), dataset, scenario)
+        assert report.ant_only_episodes >= 1

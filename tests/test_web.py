@@ -1,0 +1,87 @@
+"""Tests for the web interface (routing logic + a live HTTP roundtrip)."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.web import SiftWebApp, serve
+
+
+@pytest.fixture(scope="module")
+def app(mini_study):
+    return SiftWebApp(mini_study)
+
+
+class TestRouting:
+    def test_index_html(self, app):
+        status, content_type, body = app.handle_path("/")
+        assert status == 200
+        assert content_type.startswith("text/html")
+        assert "SIFT" in body
+
+    def test_geos(self, app):
+        status, _, body = app.handle_path("/api/geos")
+        assert status == 200
+        geos = json.loads(body)
+        assert "US-TX" in geos
+
+    def test_timeline(self, app):
+        status, _, body = app.handle_path("/api/timeline?geo=US-TX")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["geo"] == "US-TX"
+        assert payload["hours"] == len(payload["values"])
+
+    def test_timeline_window(self, app):
+        status, _, body = app.handle_path(
+            "/api/timeline?geo=US-TX"
+            "&start=2021-02-14T00:00:00&end=2021-02-21T00:00:00"
+        )
+        assert status == 200
+        assert json.loads(body)["hours"] == 168
+
+    def test_spikes(self, app):
+        status, _, body = app.handle_path("/api/spikes?geo=US-TX&min_hours=5")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["count"] == len(payload["spikes"])
+        assert all(s["geo"] == "US-TX" for s in payload["spikes"])
+
+    def test_outages(self, app):
+        status, _, body = app.handle_path("/api/outages?min_states=2")
+        assert status == 200
+        payload = json.loads(body)
+        assert all(o["footprint"] >= 2 for o in payload["outages"])
+
+    def test_missing_geo_is_400(self, app):
+        status, _, body = app.handle_path("/api/timeline")
+        assert status == 400
+        assert "geo" in json.loads(body)["error"]
+
+    def test_unknown_geo_is_400(self, app):
+        status, _, _ = app.handle_path("/api/timeline?geo=US-ZZ")
+        assert status == 400
+
+    def test_unknown_path_is_404(self, app):
+        status, _, _ = app.handle_path("/api/nonsense")
+        assert status == 404
+
+    def test_bad_parameter_is_400(self, app):
+        status, _, _ = app.handle_path("/api/spikes?geo=US-TX&min_hours=soon")
+        assert status == 400
+
+
+class TestLiveServer:
+    def test_http_roundtrip(self, mini_study):
+        server, _thread = serve(mini_study, port=0)
+        try:
+            host, port = server.server_address[:2]
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/api/geos", timeout=5
+            ) as response:
+                assert response.status == 200
+                geos = json.loads(response.read())
+                assert "US-TX" in geos
+        finally:
+            server.shutdown()

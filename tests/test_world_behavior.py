@@ -1,0 +1,147 @@
+"""Unit tests for the user search-behaviour model."""
+
+import numpy as np
+import pytest
+
+from repro.timeutil import TimeWindow, utc
+from repro.world.behavior import (
+    DEFAULT_BEHAVIOR,
+    diurnal_curve,
+    event_boost,
+    interest_shape,
+    local_diurnal,
+    response_modulation,
+    term_baseline_per_hour,
+)
+from repro.world.events import Cause, OutageEvent, StateImpact
+
+
+@pytest.fixture()
+def event():
+    return OutageEvent(
+        event_id="evt",
+        name="test",
+        cause=Cause.ISP,
+        impacts=(StateImpact("TX", utc(2021, 2, 15, 10), 6, 4.0),),
+        terms=("Verizon",),
+    )
+
+
+class TestDiurnal:
+    def test_shape(self):
+        curve = diurnal_curve()
+        assert curve.shape == (24,)
+        assert curve.max() == pytest.approx(1.0)
+        assert curve.min() > 0.0
+
+    def test_evening_peak(self):
+        curve = diurnal_curve()
+        assert int(np.argmax(curve)) in (19, 20, 21)
+        assert curve[4] < 0.4  # deep night is quiet
+
+    def test_local_diurnal_respects_timezone(self):
+        window = TimeWindow(utc(2021, 6, 1), utc(2021, 6, 2))
+        east = local_diurnal("NY", window)
+        west = local_diurnal("CA", window)
+        # California's curve is New York's shifted by three hours.
+        np.testing.assert_allclose(east[:-3], west[3:])
+
+    def test_handles_dst_transition(self):
+        # US spring-forward 2021: March 14.  Must not raise and must
+        # produce one value per UTC hour.
+        window = TimeWindow(utc(2021, 3, 13), utc(2021, 3, 16))
+        values = local_diurnal("NY", window)
+        assert values.shape == (72,)
+
+
+class TestInterestShape:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            interest_shape(0)
+
+    def test_peak_is_one(self):
+        for hours in (1, 2, 5, 45):
+            assert interest_shape(hours).max() == pytest.approx(1.0)
+
+    def test_length_includes_tail(self):
+        assert interest_shape(5).size == 8  # 5 body + 3 tail
+
+    def test_body_decay_stays_above_half(self):
+        """During the outage the per-hour ratio must exceed 0.5 so the
+        detector's forward walk does not end the spike early."""
+        shape = interest_shape(12)
+        body = shape[1:12]
+        ratios = body[1:] / body[:-1]
+        assert (ratios > 0.5).all()
+
+    def test_tail_collapses_below_half(self):
+        """After the outage the drop must trigger the half-drop rule."""
+        shape = interest_shape(8)
+        assert shape[8] / shape[7] < 0.5
+
+    def test_single_hour_spike(self):
+        shape = interest_shape(1)
+        assert shape[0] == 1.0
+        assert shape[1] < 0.5
+
+
+class TestEventBoost:
+    def test_boost_for_tracker(self, event):
+        window = TimeWindow(utc(2021, 2, 14), utc(2021, 2, 18))
+        boost = event_boost(event, "Internet outage", "TX", window)
+        assert boost is not None
+        # Impact onset is 34 hours into the window; the shape peaks on
+        # its second block.
+        assert int(np.argmax(boost)) in (34, 35)
+        assert boost.max() == pytest.approx(
+            4.0 * DEFAULT_BEHAVIOR.unit_boost_volume
+        )
+
+    def test_boost_for_associated_term_is_scaled(self, event):
+        window = TimeWindow(utc(2021, 2, 14), utc(2021, 2, 18))
+        tracker = event_boost(event, "Internet outage", "TX", window)
+        verizon = event_boost(event, "Verizon", "TX", window)
+        assert verizon.max() < tracker.max()
+        assert verizon.max() > 0
+
+    def test_no_boost_for_unrelated_term(self, event):
+        window = TimeWindow(utc(2021, 2, 14), utc(2021, 2, 18))
+        assert event_boost(event, "Netflix", "TX", window) is None
+
+    def test_no_boost_for_other_state(self, event):
+        window = TimeWindow(utc(2021, 2, 14), utc(2021, 2, 18))
+        assert event_boost(event, "Internet outage", "CA", window) is None
+
+    def test_no_boost_outside_window(self, event):
+        window = TimeWindow(utc(2021, 3, 1), utc(2021, 3, 2))
+        assert event_boost(event, "Internet outage", "TX", window) is None
+
+    def test_boost_clipped_at_window_edges(self, event):
+        # Window starts mid-event: the boost must align correctly.
+        window = TimeWindow(utc(2021, 2, 15, 12), utc(2021, 2, 16))
+        boost = event_boost(event, "Internet outage", "TX", window)
+        full = event_boost(
+            event,
+            "Internet outage",
+            "TX",
+            TimeWindow(utc(2021, 2, 15), utc(2021, 2, 16)),
+        )
+        np.testing.assert_allclose(boost, full[12:])
+
+
+class TestBaselines:
+    def test_baseline_scales_with_population(self):
+        assert term_baseline_per_hour("Internet outage", "CA") > (
+            term_baseline_per_hour("Internet outage", "WY") * 20
+        )
+
+    def test_noise_terms_dwarf_tracker(self):
+        assert term_baseline_per_hour("Weather", "TX") > (
+            term_baseline_per_hour("Internet outage", "TX") * 10
+        )
+
+    def test_response_modulation_bounded(self):
+        window = TimeWindow(utc(2021, 1, 1), utc(2021, 1, 3))
+        values = response_modulation("TX", window)
+        assert values.min() >= DEFAULT_BEHAVIOR.night_response_floor
+        assert values.max() <= 1.0

@@ -1,0 +1,87 @@
+"""Unit tests for the search-term catalog."""
+
+import pytest
+
+from repro.errors import UnknownTermError
+from repro.world.catalog import (
+    HEAVY_HITTERS,
+    INTERNET_OUTAGE,
+    POWER_TERMS,
+    TERMS,
+    Category,
+    get_term,
+    is_heavy_hitter,
+    is_power_term,
+    resolve_phrase,
+    terms_in_category,
+)
+
+
+class TestCatalogStructure:
+    def test_tracker_is_internet_outage(self):
+        assert INTERNET_OUTAGE.name == "Internet outage"
+        assert INTERNET_OUTAGE.category is Category.TRACKER
+
+    def test_names_unique(self):
+        names = [term.name for term in TERMS]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert get_term("Verizon").category is Category.ISP
+
+    def test_unknown_term_raises(self):
+        with pytest.raises(UnknownTermError):
+            get_term("Carrier Pigeon Networks")
+
+    def test_every_category_populated(self):
+        for category in Category:
+            assert terms_in_category(category), category
+
+    def test_variants_lowercase_queries(self):
+        # Raw variants model typed queries; they should not collide
+        # across terms, or phrase resolution becomes ambiguous.
+        seen = {}
+        for term in TERMS:
+            for variant in term.variants:
+                assert variant not in seen, f"{variant} in {term.name} and {seen.get(variant)}"
+                seen[variant] = term.name
+
+
+class TestPhraseResolution:
+    def test_resolves_exact_variant(self):
+        assert resolve_phrase("is verizon down").name == "Verizon"
+
+    def test_resolution_is_case_insensitive(self):
+        assert resolve_phrase("Spectrum Outage").name == "Spectrum"
+
+    def test_resolves_canonical_name(self):
+        assert resolve_phrase("Power outage").name == "Power outage"
+
+    def test_unknown_phrase_returns_none(self):
+        assert resolve_phrase("llama grooming tips") is None
+
+
+class TestHeavyHitters:
+    def test_papers_heavy_hitters_present(self):
+        # §3.4 lists these explicitly.
+        for name in (
+            "Power outage",
+            "Xfinity",
+            "Spectrum",
+            "Comcast",
+            "AT&T",
+            "Cox Communications",
+            "Verizon",
+            "Electric power",
+        ):
+            assert is_heavy_hitter(name)
+
+    def test_heavy_hitters_are_known_terms(self):
+        for name in HEAVY_HITTERS:
+            assert get_term(name) is not None
+
+    def test_power_terms(self):
+        assert is_power_term("Power outage")
+        assert is_power_term("Electric power")
+        assert not is_power_term("Verizon")
+        assert POWER_TERMS <= HEAVY_HITTERS

@@ -1,0 +1,130 @@
+"""Unit tests for ground-truth outage events."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownGeoError
+from repro.timeutil import TimeWindow, utc
+from repro.world.events import (
+    Cause,
+    NewsRecord,
+    OutageEvent,
+    StateImpact,
+    uniform_impacts,
+)
+
+
+def make_event(**overrides) -> OutageEvent:
+    defaults = dict(
+        event_id="evt-1",
+        name="test event",
+        cause=Cause.ISP,
+        impacts=(StateImpact("TX", utc(2021, 2, 15, 10), 5, 3.0),),
+        terms=("Verizon",),
+    )
+    defaults.update(overrides)
+    return OutageEvent(**defaults)
+
+
+class TestStateImpact:
+    def test_window_spans_interest(self):
+        impact = StateImpact("TX", utc(2021, 2, 15, 10), 5, 3.0)
+        assert impact.window.start == utc(2021, 2, 15, 10)
+        assert impact.window.hours == 5
+
+    def test_lag_shifts_onset(self):
+        impact = StateImpact("CA", utc(2021, 10, 4, 15), 4, 2.0, lag_hours=3)
+        assert impact.onset == utc(2021, 10, 4, 18)
+
+    def test_rejects_unknown_state(self):
+        with pytest.raises(UnknownGeoError):
+            StateImpact("ZZ", utc(2021, 1, 1), 1, 1.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            StateImpact("TX", utc(2021, 1, 1), 0, 1.0)
+
+    def test_rejects_nonpositive_intensity(self):
+        with pytest.raises(ConfigurationError):
+            StateImpact("TX", utc(2021, 1, 1), 1, 0.0)
+
+    def test_rejects_negative_lag(self):
+        with pytest.raises(ConfigurationError):
+            StateImpact("TX", utc(2021, 1, 1), 1, 1.0, lag_hours=-1)
+
+
+class TestOutageEvent:
+    def test_footprint_and_states(self):
+        event = make_event(
+            impacts=uniform_impacts(("TX", "OK", "LA"), utc(2021, 2, 15, 10), 5, 3.0)
+        )
+        assert event.footprint == 3
+        assert set(event.states) == {"TX", "OK", "LA"}
+
+    def test_rejects_duplicate_states(self):
+        impacts = (
+            StateImpact("TX", utc(2021, 1, 1), 1, 1.0),
+            StateImpact("TX", utc(2021, 1, 2), 1, 1.0),
+        )
+        with pytest.raises(ConfigurationError):
+            make_event(impacts=impacts)
+
+    def test_rejects_empty_impacts(self):
+        with pytest.raises(ConfigurationError):
+            make_event(impacts=())
+
+    def test_start_end_cover_lagged_impacts(self):
+        impacts = (
+            StateImpact("TX", utc(2021, 1, 1, 0), 2, 1.0),
+            StateImpact("OK", utc(2021, 1, 1, 0), 4, 1.0, lag_hours=6),
+        )
+        event = make_event(impacts=impacts)
+        assert event.start == utc(2021, 1, 1, 0)
+        assert event.end == utc(2021, 1, 1, 10)
+
+    def test_impact_lookup(self):
+        event = make_event()
+        assert event.impact_on("TX") is not None
+        assert event.impact_on("CA") is None
+
+    def test_overlaps_window(self):
+        event = make_event()
+        inside = TimeWindow(utc(2021, 2, 15), utc(2021, 2, 16))
+        outside = TimeWindow(utc(2021, 3, 1), utc(2021, 3, 2))
+        assert event.overlaps(inside)
+        assert not event.overlaps(outside)
+
+
+class TestAntVisibility:
+    @pytest.mark.parametrize(
+        "cause,visible",
+        [
+            (Cause.ISP, True),
+            (Cause.POWER_WEATHER, True),
+            (Cause.POWER_GRID, True),
+            (Cause.OTHER, True),
+            (Cause.MOBILE, False),  # the T-Mobile case
+            (Cause.CLOUD, False),  # the Akamai case
+            (Cause.APPLICATION, False),  # the Youtube case
+        ],
+    )
+    def test_network_visibility_by_cause(self, cause, visible):
+        assert make_event(cause=cause).network_visible is visible
+
+    def test_power_relatedness(self):
+        assert Cause.POWER_WEATHER.is_power_related
+        assert Cause.POWER_GRID.is_power_related
+        assert not Cause.ISP.is_power_related
+
+
+class TestHelpers:
+    def test_uniform_impacts_with_lags(self):
+        impacts = uniform_impacts(
+            ("CA", "NV"), utc(2021, 1, 1), 3, 2.0, lag_hours={"NV": 2}
+        )
+        by_state = {impact.state: impact for impact in impacts}
+        assert by_state["CA"].lag_hours == 0
+        assert by_state["NV"].lag_hours == 2
+
+    def test_news_record(self):
+        event = make_event(news=NewsRecord("Outage hits Texas", "Example Wire"))
+        assert event.news.source == "Example Wire"

@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic search population."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownTermError
+from repro.timeutil import TimeWindow, utc
+from repro.world.population import SearchPopulation
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def population():
+    scenario = Scenario.build(
+        ScenarioConfig(
+            start=utc(2021, 2, 1), end=utc(2021, 3, 1), background_scale=0.1
+        )
+    )
+    return SearchPopulation(scenario)
+
+
+STORM_WEEK = TimeWindow(utc(2021, 2, 14), utc(2021, 2, 21))
+QUIET_WEEK = TimeWindow(utc(2021, 2, 1), utc(2021, 2, 8))
+
+
+class TestVolumes:
+    def test_shape_matches_window(self, population):
+        values = population.term_volume("Internet outage", "TX", STORM_WEEK)
+        assert values.shape == (168,)
+
+    def test_nonnegative(self, population):
+        values = population.term_volume("Internet outage", "CA", STORM_WEEK)
+        assert (values >= 0).all()
+
+    def test_deterministic(self, population):
+        a = population.term_volume("Internet outage", "TX", STORM_WEEK)
+        b = population.term_volume("Internet outage", "TX", STORM_WEEK)
+        np.testing.assert_array_equal(a, b)
+
+    def test_chunking_consistency(self, population):
+        """A window computed whole equals its two halves concatenated."""
+        whole = population.term_volume("Internet outage", "TX", STORM_WEEK)
+        first = population.term_volume(
+            "Internet outage", "TX", TimeWindow(utc(2021, 2, 14), utc(2021, 2, 17))
+        )
+        second = population.term_volume(
+            "Internet outage", "TX", TimeWindow(utc(2021, 2, 17), utc(2021, 2, 21))
+        )
+        np.testing.assert_allclose(whole, np.concatenate([first, second]))
+
+    def test_unknown_term_raises(self, population):
+        with pytest.raises(UnknownTermError):
+            population.term_volume("Quantum Toaster", "TX", STORM_WEEK)
+
+    def test_window_outside_span_raises(self, population):
+        with pytest.raises(ValueError):
+            population.term_volume(
+                "Internet outage",
+                "TX",
+                TimeWindow(utc(2020, 1, 1), utc(2020, 1, 2)),
+            )
+
+
+class TestEventSignal:
+    def test_storm_lifts_texas_tracker(self, population):
+        storm = population.term_volume("Internet outage", "TX", STORM_WEEK)
+        quiet = population.term_volume("Internet outage", "TX", QUIET_WEEK)
+        assert storm.max() > 20 * quiet.mean()
+
+    def test_storm_lifts_associated_terms(self, population):
+        storm = population.term_volume("Winter storm", "TX", STORM_WEEK)
+        quiet = population.term_volume("Winter storm", "TX", QUIET_WEEK)
+        assert storm.max() > 5 * quiet.max()
+
+    def test_unrelated_state_unaffected(self, population):
+        hawaii = population.term_volume("Internet outage", "HI", STORM_WEEK)
+        quiet = population.term_volume("Internet outage", "HI", QUIET_WEEK)
+        assert hawaii.max() < 30 * max(quiet.mean(), 0.01) + 50
+
+
+class TestTotalsAndProportions:
+    def test_total_volume_scales_with_population(self, population):
+        ca = population.total_volume("CA", QUIET_WEEK)
+        wy = population.total_volume("WY", QUIET_WEEK)
+        assert ca.sum() > 30 * wy.sum()
+
+    def test_proportion_below_one(self, population):
+        proportion = population.proportion("Internet outage", "TX", STORM_WEEK)
+        assert (proportion < 1.0).all()
+        assert (proportion >= 0.0).all()
+
+    def test_volumes_matrix_stacks_terms(self, population):
+        matrix = population.volumes_matrix(
+            ("Internet outage", "Verizon"), "TX", QUIET_WEEK
+        )
+        assert matrix.shape == (2, 168)
+        np.testing.assert_allclose(
+            matrix[0], population.term_volume("Internet outage", "TX", QUIET_WEEK)
+        )
+
+
+class TestCaching:
+    def test_cache_is_bounded(self, population):
+        # Touch more than the limit's worth of combinations cheaply by
+        # reusing one small window; the cache must not grow unboundedly.
+        window = TimeWindow(utc(2021, 2, 1), utc(2021, 2, 2))
+        for code in ("TX", "CA", "NY", "FL", "WA"):
+            for term in ("Internet outage", "Verizon", "Spectrum"):
+                population.term_volume(term, code, window)
+        assert len(population._series_cache) <= 512
+
+    def test_expected_peak_helper(self, population):
+        peak = population.expected_peak(
+            "Internet outage", "TX", utc(2021, 2, 15, 12)
+        )
+        assert peak > 100  # the storm's boost volume dominates

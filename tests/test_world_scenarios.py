@@ -1,0 +1,195 @@
+"""Unit tests for the scenario generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timeutil import TimeWindow, utc
+from repro.world.catalog import get_term
+from repro.world.events import Cause
+from repro.world.scenarios import Scenario, ScenarioConfig, headline_events
+from repro.world.states import get_state
+
+
+class TestHeadlineEvents:
+    @pytest.fixture(scope="class")
+    def events(self):
+        return {event.event_id: event for event in headline_events()}
+
+    def test_texas_winter_storm_matches_table1(self, events):
+        storm = events["hl-tx-winter-storm"]
+        impact = storm.impact_on("TX")
+        assert impact.start == utc(2021, 2, 15, 10)
+        assert impact.interest_hours == 45
+        assert storm.cause is Cause.POWER_WEATHER
+        assert "Power outage" in storm.terms
+
+    def test_akamai_footprint_matches_table2(self, events):
+        assert events["hl-akamai"].footprint == 34
+
+    def test_table2_footprints_ordered_like_paper(self, events):
+        footprints = {
+            "hl-akamai": 34,
+            "hl-cloudflare": 30,
+            "hl-verizon": 27,
+            "hl-youtube": 27,
+            "hl-aws": 26,
+            "hl-comcast-nationwide": 25,
+            "hl-centurylink-bgp": 24,
+        }
+        for event_id, expected in footprints.items():
+            assert events[event_id].footprint == expected, event_id
+
+    def test_facebook_covers_every_state_with_lags(self, events):
+        facebook = events["hl-facebook"]
+        assert facebook.footprint == 51
+        lagged = [impact for impact in facebook.impacts if impact.lag_hours > 0]
+        assert len(lagged) == 22  # paper: 22 states spiked late
+
+    def test_tmobile_is_mobile_and_ant_invisible(self, events):
+        tmobile = events["hl-tmobile"]
+        assert tmobile.cause is Cause.MOBILE
+        assert not tmobile.network_visible
+
+    def test_all_terms_exist_in_catalog(self, events):
+        for event in events.values():
+            for term in event.terms:
+                assert get_term(term) is not None
+
+    def test_all_have_news_records(self, events):
+        assert all(event.news is not None for event in events.values())
+
+    def test_table3_power_events_present(self, events):
+        for event_id in (
+            "hl-ca-heatwave",
+            "hl-mi-storm",
+            "hl-wa-storm",
+            "hl-co-powerline",
+            "hl-oh-storm",
+            "hl-ky-tornado",
+        ):
+            assert events[event_id].cause.is_power_related, event_id
+
+
+class TestScenarioConfig:
+    def test_rejects_reversed_window(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(start=utc(2021, 1, 1), end=utc(2020, 1, 1))
+
+    def test_rejects_absurd_scale(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(background_scale=10.0)
+
+
+class TestScenarioBuild:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return Scenario.build(
+            ScenarioConfig(
+                start=utc(2021, 1, 1), end=utc(2021, 4, 1), background_scale=0.2
+            )
+        )
+
+    def test_deterministic(self, scenario):
+        again = Scenario.build(scenario.config)
+        assert [e.event_id for e in again.events] == [
+            e.event_id for e in scenario.events
+        ]
+
+    def test_events_sorted_by_start(self, scenario):
+        starts = [event.start for event in scenario.events]
+        assert starts == sorted(starts)
+
+    def test_all_events_overlap_window(self, scenario):
+        for event in scenario.events:
+            assert event.overlaps(scenario.window)
+
+    def test_headline_events_filtered_by_window(self, scenario):
+        ids = {event.event_id for event in scenario.events}
+        assert "hl-tx-winter-storm" in ids  # Feb 2021: inside
+        assert "hl-tmobile" not in ids  # Jun 2020: outside
+
+    def test_state_index(self, scenario):
+        for event in scenario.events_in_state("TX"):
+            assert "TX" in event.states
+
+    def test_zero_scale_keeps_only_headliners(self):
+        scenario = Scenario.build(
+            ScenarioConfig(
+                start=utc(2021, 1, 1), end=utc(2021, 4, 1), background_scale=0.0
+            )
+        )
+        assert all(event.event_id.startswith("hl-") for event in scenario.events)
+
+    def test_impacts_reference_known_states(self, scenario):
+        for event in scenario.events:
+            for code in event.states:
+                assert get_state(code) is not None
+
+
+class TestBackgroundCalibration:
+    """Distributional checks on a moderately-sized background draw."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return Scenario.build(ScenarioConfig(background_scale=0.25))
+
+    def test_event_volume_scales(self, scenario):
+        # 16/day * 0.25 * ~730 days, +- Poisson noise and clusters.
+        background = [e for e in scenario.events if not e.event_id.startswith("hl-")]
+        assert 2500 < len(background) < 4000
+
+    def test_most_events_single_state(self, scenario):
+        single = sum(1 for event in scenario.events if event.footprint == 1)
+        assert single / len(scenario.events) > 0.6
+
+    def test_broad_events_exist(self, scenario):
+        broad = [event for event in scenario.events if event.footprint >= 10]
+        assert broad
+        for event in broad:
+            assert event.cause in (
+                Cause.ISP,
+                Cause.MOBILE,
+                Cause.CLOUD,
+                Cause.APPLICATION,
+                Cause.OTHER,
+            )
+
+    def test_long_events_mostly_power(self, scenario):
+        long_events = [
+            event
+            for event in scenario.events
+            if event.footprint < 10 and event.max_interest_hours >= 5
+        ]
+        power = [event for event in long_events if event.cause.is_power_related]
+        assert len(power) / len(long_events) > 0.6
+
+    def test_power_clusters_shape_fig6(self, scenario):
+        """CA Aug/Sep 2020 and TX Jan/Feb 2021 must be outlier months."""
+
+        def long_power_in(state: str, year: int, months: tuple[int, ...]) -> int:
+            return sum(
+                1
+                for event in scenario.events
+                if event.cause.is_power_related
+                and event.impact_on(state) is not None
+                and event.impact_on(state).interest_hours >= 5
+                and event.start.year == year
+                and event.start.month in months
+            )
+
+        ca_peak = long_power_in("CA", 2020, (8, 9))
+        ca_quiet = long_power_in("CA", 2020, (2, 3))
+        tx_peak = long_power_in("TX", 2021, (1, 2))
+        tx_quiet = long_power_in("TX", 2021, (5, 6))
+        assert ca_peak > 3 * max(ca_quiet, 1)
+        assert tx_peak > 3 * max(tx_quiet, 1)
+
+    def test_weekday_rate_exceeds_weekend(self, scenario):
+        weekday = sum(1 for e in scenario.events if e.start.weekday() < 5)
+        weekend = sum(1 for e in scenario.events if e.start.weekday() >= 5)
+        assert weekday / 5 > weekend / 2
+
+    def test_terms_match_cause(self, scenario):
+        for event in scenario.events[:500]:
+            if event.cause.is_power_related:
+                assert "Power outage" in event.terms

@@ -1,0 +1,66 @@
+"""Unit tests for the state registry."""
+
+import pytest
+from zoneinfo import ZoneInfo
+
+from repro.errors import UnknownGeoError
+from repro.world.states import (
+    ALL_CODES,
+    CODES_BY_POPULATION,
+    STATES,
+    get_state,
+    is_known_geo,
+    total_population,
+)
+
+
+class TestRegistry:
+    def test_fifty_one_geographies(self):
+        assert len(STATES) == 51  # 50 states + DC, the paper's geo set
+
+    def test_codes_unique(self):
+        assert len(set(ALL_CODES)) == 51
+
+    def test_lookup_by_code_and_geo(self):
+        assert get_state("TX").name == "Texas"
+        assert get_state("US-TX") is get_state("TX")
+
+    def test_unknown_geo_raises(self):
+        with pytest.raises(UnknownGeoError):
+            get_state("US-ZZ")
+
+    def test_is_known_geo(self):
+        assert is_known_geo("CA")
+        assert is_known_geo("US-CA")
+        assert not is_known_geo("PR")
+
+    def test_geo_format(self):
+        assert get_state("NY").geo == "US-NY"
+
+
+class TestDemographics:
+    def test_population_ordering(self):
+        assert CODES_BY_POPULATION[0] == "CA"
+        assert CODES_BY_POPULATION[1] == "TX"
+
+    def test_total_population_is_us_scale(self):
+        assert 320_000_000 < total_population() < 340_000_000
+
+    def test_all_populations_positive(self):
+        assert all(state.population > 0 for state in STATES)
+
+
+class TestTimezones:
+    def test_every_state_has_valid_zone(self):
+        for state in STATES:
+            assert isinstance(state.tzinfo, ZoneInfo)
+
+    def test_expected_zones(self):
+        assert get_state("CA").tz_name == "America/Los_Angeles"
+        assert get_state("TX").tz_name == "America/Chicago"
+        assert get_state("NY").tz_name == "America/New_York"
+        assert get_state("HI").tz_name == "Pacific/Honolulu"
+
+    def test_arizona_no_dst(self):
+        # Arizona must not follow DST (distinct from Denver).
+        assert get_state("AZ").tz_name == "America/Phoenix"
