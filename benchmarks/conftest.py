@@ -14,8 +14,9 @@ import os
 
 import pytest
 
-from repro import make_environment
 from repro.ant import AntDataset
+from repro.core.progress import ProgressLog
+from repro.runtime import StudyRuntime
 
 
 def bench_scale() -> float:
@@ -24,9 +25,22 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
 
 
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
 @pytest.fixture(scope="session")
-def environment():
-    return make_environment(background_scale=bench_scale())
+def progress_log():
+    return ProgressLog()
+
+
+@pytest.fixture(scope="session")
+def environment(progress_log):
+    return StudyRuntime.build(
+        background_scale=bench_scale(),
+        max_workers=bench_workers(),
+        progress=progress_log,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -12,23 +12,14 @@ Trends, since ground truth there is unobservable.
 Run:  python examples/custom_scenario.py
 """
 
-from repro import utc
-from repro.collection import CollectionManager
-from repro.core import Sift
+from repro import StudyRuntime, utc
 from repro.core.area import group_outages
 from repro.analysis import render_table
-from repro.trends import (
-    RateLimitConfig,
-    SimulatedClock,
-    TrendsConfig,
-    TrendsService,
-)
 from repro.world import (
     Cause,
     OutageEvent,
     Scenario,
     ScenarioConfig,
-    SearchPopulation,
     StateImpact,
 )
 
@@ -56,22 +47,17 @@ def build_scenario() -> Scenario:
 
 
 def main() -> None:
-    scenario = build_scenario()
-    population = SearchPopulation(scenario)
-    clock = SimulatedClock()
-    service = TrendsService(
-        population,
-        TrendsConfig(
-            rate_limit=RateLimitConfig(burst=200, refill_per_second=20)
-        ),
-        clock=clock,
+    # Injecting the scripted scenario replaces the default 2020-2021
+    # world; the runtime wires the Trends service, fleet, and pipeline
+    # around it (the study window defaults to the scenario's).
+    runtime = StudyRuntime.build(
+        scenario=build_scenario(),
+        fetcher_count=2,
+        burst=200,
+        requests_per_second=20,
     )
-    manager = CollectionManager(service, sleep=clock.sleep, fetcher_count=2)
-    sift = Sift(manager)
 
-    study = sift.run_study(
-        geos=("US-WA", "US-OR", "US-ID", "US-MT"), window=scenario.window
-    )
+    study = runtime.run_study(geos=("US-WA", "US-OR", "US-ID", "US-MT"))
 
     rows = [
         (spike.state, spike.label, spike.duration_hours, spike.annotations)

@@ -10,14 +10,14 @@ localizes per state and suggests root causes.
 Run:  python examples/downdetector_comparison.py
 """
 
-from repro import make_environment, utc
+from repro import StudyRuntime, utc
 from repro.analysis import render_table
 from repro.complaints import ComplaintStream, Downdetector
 from repro.timeutil import TimeWindow
 
 
 def main() -> None:
-    env = make_environment(
+    env = StudyRuntime.build(
         background_scale=0.3, start=utc(2021, 1, 1), end=utc(2021, 3, 1)
     )
     print("running SIFT (TX, NY, NJ, OK) ...")

@@ -9,17 +9,23 @@ months of 2021, and prints the spikes it finds — including the
 Run:  python examples/quickstart.py
 """
 
-from repro import make_environment, utc
+from repro import StudyRuntime, utc
 from repro.analysis import render_table, render_timeline
+from repro.runtime import text_listener
 
 def main() -> None:
     # A compact world: January-February 2021, moderate background churn.
-    env = make_environment(
-        background_scale=0.3, start=utc(2021, 1, 1), end=utc(2021, 3, 1)
+    # StudyRuntime.build wires world -> Trends service -> crawler -> SIFT;
+    # the progress listener streams the structured pipeline events.
+    runtime = StudyRuntime.build(
+        background_scale=0.3,
+        start=utc(2021, 1, 1),
+        end=utc(2021, 3, 1),
+        progress=text_listener(print),
     )
 
     print("Crawling weekly frames and reconstructing the Texas timeline...")
-    result = env.sift.analyze_state("US-TX", env.window)
+    result = runtime.analyze_state("US-TX")
     print(result.timeline.describe())
     print(
         f"averaging used {result.averaging.rounds_used} re-fetch rounds "

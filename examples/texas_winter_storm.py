@@ -11,19 +11,19 @@ Walks through the full SIFT analysis of the paper's flagship outage:
 Run:  python examples/texas_winter_storm.py
 """
 
-from repro import make_environment, utc
+from repro import StudyRuntime, utc
 from repro.analysis import render_table, render_timeline
 from repro.ant import AntDataset, CrossValidationConfig, trace_spike
 from repro.timeutil import TimeWindow
 
 
 def main() -> None:
-    env = make_environment(
+    env = StudyRuntime.build(
         background_scale=0.3, start=utc(2021, 1, 1), end=utc(2021, 3, 1)
     )
 
     print("=== 1. Reconstruction ===")
-    result = env.sift.analyze_state("US-TX", env.window)
+    result = env.analyze_state("US-TX")
     figure_window = TimeWindow(utc(2021, 1, 19), utc(2021, 2, 21))
     cut = result.timeline.slice(figure_window)
     print(

@@ -7,14 +7,14 @@ event scale is configurable: the default (0.1) finishes in about a
 minute; 1.0 is the full paper-scale study (expect several minutes and
 on the order of 49 000 spikes).
 
-Run:  python examples/two_year_study.py [scale]
-      python examples/two_year_study.py 1.0     # paper scale
+Run:  python examples/two_year_study.py [scale] [workers]
+      python examples/two_year_study.py 1.0 4   # paper scale, 4 threads
 """
 
 import sys
 import time
 
-from repro import make_environment
+from repro import StudyRuntime
 from repro.analysis import (
     daily_distribution,
     duration_cdf,
@@ -30,8 +30,10 @@ from repro.analysis import (
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
-    print(f"building the 2020-2021 world at background scale {scale} ...")
-    env = make_environment(background_scale=scale)
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    print(f"building the 2020-2021 world at background scale {scale} "
+          f"({workers} workers) ...")
+    env = StudyRuntime.build(background_scale=scale, max_workers=workers)
 
     started = time.time()
     study = env.run_study(geos=None)  # all 51 geographies

@@ -9,24 +9,33 @@ interface" of the paper's implementation.  Endpoints:
     /api/timeline?geo=US-TX the reconstructed series
     /api/spikes?geo=US-TX   detected spikes (JSON)
     /api/outages            grouped multi-state outages
+    /api/runtime            progress events + crawl statistics
 
 Run:  python examples/web_dashboard.py [port]
 """
 
 import sys
 
-from repro import make_environment, utc
+from repro import StudyRuntime, utc
+from repro.runtime import ProgressLog
 from repro.web import serve
 
 
 def main() -> None:
     port = int(sys.argv[1]) if len(sys.argv) > 1 else 8080
-    env = make_environment(
-        background_scale=0.3, start=utc(2021, 1, 1), end=utc(2021, 3, 1)
+    log = ProgressLog()
+    runtime = StudyRuntime.build(
+        background_scale=0.3,
+        start=utc(2021, 1, 1),
+        end=utc(2021, 3, 1),
+        max_workers=2,
+        progress=log,
     )
     print("running the study (TX, CA, OK, LA) ...")
-    study = env.run_study(geos=("US-TX", "US-CA", "US-OK", "US-LA"))
-    server, _thread = serve(study, port=port)
+    study = runtime.run_study(geos=("US-TX", "US-CA", "US-OK", "US-LA"))
+    server, _thread = serve(
+        study, port=port, progress_log=log, crawl_report=runtime.report()
+    )
     host, bound_port = server.server_address[:2]
     print(f"SIFT dashboard: http://{host}:{bound_port}/?geo=US-TX  (Ctrl-C stops)")
     try:

@@ -33,6 +33,7 @@ from repro.env import (
     EnvironmentConfig,
     make_environment,
 )
+from repro.runtime import RuntimeConfig, StudyRuntime
 from repro.timeutil import TimeWindow, utc
 
 __version__ = "1.0.0"
@@ -41,8 +42,10 @@ __all__ = [
     "ALL_GEOS",
     "Environment",
     "EnvironmentConfig",
+    "RuntimeConfig",
     "STUDY_END",
     "STUDY_START",
+    "StudyRuntime",
     "TimeWindow",
     "make_environment",
     "utc",

@@ -7,6 +7,12 @@ Commands mirror the system's stages:
 * ``study``    — run a multi-geography study and print headline stats;
 * ``serve``    — run a study and expose the web interface;
 * ``report``   — regenerate the paper's headline numbers.
+
+Every pipeline command accepts the runtime knobs: ``--workers`` for
+parallel per-geography analysis, ``--db`` for a durable database that
+checkpoints finished geographies (rerunning after an interrupt resumes
+instead of recrawling), and ``--progress`` to stream the structured
+progress events as they happen.
 """
 
 from __future__ import annotations
@@ -25,7 +31,8 @@ from repro.analysis import (
     state_cdf,
     yearly_counts,
 )
-from repro.env import ALL_GEOS, make_environment
+from repro.core.progress import ProgressLog, text_listener
+from repro.runtime import ALL_GEOS, StudyRuntime
 from repro.world.scenarios import Scenario, ScenarioConfig
 
 
@@ -37,6 +44,39 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         help="background event scale (1.0 = paper scale, default 0.05)",
     )
     parser.add_argument("--seed", type=int, default=20221025)
+
+
+def _add_runtime(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="threads analyzing geographies concurrently (default 1)",
+    )
+    parser.add_argument(
+        "--db",
+        default=":memory:",
+        help="sqlite path for the collection database; a file path "
+        "checkpoints finished geographies so reruns resume",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream structured progress events to stderr",
+    )
+
+
+def _runtime(args: argparse.Namespace) -> StudyRuntime:
+    progress = None
+    if getattr(args, "progress", False):
+        progress = text_listener(lambda line: print(line, file=sys.stderr))
+    return StudyRuntime.build(
+        background_scale=args.scale,
+        seed=args.seed,
+        max_workers=getattr(args, "workers", 1),
+        database=getattr(args, "db", ":memory:"),
+        progress=progress,
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -56,8 +96,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    env = make_environment(background_scale=args.scale, seed=args.seed)
-    result = env.sift.analyze_state(args.geo, env.window)
+    runtime = _runtime(args)
+    result = runtime.analyze_state(args.geo)
     print(result.timeline.describe())
     print(f"{len(result.spikes)} spikes "
           f"({result.averaging.rounds_used} averaging rounds, "
@@ -71,13 +111,16 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 
 def _study(args: argparse.Namespace):
-    env = make_environment(background_scale=args.scale, seed=args.seed)
+    runtime = _runtime(args)
     geos = tuple(args.geos) if args.geos else ALL_GEOS
-    return env, env.run_study(geos=geos)
+    return runtime, runtime.run_study(geos=geos)
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    _, study = _study(args)
+    runtime, study = _study(args)
+    if study.resumed_geos:
+        print(f"resumed {len(study.resumed_geos)} checkpointed geographies: "
+              f"{', '.join(study.resumed_geos)}")
     print(f"{study.spike_count} spikes, {len(study.outages)} outages")
     print(f"yearly counts: {yearly_counts(study.spikes)}")
     cdf = state_cdf(study.spikes)
@@ -89,6 +132,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
           f"{daily_distribution(study.spikes).weekend_dip:.2f}")
     print(f"power share of >= 5 h spikes: "
           f"{power_share_of_long_spikes(study.spikes):.0%}")
+    report = runtime.report()
+    print(f"crawl: {report.fetched} fetched, {report.served_from_cache} cached, "
+          f"{report.frames_per_second:.0f} frames/s")
     return 0
 
 
@@ -109,8 +155,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.web import serve  # deferred: not needed for other commands
 
-    _, study = _study(args)
-    server, _thread = serve(study, host=args.host, port=args.port)
+    log = ProgressLog()
+    listeners = [log]
+    if args.progress:
+        listeners.append(
+            text_listener(lambda line: print(line, file=sys.stderr))
+        )
+
+    def progress(event):
+        for listener in listeners:
+            listener(event)
+
+    runtime = StudyRuntime.build(
+        background_scale=args.scale,
+        seed=args.seed,
+        max_workers=args.workers,
+        database=args.db,
+        progress=progress,
+    )
+    geos = tuple(args.geos) if args.geos else ALL_GEOS
+    study = runtime.run_study(geos=geos)
+    server, _thread = serve(
+        study,
+        host=args.host,
+        port=args.port,
+        progress_log=log,
+        crawl_report=runtime.report(),
+    )
     host, port = server.server_address[:2]
     print(f"serving SIFT on http://{host}:{port}/ (Ctrl-C to stop)")
     try:
@@ -133,22 +204,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     detect = commands.add_parser("detect", help="run SIFT for one geography")
     _add_scale(detect)
+    _add_runtime(detect)
     detect.add_argument("--geo", default="US-TX")
     detect.add_argument("--top", type=int, default=10)
     detect.set_defaults(handler=_cmd_detect)
 
     study = commands.add_parser("study", help="run a multi-geography study")
     _add_scale(study)
+    _add_runtime(study)
     study.add_argument("geos", nargs="*", help="geographies (default: all 51)")
     study.set_defaults(handler=_cmd_study)
 
     report = commands.add_parser("report", help="regenerate headline tables")
     _add_scale(report)
+    _add_runtime(report)
     report.add_argument("geos", nargs="*")
     report.set_defaults(handler=_cmd_report)
 
     serve_cmd = commands.add_parser("serve", help="serve the web interface")
     _add_scale(serve_cmd)
+    _add_runtime(serve_cmd)
     serve_cmd.add_argument("geos", nargs="*")
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=8080)

@@ -5,12 +5,30 @@ responses gathered by the fetcher units are merged.  This is a thin
 sqlite3 layer (``:memory:`` by default, a file path for persistence)
 storing raw frame responses, reconstructed series, and detected spikes,
 so a crawl can be interrupted, resumed, and analyzed offline.
+
+Concurrency model: the store is safe to use from many threads at once.
+
+* **File-backed** paths get one connection *per thread* (sqlite
+  connections are not thread-safe), WAL journaling so readers never
+  block behind writers, and a generous busy timeout so concurrent
+  writers serialize instead of failing.
+* **In-memory** databases cannot share pages across connections, so a
+  single connection is shared behind a lock instead.
+
+``store_frames`` batches many frame inserts into one transaction —
+the fast path for bulk crawls — and ``store_checkpoint`` persists a
+geography's series + spikes atomically, which is what makes interrupted
+studies resumable: the series row only appears once the whole
+geography committed.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import sqlite3
+import threading
+from collections.abc import Iterator
 from datetime import datetime
 from types import TracebackType
 
@@ -38,6 +56,7 @@ CREATE TABLE IF NOT EXISTS series (
     geo TEXT NOT NULL,
     start TEXT NOT NULL,
     values_json TEXT NOT NULL,
+    meta_json TEXT NOT NULL DEFAULT '{}',
     PRIMARY KEY (term, geo)
 );
 CREATE TABLE IF NOT EXISTS spikes (
@@ -53,19 +72,80 @@ CREATE TABLE IF NOT EXISTS spikes (
 );
 """
 
+_BUSY_TIMEOUT_MS = 30_000
+
 
 class CollectionDatabase:
     """Stores crawled frames, stitched series, and detected spikes."""
 
     def __init__(self, path: str = ":memory:") -> None:
-        self._conn = sqlite3.connect(path)
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+        self._path = path
+        self._shared_memory = ":memory:" in path or path == ""
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._connections: list[sqlite3.Connection] = []
+        self._closed = False
+        if self._shared_memory:
+            self._shared: sqlite3.Connection | None = sqlite3.connect(
+                path, check_same_thread=False
+            )
+            self._shared.executescript(_SCHEMA)
+            self._shared.commit()
+        else:
+            self._shared = None
+            with self._connect() as conn:  # create the schema eagerly
+                conn.execute("SELECT 1")
+
+    # -- connections -------------------------------------------------------------
+
+    def _thread_connection(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            try:
+                conn = sqlite3.connect(self._path)
+            except sqlite3.OperationalError as error:
+                raise DatabaseError(
+                    f"cannot open database {self._path!r}: {error}"
+                ) from error
+            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+            conn.commit()
+            self._local.conn = conn
+            with self._lock:
+                if self._closed:
+                    self._local.conn = None
+                    conn.close()
+                    raise DatabaseError(f"database {self._path} is closed")
+                self._connections.append(conn)
+        return conn
+
+    @contextlib.contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """The calling thread's connection, serialized for shared memory."""
+        if self._closed:
+            raise DatabaseError(f"database {self._path} is closed")
+        if self._shared is not None:
+            with self._lock:
+                yield self._shared
+        else:
+            yield self._thread_connection()
 
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._closed = True
+            if self._shared is not None:
+                self._shared.close()
+                self._shared = None
+                return
+            for conn in self._connections:
+                with contextlib.suppress(sqlite3.Error):
+                    conn.close()
+            self._connections.clear()
+            self._local = threading.local()
 
     def __enter__(self) -> "CollectionDatabase":
         return self
@@ -80,41 +160,63 @@ class CollectionDatabase:
 
     # -- frames ------------------------------------------------------------------
 
-    def store_frame(self, response: TimeFrameResponse, fetched_by: str) -> None:
+    @staticmethod
+    def _frame_row(response: TimeFrameResponse, fetched_by: str) -> tuple:
         request = response.request
         rising = [[term.phrase, term.weight] for term in response.rising]
+        return (
+            request.term,
+            request.geo,
+            request.window.start.isoformat(),
+            request.window.end.isoformat(),
+            response.sample_round,
+            json.dumps(response.values.tolist()),
+            json.dumps(rising),
+            fetched_by,
+        )
+
+    def store_frame(self, response: TimeFrameResponse, fetched_by: str) -> None:
         try:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO frames VALUES (?,?,?,?,?,?,?,?)",
-                (
-                    request.term,
-                    request.geo,
-                    request.window.start.isoformat(),
-                    request.window.end.isoformat(),
-                    response.sample_round,
-                    json.dumps(response.values.tolist()),
-                    json.dumps(rising),
-                    fetched_by,
-                ),
-            )
-            self._conn.commit()
+            with self._connect() as conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO frames VALUES (?,?,?,?,?,?,?,?)",
+                    self._frame_row(response, fetched_by),
+                )
+                conn.commit()
         except sqlite3.Error as error:
             raise DatabaseError(f"failed to store frame: {error}") from error
+
+    def store_frames(
+        self, batch: list[tuple[TimeFrameResponse, str]]
+    ) -> None:
+        """Merge many ``(response, fetched_by)`` pairs in one transaction."""
+        if not batch:
+            return
+        rows = [self._frame_row(response, fetched_by) for response, fetched_by in batch]
+        try:
+            with self._connect() as conn:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO frames VALUES (?,?,?,?,?,?,?,?)", rows
+                )
+                conn.commit()
+        except sqlite3.Error as error:
+            raise DatabaseError(f"failed to store frame batch: {error}") from error
 
     def load_frame(
         self, term: str, geo: str, window: TimeWindow, sample_round: int
     ) -> TimeFrameResponse | None:
-        row = self._conn.execute(
-            "SELECT values_json, rising_json, sample_round FROM frames "
-            "WHERE term=? AND geo=? AND start=? AND end=? AND sample_round=?",
-            (
-                term,
-                geo,
-                window.start.isoformat(),
-                window.end.isoformat(),
-                sample_round,
-            ),
-        ).fetchone()
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT values_json, rising_json, sample_round FROM frames "
+                "WHERE term=? AND geo=? AND start=? AND end=? AND sample_round=?",
+                (
+                    term,
+                    geo,
+                    window.start.isoformat(),
+                    window.end.isoformat(),
+                    sample_round,
+                ),
+            ).fetchone()
         if row is None:
             return None
         values_json, rising_json, stored_round = row
@@ -131,31 +233,46 @@ class CollectionDatabase:
         )
 
     def frame_count(self) -> int:
-        (count,) = self._conn.execute("SELECT COUNT(*) FROM frames").fetchone()
+        with self._connect() as conn:
+            (count,) = conn.execute("SELECT COUNT(*) FROM frames").fetchone()
         return int(count)
 
     def frames_by_fetcher(self) -> dict[str, int]:
-        rows = self._conn.execute(
-            "SELECT fetched_by, COUNT(*) FROM frames GROUP BY fetched_by"
-        ).fetchall()
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT fetched_by, COUNT(*) FROM frames GROUP BY fetched_by"
+            ).fetchall()
         return {fetcher: int(count) for fetcher, count in rows}
 
     # -- series -----------------------------------------------------------------
 
     def store_series(
-        self, term: str, geo: str, start: datetime, values: np.ndarray
+        self,
+        term: str,
+        geo: str,
+        start: datetime,
+        values: np.ndarray,
+        meta: dict | None = None,
     ) -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO series VALUES (?,?,?,?)",
-            (term, geo, start.isoformat(), json.dumps(values.tolist())),
-        )
-        self._conn.commit()
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO series VALUES (?,?,?,?,?)",
+                (
+                    term,
+                    geo,
+                    start.isoformat(),
+                    json.dumps(values.tolist()),
+                    json.dumps(meta or {}),
+                ),
+            )
+            conn.commit()
 
     def load_series(self, term: str, geo: str) -> tuple[datetime, np.ndarray] | None:
-        row = self._conn.execute(
-            "SELECT start, values_json FROM series WHERE term=? AND geo=?",
-            (term, geo),
-        ).fetchone()
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT start, values_json FROM series WHERE term=? AND geo=?",
+                (term, geo),
+            ).fetchone()
         if row is None:
             return None
         start_iso, values_json = row
@@ -164,26 +281,46 @@ class CollectionDatabase:
             np.array(json.loads(values_json), dtype=np.float64),
         )
 
+    def series_geos(self, term: str) -> list[str]:
+        """Geographies with a stored series for *term*, sorted."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT geo FROM series WHERE term=? ORDER BY geo", (term,)
+            ).fetchall()
+        return [geo for (geo,) in rows]
+
+    def load_series_meta(self, term: str, geo: str) -> dict | None:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT meta_json FROM series WHERE term=? AND geo=?",
+                (term, geo),
+            ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
     # -- spikes ------------------------------------------------------------------
 
-    def store_spikes(self, spikes: list[Spike] | tuple[Spike, ...]) -> None:
-        rows = [
-            (
-                spike.term,
-                spike.geo,
-                spike.start.isoformat(),
-                spike.peak.isoformat(),
-                spike.end.isoformat(),
-                spike.magnitude,
-                spike.magnitude_rank,
-                json.dumps(list(spike.annotations)),
-            )
-            for spike in spikes
-        ]
-        self._conn.executemany(
-            "INSERT OR REPLACE INTO spikes VALUES (?,?,?,?,?,?,?,?)", rows
+    @staticmethod
+    def _spike_row(spike: Spike) -> tuple:
+        return (
+            spike.term,
+            spike.geo,
+            spike.start.isoformat(),
+            spike.peak.isoformat(),
+            spike.end.isoformat(),
+            spike.magnitude,
+            spike.magnitude_rank,
+            json.dumps(list(spike.annotations)),
         )
-        self._conn.commit()
+
+    def store_spikes(self, spikes: list[Spike] | tuple[Spike, ...]) -> None:
+        rows = [self._spike_row(spike) for spike in spikes]
+        with self._connect() as conn:
+            conn.executemany(
+                "INSERT OR REPLACE INTO spikes VALUES (?,?,?,?,?,?,?,?)", rows
+            )
+            conn.commit()
 
     def load_spikes(self, term: str | None = None, geo: str | None = None) -> list[Spike]:
         query = (
@@ -200,8 +337,10 @@ class CollectionDatabase:
             params.append(geo)
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
+        with self._connect() as conn:
+            rows = conn.execute(query, params).fetchall()
         spikes = []
-        for row in self._conn.execute(query, params):
+        for row in rows:
             term_, geo_, start, peak, end, magnitude, rank, annotations_json = row
             spikes.append(
                 Spike(
@@ -218,5 +357,50 @@ class CollectionDatabase:
         return spikes
 
     def spike_count(self) -> int:
-        (count,) = self._conn.execute("SELECT COUNT(*) FROM spikes").fetchone()
+        with self._connect() as conn:
+            (count,) = conn.execute("SELECT COUNT(*) FROM spikes").fetchone()
         return int(count)
+
+    # -- checkpoints -------------------------------------------------------------
+
+    def store_checkpoint(
+        self,
+        term: str,
+        geo: str,
+        start: datetime,
+        values: np.ndarray,
+        meta: dict,
+        spikes: list[Spike] | tuple[Spike, ...],
+    ) -> None:
+        """Persist one geography's series + spikes in a single transaction.
+
+        The series row doubles as the completion marker: a resuming
+        study treats a geography as done only when its series row (with
+        a matching study window in the meta) exists, and this method
+        commits spikes and series together, so an interrupt can never
+        leave a half-written checkpoint that looks complete.
+        """
+        try:
+            with self._connect() as conn:
+                conn.execute(
+                    "DELETE FROM spikes WHERE term=? AND geo=?", (term, geo)
+                )
+                conn.executemany(
+                    "INSERT OR REPLACE INTO spikes VALUES (?,?,?,?,?,?,?,?)",
+                    [self._spike_row(spike) for spike in spikes],
+                )
+                conn.execute(
+                    "INSERT OR REPLACE INTO series VALUES (?,?,?,?,?)",
+                    (
+                        term,
+                        geo,
+                        start.isoformat(),
+                        json.dumps(values.tolist()),
+                        json.dumps(meta),
+                    ),
+                )
+                conn.commit()
+        except sqlite3.Error as error:
+            raise DatabaseError(
+                f"failed to store checkpoint for {geo}: {error}"
+            ) from error

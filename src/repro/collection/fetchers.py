@@ -49,11 +49,14 @@ class FetcherUnit:
         ip: str,
         sleep: Sleeper,
         policy: RetryPolicy | None = None,
+        latency: float = 0.0,
     ) -> None:
         if not name:
             raise ConfigurationError("fetcher needs a name")
         self.name = name
-        self.client = TrendsClient(service, ip=ip, sleep=sleep, policy=policy)
+        self.client = TrendsClient(
+            service, ip=ip, sleep=sleep, policy=policy, latency=latency
+        )
         self.completed = 0
 
     @property
@@ -83,6 +86,7 @@ def build_fleet(
     sleep: Sleeper,
     policy: RetryPolicy | None = None,
     subnet: str = "203.0.113",
+    latency: float = 0.0,
 ) -> list[FetcherUnit]:
     """Construct *count* fetcher units on distinct (documentation) IPs."""
     if count <= 0:
@@ -96,6 +100,7 @@ def build_fleet(
             ip=f"{subnet}.{index + 1}",
             sleep=sleep,
             policy=policy,
+            latency=latency,
         )
         for index in range(count)
     ]

@@ -3,19 +3,33 @@
 Two layers:
 
 * :class:`CollectionScheduler` — maps a queued workload onto the
-  fetcher fleet (least-loaded first), executes it, and merges every
-  response into the :class:`repro.collection.CollectionDatabase`, the
-  paper's "unified database".
+  fetcher fleet, executes it (serially or across a thread pool), and
+  merges every response into the
+  :class:`repro.collection.CollectionDatabase`, the paper's "unified
+  database".
 * :class:`CollectionManager` — the pipeline-facing frontend.  It
   satisfies the :class:`repro.core.pipeline.FrameSource` protocol and
   serves frames from the database first, dispatching cache misses to
   the fleet.  Running SIFT through a manager therefore crawls each
   frame exactly once, however many pipeline stages ask for it.
+
+Concurrency model: fetcher units are handed out through an exclusive
+**lease** (checkout/checkin over a condition variable) — the least
+loaded *idle* unit wins, and a unit is never shared between threads —
+and concurrent requests for the same frame are **single-flighted**: the
+first caller crawls, everyone else blocks on the in-flight entry and
+reuses the response.  Together these guarantee each frame is crawled at
+most once no matter how many pipeline workers run.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
 
 from repro.collection.database import CollectionDatabase
 from repro.collection.fetchers import FetcherUnit, WorkItem, build_fleet
@@ -25,65 +39,208 @@ from repro.trends.client import RetryPolicy, Sleeper
 from repro.trends.records import TimeFrameResponse
 from repro.trends.service import TrendsService
 
+#: Frames accumulated per batched database write during bulk crawls.
+_WRITE_BATCH = 64
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class CrawlReport:
-    """Outcome of a bulk crawl."""
+    """Outcome of a bulk crawl (or of a scheduler's lifetime)."""
 
     requested: int
     fetched: int
     served_from_cache: int
     retries: int
     per_fetcher: dict[str, int]
+    elapsed_seconds: float = 0.0
+
+    @property
+    def frames_per_second(self) -> float:
+        """Crawl throughput over the measured wall-clock interval."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.fetched / self.elapsed_seconds
+
+
+class _InFlight:
+    """One frame currently being crawled; waiters block on the event."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: TimeFrameResponse | None = None
+        self.error: BaseException | None = None
 
 
 class CollectionScheduler:
-    """Assigns work items to the least-loaded fetcher and merges results."""
+    """Leases fetchers to work items and merges results (thread-safe)."""
 
     def __init__(self, fleet: list[FetcherUnit], database: CollectionDatabase) -> None:
         if not fleet:
             raise CollectionError("scheduler needs at least one fetcher")
         self.fleet = fleet
         self.database = database
+        self._fetcher_ready = threading.Condition()
+        self._idle: list[FetcherUnit] = list(fleet)
+        self._flight_lock = threading.Lock()
+        self._inflight: dict[tuple, _InFlight] = {}
+        self._counter_lock = threading.Lock()
+        self._fetched_total = 0
+        self._cache_hits = 0
+        self._started = time.perf_counter()
 
-    def _next_fetcher(self) -> FetcherUnit:
-        return min(self.fleet, key=lambda unit: unit.completed)
+    # -- fetcher leasing ---------------------------------------------------------
 
-    def execute(self, workload: list[WorkItem]) -> CrawlReport:
-        """Crawl every item not already in the database."""
-        fetched = 0
-        cached = 0
-        retries_before = sum(unit.retries for unit in self.fleet)
-        for item in workload:
-            existing = self.database.load_frame(
-                item.term, item.geo, item.window, item.sample_round
-            )
-            if existing is not None:
-                cached += 1
-                continue
-            unit = self._next_fetcher()
-            response = unit.fetch(item)
-            self.database.store_frame(response, fetched_by=unit.name)
-            fetched += 1
-        return CrawlReport(
-            requested=len(workload),
-            fetched=fetched,
-            served_from_cache=cached,
-            retries=sum(unit.retries for unit in self.fleet) - retries_before,
-            per_fetcher={unit.name: unit.completed for unit in self.fleet},
-        )
+    @contextmanager
+    def lease(self) -> Iterator[FetcherUnit]:
+        """Exclusive checkout of the least-loaded idle fetcher.
+
+        Blocks while the whole fleet is busy; the unit is returned to
+        the idle pool (and a waiter woken) on exit, even on error.
+        """
+        with self._fetcher_ready:
+            while not self._idle:
+                self._fetcher_ready.wait()
+            unit = min(self._idle, key=lambda candidate: candidate.completed)
+            self._idle.remove(unit)
+        try:
+            yield unit
+        finally:
+            with self._fetcher_ready:
+                self._idle.append(unit)
+                self._fetcher_ready.notify()
+
+    def _count(self, fetched: int = 0, cached: int = 0) -> None:
+        with self._counter_lock:
+            self._fetched_total += fetched
+            self._cache_hits += cached
+
+    # -- serving -----------------------------------------------------------------
 
     def fetch_one(self, item: WorkItem) -> TimeFrameResponse:
-        """Serve one item through the cache, crawling on a miss."""
+        """Serve one item through the cache, crawling on a miss.
+
+        Concurrent calls for the same frame are coalesced: only the
+        first actually reaches a fetcher.
+        """
         existing = self.database.load_frame(
             item.term, item.geo, item.window, item.sample_round
         )
         if existing is not None:
+            self._count(cached=1)
             return existing
-        unit = self._next_fetcher()
-        response = unit.fetch(item)
-        self.database.store_frame(response, fetched_by=unit.name)
-        return response
+        key = item.key
+        with self._flight_lock:
+            flight = self._inflight.get(key)
+            owner = flight is None
+            if owner:
+                flight = _InFlight()
+                self._inflight[key] = flight
+        if not owner:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            self._count(cached=1)
+            assert flight.response is not None
+            return flight.response
+        try:
+            with self.lease() as unit:
+                response = unit.fetch(item)
+                fetched_by = unit.name
+            self.database.store_frame(response, fetched_by=fetched_by)
+            flight.response = response
+            self._count(fetched=1)
+            return response
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            flight.event.set()
+            with self._flight_lock:
+                self._inflight.pop(key, None)
+
+    def execute(
+        self, workload: list[WorkItem], max_workers: int | None = None
+    ) -> CrawlReport:
+        """Crawl every item not already in the database.
+
+        ``max_workers > 1`` dispatches over a thread pool (capped at the
+        fleet size — more workers than fetchers would only queue on the
+        lease).  Duplicate items and database hits count as served from
+        cache; each distinct frame is crawled at most once.
+        """
+        started = time.perf_counter()
+        retries_before = sum(unit.retries for unit in self.fleet)
+        seen: set[tuple] = set()
+        unique: list[WorkItem] = []
+        for item in workload:
+            if item.key not in seen:
+                seen.add(item.key)
+                unique.append(item)
+        to_crawl = [
+            item
+            for item in unique
+            if self.database.load_frame(
+                item.term, item.geo, item.window, item.sample_round
+            )
+            is None
+        ]
+        cached = len(workload) - len(to_crawl)
+
+        pending: list[tuple[TimeFrameResponse, str]] = []
+        pending_lock = threading.Lock()
+
+        def crawl(item: WorkItem) -> None:
+            with self.lease() as unit:
+                response = unit.fetch(item)
+                fetched_by = unit.name
+            with pending_lock:
+                pending.append((response, fetched_by))
+                batch = pending.copy() if len(pending) >= _WRITE_BATCH else None
+                if batch is not None:
+                    pending.clear()
+            if batch is not None:
+                self.database.store_frames(batch)
+
+        workers = min(max_workers or 1, len(self.fleet), max(len(to_crawl), 1))
+        try:
+            if workers > 1:
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="sift-crawl"
+                ) as pool:
+                    list(pool.map(crawl, to_crawl))
+            else:
+                for item in to_crawl:
+                    crawl(item)
+        finally:
+            with pending_lock:
+                batch = pending.copy()
+                pending.clear()
+            self.database.store_frames(batch)
+        self._count(fetched=len(to_crawl), cached=cached)
+        return CrawlReport(
+            requested=len(workload),
+            fetched=len(to_crawl),
+            served_from_cache=cached,
+            retries=sum(unit.retries for unit in self.fleet) - retries_before,
+            per_fetcher={unit.name: unit.completed for unit in self.fleet},
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def lifetime_report(self) -> CrawlReport:
+        """Cumulative accounting since the scheduler was built."""
+        with self._counter_lock:
+            fetched = self._fetched_total
+            cached = self._cache_hits
+        return CrawlReport(
+            requested=fetched + cached,
+            fetched=fetched,
+            served_from_cache=cached,
+            retries=sum(unit.retries for unit in self.fleet),
+            per_fetcher={unit.name: unit.completed for unit in self.fleet},
+            elapsed_seconds=time.perf_counter() - self._started,
+        )
 
 
 class CollectionManager:
@@ -96,9 +253,12 @@ class CollectionManager:
         fetcher_count: int = 4,
         database: CollectionDatabase | None = None,
         policy: RetryPolicy | None = None,
+        latency: float = 0.0,
     ) -> None:
         self.database = database or CollectionDatabase()
-        fleet = build_fleet(service, fetcher_count, sleep=sleep, policy=policy)
+        fleet = build_fleet(
+            service, fetcher_count, sleep=sleep, policy=policy, latency=latency
+        )
         self.scheduler = CollectionScheduler(fleet, self.database)
 
     def interest_over_time(
@@ -118,9 +278,15 @@ class CollectionManager:
         )
         return self.scheduler.fetch_one(item)
 
-    def prefetch(self, workload: list[WorkItem]) -> CrawlReport:
+    def prefetch(
+        self, workload: list[WorkItem], max_workers: int | None = None
+    ) -> CrawlReport:
         """Bulk-crawl a workload ahead of pipeline runs."""
-        return self.scheduler.execute(workload)
+        return self.scheduler.execute(workload, max_workers=max_workers)
+
+    def report(self) -> CrawlReport:
+        """Lifetime crawl accounting across every request served."""
+        return self.scheduler.lifetime_report()
 
     @property
     def frames_stored(self) -> int:

@@ -18,7 +18,7 @@ SIFT's state-level view.
 from __future__ import annotations
 
 import dataclasses
-from datetime import datetime, timedelta
+from datetime import datetime
 
 import numpy as np
 

@@ -16,7 +16,21 @@ from repro.core.context import (
 )
 from repro.core.detection import DetectionConfig, SpikeBounds, detect_bounds, detect_spikes
 from repro.core.nlp import PhraseClusterer, phrase_similarity, tokenize
-from repro.core.pipeline import FrameSource, Sift, SiftConfig, StateResult, StudyResult
+from repro.core.pipeline import (
+    FrameSource,
+    RisingCache,
+    Sift,
+    SiftConfig,
+    StateResult,
+    StudyCheckpoint,
+    StudyResult,
+)
+from repro.core.progress import (
+    ProgressEvent,
+    ProgressListener,
+    ProgressLog,
+    text_listener,
+)
 from repro.core.series import HourlyTimeline
 from repro.core.spikes import Spike, SpikeSet
 from repro.core.stitching import StitchReport, estimate_ratio, naive_concatenation, stitch_frames
@@ -32,7 +46,11 @@ __all__ = [
     "HourlyTimeline",
     "Outage",
     "PhraseClusterer",
+    "ProgressEvent",
+    "ProgressListener",
+    "ProgressLog",
     "RankedSuggestion",
+    "RisingCache",
     "Sift",
     "SiftConfig",
     "Spike",
@@ -41,6 +59,7 @@ __all__ = [
     "SpikeAnnotator",
     "StateResult",
     "StitchReport",
+    "StudyCheckpoint",
     "StudyResult",
     "average_until_convergence",
     "detect_bounds",
@@ -53,5 +72,6 @@ __all__ = [
     "phrase_similarity",
     "rank_suggestions",
     "stitch_frames",
+    "text_listener",
     "tokenize",
 ]

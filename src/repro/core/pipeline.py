@@ -17,13 +17,21 @@
 
 ``run_study`` executes this per state over an arbitrary set of
 geographies — the paper's two-year, 51-geography study is
-``run_study(all_geos, two_year_window)``.
+``run_study(all_geos, two_year_window)``.  The per-geography stage is
+delegated to a pluggable executor (see :mod:`repro.runtime.executor`);
+results are reassembled in geography order, so a seeded study is
+byte-identical whether it ran on one thread or eight.  When a
+checkpoint store is attached (see :mod:`repro.runtime.checkpoint`),
+completed geographies are persisted as they finish and an interrupted
+study resumes them from the database instead of recrawling.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Callable
+import threading
+import time
+from collections import OrderedDict
 from datetime import datetime
 
 from repro.core.averaging import (
@@ -35,6 +43,18 @@ from repro.core.area import AreaConfig, Outage, group_outages
 from repro.core.context import ContextConfig, SpikeAnnotator
 from repro.core.detection import DetectionConfig
 from repro.core.nlp import PhraseClusterer
+from repro.core.progress import (
+    AnnotationStarted,
+    CacheStats,
+    CheckpointHit,
+    CrawlStats,
+    GeoFinished,
+    GeoStarted,
+    ProgressEvent,
+    ProgressListener,
+    StudyFinished,
+    StudyStarted,
+)
 from repro.core.series import HourlyTimeline
 from repro.core.spikes import Spike, SpikeSet
 from repro.timeutil import TimeWindow, daily_frame, weekly_frames
@@ -56,6 +76,24 @@ class FrameSource:
         sample_round: int | None = None,
         include_rising: bool = True,
     ) -> TimeFrameResponse:
+        raise NotImplementedError
+
+
+class StudyCheckpoint:
+    """What ``run_study`` needs to resume (structural protocol).
+
+    The runtime layer's :class:`repro.runtime.DatabaseCheckpoint`
+    persists through the collection database; anything matching this
+    shape works.
+    """
+
+    def load_state(self, geo: str, window: TimeWindow) -> "StateResult | None":
+        raise NotImplementedError
+
+    def save_state(self, result: "StateResult", window: TimeWindow) -> None:
+        raise NotImplementedError
+
+    def save_annotated(self, spikes: SpikeSet) -> None:
         raise NotImplementedError
 
 
@@ -92,6 +130,7 @@ class StudyResult:
     states: dict[str, StateResult]
     heavy_hitters: tuple[str, ...]
     suggestion_stats: tuple[int, int]  # (distinct terms, total suggestions)
+    resumed_geos: tuple[str, ...] = ()  # served from checkpoints, not crawled
 
     @property
     def spike_count(self) -> int:
@@ -101,7 +140,51 @@ class StudyResult:
         return self.spikes.in_year(year)
 
 
-ProgressHook = Callable[[str], None]
+class RisingCache:
+    """A capacity-bounded LRU over daily rising-term fetches.
+
+    A two-year study touches one daily frame per (geo, spike day); the
+    cache used to grow without bound.  Eviction is safe — a re-fetch of
+    the same daily frame is deterministic — so a small cap holds the
+    memory ceiling while keeping the hit rate high (spikes cluster on
+    outage days).
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple[str, datetime], tuple[RisingTerm, ...]] = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple[str, datetime]) -> tuple[RisingTerm, ...] | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple[str, datetime], value: tuple[RisingTerm, ...]) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )
 
 
 class Sift:
@@ -111,13 +194,19 @@ class Sift:
         self,
         source: FrameSource,
         config: SiftConfig | None = None,
-        progress: ProgressHook | None = None,
+        progress: ProgressListener | None = None,
+        executor: object | None = None,
+        checkpoint: StudyCheckpoint | None = None,
+        rising_cache_size: int = 2048,
     ) -> None:
         self.source = source
         self.config = config or SiftConfig()
         self.clusterer = PhraseClusterer()
+        self.executor = executor  # anything with .map(fn, items); None = serial
+        self.checkpoint = checkpoint
         self._progress = progress
-        self._daily_rising_cache: dict[tuple[str, datetime], tuple[RisingTerm, ...]] = {}
+        self._progress_lock = threading.Lock()
+        self._rising_cache = RisingCache(rising_cache_size)
 
     # -- workflow steps ----------------------------------------------------------
 
@@ -153,62 +242,161 @@ class Sift:
 
     def analyze_state(self, geo: str, window: TimeWindow) -> StateResult:
         """Timeline + ranked spikes for one geography."""
-        self._note(f"analyzing {geo}")
+        result, _ = self._analyze_or_resume(geo, window, index=0, total=1)
+        return result
+
+    def _analyze_or_resume(
+        self, geo: str, window: TimeWindow, index: int, total: int
+    ) -> tuple[StateResult, bool]:
+        """One geography's result, from the checkpoint when possible."""
+        if self.checkpoint is not None:
+            restored = self.checkpoint.load_state(geo, window)
+            if restored is not None:
+                self._emit(CheckpointHit(geo=geo, spike_count=len(restored.spikes)))
+                self._emit(
+                    GeoFinished(
+                        geo=geo,
+                        index=index,
+                        total=total,
+                        spike_count=len(restored.spikes),
+                        rounds_used=restored.averaging.rounds_used,
+                        converged=restored.averaging.converged,
+                        from_checkpoint=True,
+                        elapsed_seconds=0.0,
+                    )
+                )
+                return restored, True
+        self._emit(GeoStarted(geo=geo, index=index, total=total))
+        started = time.perf_counter()
         averaging = self.build_timeline(geo, window)
-        return StateResult(
+        result = StateResult(
             geo=geo,
             timeline=averaging.timeline,
             spikes=averaging.spikes,
             averaging=averaging,
         )
+        if self.checkpoint is not None:
+            self.checkpoint.save_state(result, window)
+        self._emit(
+            GeoFinished(
+                geo=geo,
+                index=index,
+                total=total,
+                spike_count=len(result.spikes),
+                rounds_used=averaging.rounds_used,
+                converged=averaging.converged,
+                from_checkpoint=False,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        )
+        return result, False
 
     def daily_rising(self, geo: str, peak: datetime) -> tuple[RisingTerm, ...]:
-        """Fine-grained rising terms for a spike day (cached per day)."""
+        """Fine-grained rising terms for a spike day (LRU-cached per day)."""
         day = daily_frame(peak)
         key = (geo, day.start)
-        cached = self._daily_rising_cache.get(key)
+        cached = self._rising_cache.get(key)
         if cached is None:
             response = self.source.interest_over_time(
                 self.config.term, geo, day, sample_round=0, include_rising=True
             )
             cached = response.rising
-            self._daily_rising_cache[key] = cached
+            self._rising_cache.put(key, cached)
         return cached
+
+    @property
+    def rising_cache(self) -> RisingCache:
+        return self._rising_cache
 
     # -- the full study -------------------------------------------------------------
 
     def run_study(self, geos: list[str] | tuple[str, ...], window: TimeWindow) -> StudyResult:
-        """The paper's workflow over many geographies."""
-        states: dict[str, StateResult] = {}
+        """The paper's workflow over many geographies.
+
+        Per-geography analysis runs through ``self.executor`` (serial
+        when ``None``); the result list is reassembled in the order the
+        geographies were given, which keeps seeded runs deterministic
+        at any worker count.  Annotation and area grouping need the
+        whole spike set, so they stay on the calling thread.
+        """
+        geos = tuple(geos)
+        total = len(geos)
+        self._emit(StudyStarted(geos=geos, window=window))
+
+        def analyze_one(indexed: tuple[int, str]) -> tuple[StateResult, bool]:
+            index, geo = indexed
+            return self._analyze_or_resume(geo, window, index=index, total=total)
+
+        if self.executor is None:
+            outcomes = [analyze_one(pair) for pair in enumerate(geos)]
+        else:
+            outcomes = self.executor.map(analyze_one, list(enumerate(geos)))
+        states = {geo: result for geo, (result, _) in zip(geos, outcomes)}
+        resumed = tuple(
+            geo for geo, (_, from_checkpoint) in zip(geos, outcomes) if from_checkpoint
+        )
         all_spikes: list[Spike] = []
         for geo in geos:
-            result = self.analyze_state(geo, window)
-            states[geo] = result
-            all_spikes.extend(result.spikes)
-        self._note(f"detected {len(all_spikes)} spikes across {len(geos)} geographies")
+            all_spikes.extend(states[geo].spikes)
+
         annotator = SpikeAnnotator(
             fetch_rising=self.daily_rising,
             clusterer=self.clusterer,
             config=self.config.context,
         )
         if self.config.annotate and all_spikes:
-            self._note("annotating spikes with rising suggestions")
+            self._emit(AnnotationStarted(spike_count=len(all_spikes)))
             all_spikes = annotator.annotate_all(all_spikes, two_pass=True)
         spike_set = SpikeSet(all_spikes)
         outages = group_outages(spike_set, self.config.area)
-        self._note(f"grouped into {len(outages)} outages")
+        if self.checkpoint is not None:
+            self.checkpoint.save_annotated(spike_set)
+        self._emit(self._rising_cache.stats())
+        self._emit_crawl_stats()
+        self._emit(
+            StudyFinished(
+                geo_count=total,
+                spike_count=len(spike_set),
+                outage_count=len(outages),
+                resumed_geos=resumed,
+            )
+        )
         return StudyResult(
             window=window,
             spikes=spike_set,
             outages=outages,
             states=states,
-            heavy_hitters=annotator.heavy_hitters and tuple(sorted(annotator.heavy_hitters)),
+            heavy_hitters=tuple(sorted(annotator.heavy_hitters)),
             suggestion_stats=(
                 annotator.analyzer.distinct_terms,
                 annotator.analyzer.total_suggestions,
             ),
+            resumed_geos=resumed,
         )
 
-    def _note(self, message: str) -> None:
-        if self._progress is not None:
-            self._progress(message)
+    # -- progress ---------------------------------------------------------------
+
+    def _emit(self, event: ProgressEvent) -> None:
+        if self._progress is None:
+            return
+        # Worker threads emit too; keep listener invocations serialized.
+        with self._progress_lock:
+            self._progress(event)
+
+    def _emit_crawl_stats(self) -> None:
+        if self._progress is None:
+            return
+        report_fn = getattr(self.source, "report", None)
+        if report_fn is None:
+            return
+        report = report_fn()
+        self._emit(
+            CrawlStats(
+                requested=report.requested,
+                fetched=report.fetched,
+                served_from_cache=report.served_from_cache,
+                retries=report.retries,
+                elapsed_seconds=report.elapsed_seconds,
+                frames_per_second=report.frames_per_second,
+            )
+        )

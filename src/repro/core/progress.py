@@ -1,0 +1,199 @@
+"""Structured progress events emitted by the pipeline.
+
+The study driver used to report progress as free-form strings; anything
+watching a run (CLI, web interface, benchmarks) had to parse prose.
+These dataclasses replace that: every stage of a study emits a typed
+event — geography started/finished, checkpoint hits, crawl and cache
+statistics — and consumers pattern-match on the event type.
+
+A *listener* is any callable taking one :class:`ProgressEvent`.  The
+pipeline may invoke it from worker threads (one at a time — emission is
+serialized), so listeners shared across runs should still be cheap.
+:func:`text_listener` adapts a plain string sink such as ``print``;
+:class:`ProgressLog` records events in memory for later inspection
+(the web interface serves it as ``/api/runtime``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import deque
+from collections.abc import Callable
+
+from repro.timeutil import TimeWindow
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ProgressEvent:
+    """Base class for everything a study run can report."""
+
+    def describe(self) -> str:
+        """One-line human rendering (what the old string hook printed)."""
+        return repr(self)
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering for the web interface."""
+        payload: dict = {"type": type(self).__name__, "message": self.describe()}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, TimeWindow):
+                value = {
+                    "start": value.start.isoformat(),
+                    "end": value.end.isoformat(),
+                }
+            elif isinstance(value, tuple):
+                value = list(value)
+            payload[field.name] = value
+        return payload
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class StudyStarted(ProgressEvent):
+    geos: tuple[str, ...]
+    window: TimeWindow
+
+    def describe(self) -> str:
+        return (
+            f"study started: {len(self.geos)} geographies, "
+            f"{self.window.start:%Y-%m-%d}..{self.window.end:%Y-%m-%d}"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GeoStarted(ProgressEvent):
+    geo: str
+    index: int
+    total: int
+
+    def describe(self) -> str:
+        return f"analyzing {self.geo} ({self.index + 1}/{self.total})"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GeoFinished(ProgressEvent):
+    geo: str
+    index: int
+    total: int
+    spike_count: int
+    rounds_used: int
+    converged: bool
+    from_checkpoint: bool
+    elapsed_seconds: float
+
+    def describe(self) -> str:
+        source = "checkpoint" if self.from_checkpoint else (
+            f"{self.rounds_used} rounds, converged={self.converged}"
+        )
+        return (
+            f"{self.geo} done ({self.index + 1}/{self.total}): "
+            f"{self.spike_count} spikes [{source}]"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CheckpointHit(ProgressEvent):
+    """A geography was served from the study checkpoint, not recrawled."""
+
+    geo: str
+    spike_count: int
+
+    def describe(self) -> str:
+        return f"{self.geo}: resumed from checkpoint ({self.spike_count} spikes)"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AnnotationStarted(ProgressEvent):
+    spike_count: int
+
+    def describe(self) -> str:
+        return f"annotating {self.spike_count} spikes with rising suggestions"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CacheStats(ProgressEvent):
+    """Daily-rising cache accounting for one study run."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+    def describe(self) -> str:
+        return (
+            f"rising cache: {self.hits} hits / {self.misses} misses "
+            f"({self.size}/{self.capacity} entries)"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CrawlStats(ProgressEvent):
+    """Collection-layer accounting (mirrors ``CrawlReport``)."""
+
+    requested: int
+    fetched: int
+    served_from_cache: int
+    retries: int
+    elapsed_seconds: float
+    frames_per_second: float
+
+    def describe(self) -> str:
+        return (
+            f"crawl: {self.fetched} fetched, {self.served_from_cache} from "
+            f"cache, {self.retries} retries "
+            f"({self.frames_per_second:.0f} frames/s)"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class StudyFinished(ProgressEvent):
+    geo_count: int
+    spike_count: int
+    outage_count: int
+    resumed_geos: tuple[str, ...]
+
+    def describe(self) -> str:
+        resumed = f", {len(self.resumed_geos)} resumed" if self.resumed_geos else ""
+        return (
+            f"study finished: {self.spike_count} spikes across "
+            f"{self.geo_count} geographies, {self.outage_count} outages{resumed}"
+        )
+
+
+#: Anything consuming progress events.
+ProgressListener = Callable[[ProgressEvent], None]
+
+
+def text_listener(write: Callable[[str], None]) -> ProgressListener:
+    """Adapt a string sink (``print``, a logger method) to a listener."""
+
+    def listen(event: ProgressEvent) -> None:
+        write(event.describe())
+
+    return listen
+
+
+class ProgressLog:
+    """A thread-safe in-memory event sink, oldest events evicted first."""
+
+    def __init__(self, capacity: int = 2000) -> None:
+        self._events: deque[ProgressEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def __call__(self, event: ProgressEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def events(self) -> tuple[ProgressEvent, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def of_type(self, *types: type) -> tuple[ProgressEvent, ...]:
+        return tuple(event for event in self.events() if isinstance(event, types))
+
+    def describe(self) -> list[str]:
+        return [event.describe() for event in self.events()]

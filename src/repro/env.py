@@ -1,102 +1,34 @@
-"""One-stop wiring of the full simulated SIFT deployment.
+"""Backwards-compatible façade over :mod:`repro.runtime`.
 
-Everything the paper's system needs, assembled with consistent seeds
-and a virtual clock:
+The one-stop wiring of the simulated deployment now lives in
+:class:`repro.runtime.StudyRuntime`; this module keeps the historical
+names — :class:`Environment`, :class:`EnvironmentConfig`,
+:func:`make_environment` — working on top of it.  New code should use
+``StudyRuntime.build(...)`` directly, which also exposes the execution
+knobs (``max_workers``, ``database``, ``checkpoint``, ``progress``).
 
-    world scenario -> search population -> Trends service
-        -> fetcher fleet + database -> SIFT pipeline
-
-:func:`make_environment` is the entry point used by the examples, the
-test suite, and every benchmark.  ``background_scale`` trades run time
-for study size (1.0 = paper scale, the default 0.15 runs the complete
-two-year, 51-state study in well under a minute while preserving every
-distributional shape).
+``background_scale`` trades run time for study size (1.0 = paper
+scale, the default 0.15 runs the complete two-year, 51-state study in
+well under a minute while preserving every distributional shape).
 """
 
 from __future__ import annotations
 
-import dataclasses
 from datetime import datetime
 
-from repro.collection.scheduler import CollectionManager
-from repro.core.pipeline import Sift, SiftConfig, StudyResult
-from repro.timeutil import TimeWindow, utc
-from repro.trends.ratelimit import RateLimitConfig, SimulatedClock
-from repro.trends.service import TrendsConfig, TrendsService
-from repro.world.population import SearchPopulation
-from repro.world.scenarios import Scenario, ScenarioConfig
-from repro.world.states import STATES
+from repro.core.pipeline import SiftConfig
+from repro.core.progress import ProgressListener
+from repro.runtime.study import (
+    ALL_GEOS,
+    STUDY_END,
+    STUDY_START,
+    RuntimeConfig,
+    StudyRuntime,
+)
 
-#: The paper's study window: 1 Jan 2020 - 31 Dec 2021.
-STUDY_START: datetime = utc(2020, 1, 1)
-STUDY_END: datetime = utc(2022, 1, 1)
-
-#: All 51 Trends geographies of the study (50 states + DC).
-ALL_GEOS: tuple[str, ...] = tuple(state.geo for state in STATES)
-
-
-@dataclasses.dataclass(frozen=True, slots=True)
-class EnvironmentConfig:
-    """Parameters of a simulated deployment."""
-
-    background_scale: float = 0.15
-    seed: int = 20221025
-    fetcher_count: int = 4
-    #: Generous limits keep simulated crawls fast; tighten them to study
-    #: the scheduler under pressure (see the collection tests).
-    requests_per_second: float = 50.0
-    burst: int = 500
-    sift: SiftConfig = dataclasses.field(default_factory=SiftConfig)
-    start: datetime = STUDY_START
-    end: datetime = STUDY_END
-
-
-class Environment:
-    """A fully-wired simulated SIFT deployment."""
-
-    def __init__(self, config: EnvironmentConfig) -> None:
-        self.config = config
-        self.scenario = Scenario.build(
-            ScenarioConfig(
-                start=config.start,
-                end=config.end,
-                seed=config.seed,
-                background_scale=config.background_scale,
-            )
-        )
-        self.population = SearchPopulation(self.scenario, noise_seed=config.seed + 1)
-        self.clock = SimulatedClock()
-        self.service = TrendsService(
-            self.population,
-            TrendsConfig(
-                rate_limit=RateLimitConfig(
-                    burst=config.burst,
-                    refill_per_second=config.requests_per_second,
-                )
-            ),
-            clock=self.clock,
-        )
-        self.manager = CollectionManager(
-            self.service,
-            sleep=self.clock.sleep,
-            fetcher_count=config.fetcher_count,
-        )
-        self.sift = Sift(self.manager, config.sift)
-
-    @property
-    def window(self) -> TimeWindow:
-        return TimeWindow(self.config.start, self.config.end)
-
-    def run_study(
-        self,
-        geos: tuple[str, ...] | list[str] | None = None,
-        window: TimeWindow | None = None,
-    ) -> StudyResult:
-        """Run the full SIFT study (defaults: all geos, full window)."""
-        return self.sift.run_study(
-            tuple(geos) if geos is not None else ALL_GEOS,
-            window or self.window,
-        )
+#: Historical aliases; the runtime config is a strict superset.
+EnvironmentConfig = RuntimeConfig
+Environment = StudyRuntime
 
 
 def make_environment(
@@ -106,15 +38,31 @@ def make_environment(
     sift: SiftConfig | None = None,
     start: datetime = STUDY_START,
     end: datetime = STUDY_END,
-) -> Environment:
+    max_workers: int = 1,
+    database: str = ":memory:",
+    checkpoint: bool = True,
+    progress: ProgressListener | None = None,
+) -> StudyRuntime:
     """Build a simulated deployment with sensible defaults."""
-    return Environment(
-        EnvironmentConfig(
-            background_scale=background_scale,
-            seed=seed,
-            fetcher_count=fetcher_count,
-            sift=sift or SiftConfig(),
-            start=start,
-            end=end,
-        )
+    return StudyRuntime.build(
+        background_scale=background_scale,
+        seed=seed,
+        fetcher_count=fetcher_count,
+        sift=sift,
+        start=start,
+        end=end,
+        max_workers=max_workers,
+        database=database,
+        checkpoint=checkpoint,
+        progress=progress,
     )
+
+
+__all__ = [
+    "ALL_GEOS",
+    "Environment",
+    "EnvironmentConfig",
+    "STUDY_END",
+    "STUDY_START",
+    "make_environment",
+]

@@ -1,0 +1,70 @@
+"""The execution layer of the reproduction.
+
+Everything about *how* a study runs — as opposed to *what* it computes
+— lives here:
+
+* :class:`StudyRuntime` / :func:`StudyRuntime.build` — the single
+  factory that wires world, service, crawler, and pipeline together
+  for the CLI, the web app, the benchmarks, and the examples;
+* :class:`StudyExecutor` (:class:`SerialExecutor`,
+  :class:`ThreadPoolStudyExecutor`) — per-geography parallelism with
+  deterministic ordering;
+* :class:`DatabaseCheckpoint` — durable per-geography resume through
+  the collection database;
+* the structured progress events of :mod:`repro.core.progress`,
+  re-exported for convenience.
+"""
+
+from repro.core.progress import (
+    AnnotationStarted,
+    CacheStats,
+    CheckpointHit,
+    CrawlStats,
+    GeoFinished,
+    GeoStarted,
+    ProgressEvent,
+    ProgressListener,
+    ProgressLog,
+    StudyFinished,
+    StudyStarted,
+    text_listener,
+)
+from repro.runtime.checkpoint import DatabaseCheckpoint
+from repro.runtime.executor import (
+    SerialExecutor,
+    StudyExecutor,
+    ThreadPoolStudyExecutor,
+    make_executor,
+)
+from repro.runtime.study import (
+    ALL_GEOS,
+    STUDY_END,
+    STUDY_START,
+    RuntimeConfig,
+    StudyRuntime,
+)
+
+__all__ = [
+    "ALL_GEOS",
+    "AnnotationStarted",
+    "CacheStats",
+    "CheckpointHit",
+    "CrawlStats",
+    "DatabaseCheckpoint",
+    "GeoFinished",
+    "GeoStarted",
+    "ProgressEvent",
+    "ProgressListener",
+    "ProgressLog",
+    "RuntimeConfig",
+    "STUDY_END",
+    "STUDY_START",
+    "SerialExecutor",
+    "StudyExecutor",
+    "StudyFinished",
+    "StudyRuntime",
+    "StudyStarted",
+    "ThreadPoolStudyExecutor",
+    "make_executor",
+    "text_listener",
+]

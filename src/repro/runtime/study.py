@@ -1,0 +1,221 @@
+"""The study runtime: one factory wiring the whole deployment.
+
+Every front end used to repeat the same assembly — build a world
+scenario, wrap it in a search population, stand up the simulated
+Trends service, build the fetcher fleet and database, hand the manager
+to :class:`repro.core.pipeline.Sift`.  :meth:`StudyRuntime.build` is
+that wiring, once, with the execution knobs on top:
+
+* ``max_workers`` — per-geography parallelism (serial by default;
+  results are byte-identical at any worker count for a fixed seed);
+* ``database`` — ``":memory:"`` or a file path; file-backed runtimes
+  checkpoint each finished geography and **resume** interrupted
+  studies without recrawling;
+* ``checkpoint`` — disable persistence entirely when a run must not
+  reuse earlier results;
+* ``progress`` — a structured-event listener
+  (:mod:`repro.core.progress`) consumed by the CLI, the web interface,
+  and the benchmarks.
+
+A hand-built :class:`repro.world.Scenario` (or population) can be
+injected for testbed experiments; the study window then defaults to
+the scenario's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime
+from types import TracebackType
+
+from repro.collection.database import CollectionDatabase
+from repro.collection.scheduler import CollectionManager, CrawlReport
+from repro.core.pipeline import Sift, SiftConfig, StateResult, StudyResult
+from repro.core.progress import ProgressListener
+from repro.runtime.checkpoint import DatabaseCheckpoint
+from repro.runtime.executor import StudyExecutor, make_executor
+from repro.timeutil import TimeWindow, utc
+from repro.trends.ratelimit import RateLimitConfig, SimulatedClock
+from repro.trends.service import TrendsConfig, TrendsService
+from repro.world.population import SearchPopulation
+from repro.world.scenarios import Scenario, ScenarioConfig
+from repro.world.states import STATES
+
+#: The paper's study window: 1 Jan 2020 - 31 Dec 2021.
+STUDY_START: datetime = utc(2020, 1, 1)
+STUDY_END: datetime = utc(2022, 1, 1)
+
+#: All 51 Trends geographies of the study (50 states + DC).
+ALL_GEOS: tuple[str, ...] = tuple(state.geo for state in STATES)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RuntimeConfig:
+    """Parameters of a simulated deployment plus its execution policy."""
+
+    background_scale: float = 0.15
+    seed: int = 20221025
+    fetcher_count: int = 4
+    #: Generous limits keep simulated crawls fast; tighten them to study
+    #: the scheduler under pressure (see the collection tests).
+    requests_per_second: float = 50.0
+    burst: int = 500
+    sift: SiftConfig = dataclasses.field(default_factory=SiftConfig)
+    start: datetime = STUDY_START
+    end: datetime = STUDY_END
+    #: Threads analyzing geographies concurrently (1 = serial study).
+    max_workers: int = 1
+    #: ``":memory:"`` or a sqlite file path (enables durable resume).
+    database: str = ":memory:"
+    #: Persist per-geography results and resume completed geographies.
+    checkpoint: bool = True
+
+
+class StudyRuntime:
+    """A fully-wired SIFT deployment: world, service, crawler, pipeline."""
+
+    def __init__(
+        self,
+        config: RuntimeConfig | None = None,
+        progress: ProgressListener | None = None,
+        scenario: Scenario | None = None,
+        population: SearchPopulation | None = None,
+    ) -> None:
+        self.config = config or RuntimeConfig()
+        config = self.config
+        self.scenario = scenario or Scenario.build(
+            ScenarioConfig(
+                start=config.start,
+                end=config.end,
+                seed=config.seed,
+                background_scale=config.background_scale,
+            )
+        )
+        self.population = population or SearchPopulation(
+            self.scenario, noise_seed=config.seed + 1
+        )
+        self.clock = SimulatedClock()
+        self.service = TrendsService(
+            self.population,
+            TrendsConfig(
+                rate_limit=RateLimitConfig(
+                    burst=config.burst,
+                    refill_per_second=config.requests_per_second,
+                )
+            ),
+            clock=self.clock,
+        )
+        self.database = CollectionDatabase(config.database)
+        self.manager = CollectionManager(
+            self.service,
+            sleep=self.clock.sleep,
+            fetcher_count=config.fetcher_count,
+            database=self.database,
+        )
+        self.executor: StudyExecutor = make_executor(config.max_workers)
+        self.checkpoint: DatabaseCheckpoint | None = (
+            DatabaseCheckpoint(self.database, term=config.sift.term)
+            if config.checkpoint
+            else None
+        )
+        self.sift = Sift(
+            self.manager,
+            config.sift,
+            progress=progress,
+            executor=self.executor,
+            checkpoint=self.checkpoint,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        background_scale: float = 0.15,
+        seed: int = 20221025,
+        fetcher_count: int = 4,
+        max_workers: int = 1,
+        database: str = ":memory:",
+        checkpoint: bool = True,
+        sift: SiftConfig | None = None,
+        start: datetime | None = None,
+        end: datetime | None = None,
+        requests_per_second: float = 50.0,
+        burst: int = 500,
+        progress: ProgressListener | None = None,
+        scenario: Scenario | None = None,
+        population: SearchPopulation | None = None,
+    ) -> "StudyRuntime":
+        """Assemble a deployment with sensible defaults.
+
+        When a prebuilt *scenario* (or *population*) is injected, the
+        study window defaults to the scenario's own window.
+        """
+        if population is not None and scenario is None:
+            scenario = population.scenario
+        if scenario is not None:
+            start = start or scenario.window.start
+            end = end or scenario.window.end
+        return cls(
+            RuntimeConfig(
+                background_scale=background_scale,
+                seed=seed,
+                fetcher_count=fetcher_count,
+                requests_per_second=requests_per_second,
+                burst=burst,
+                sift=sift or SiftConfig(),
+                start=start or STUDY_START,
+                end=end or STUDY_END,
+                max_workers=max_workers,
+                database=database,
+                checkpoint=checkpoint,
+            ),
+            progress=progress,
+            scenario=scenario,
+            population=population,
+        )
+
+    # -- running ---------------------------------------------------------------
+
+    @property
+    def window(self) -> TimeWindow:
+        return TimeWindow(self.config.start, self.config.end)
+
+    def run_study(
+        self,
+        geos: tuple[str, ...] | list[str] | None = None,
+        window: TimeWindow | None = None,
+    ) -> StudyResult:
+        """Run the full SIFT study (defaults: all geos, full window)."""
+        return self.sift.run_study(
+            tuple(geos) if geos is not None else ALL_GEOS,
+            window or self.window,
+        )
+
+    def analyze_state(self, geo: str, window: TimeWindow | None = None) -> StateResult:
+        """Single-geography pipeline run over the study window."""
+        return self.sift.analyze_state(geo, window or self.window)
+
+    def report(self) -> CrawlReport:
+        """Lifetime crawl accounting for this runtime's collection layer."""
+        return self.manager.report()
+
+    def completed_geos(self, window: TimeWindow | None = None) -> tuple[str, ...]:
+        """Geographies already checkpointed for the study window."""
+        if self.checkpoint is None:
+            return ()
+        return self.checkpoint.completed_geos(window or self.window)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self.database.close()
+
+    def __enter__(self) -> "StudyRuntime":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

@@ -50,12 +50,18 @@ class TrendsClient:
         sleep: Sleeper = time.sleep,
         policy: RetryPolicy | None = None,
         seed: int = 1234,
+        latency: float = 0.0,
     ) -> None:
         self.service = service
         self.ip = ip
         self.policy = policy or RetryPolicy()
         self._sleep = sleep
         self._jitter_rng = substream(seed, "client-jitter", ip)
+        #: Simulated network round-trip per successful request, spent
+        #: through the injected sleeper (virtual or real).  Zero by
+        #: default; the throughput benchmark uses it to model the
+        #: request latency that makes fleet parallelism pay off.
+        self.latency = latency
         self.fetches = 0
         self.retries = 0
 
@@ -86,6 +92,8 @@ class TrendsClient:
                 )
                 self._sleep(delay)
                 continue
+            if self.latency > 0.0:
+                self._sleep(self.latency)
             self.fetches += 1
             return response
         raise CollectionError(

@@ -14,6 +14,7 @@ sleeping.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from collections.abc import Callable
 
@@ -55,6 +56,9 @@ class TokenBucketLimiter:
         self.config = config or RateLimitConfig()
         self._clock = clock
         self._buckets: dict[str, _Bucket] = {}
+        #: Serializes bucket creation and token accounting so concurrent
+        #: fetcher threads cannot double-spend a token.
+        self._lock = threading.Lock()
         self.rejections = 0
 
     def _bucket(self, ip: str) -> _Bucket:
@@ -75,13 +79,14 @@ class TokenBucketLimiter:
 
     def try_acquire(self, ip: str) -> bool:
         """Consume one token for *ip*; False when the budget is exhausted."""
-        bucket = self._bucket(ip)
-        self._refill(bucket)
-        if bucket.tokens >= 1.0:
-            bucket.tokens -= 1.0
-            return True
-        self.rejections += 1
-        return False
+        with self._lock:
+            bucket = self._bucket(ip)
+            self._refill(bucket)
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                return True
+            self.rejections += 1
+            return False
 
     def acquire(self, ip: str) -> None:
         """Consume one token or raise :class:`RateLimitError`."""
@@ -90,30 +95,39 @@ class TokenBucketLimiter:
 
     def retry_after(self, ip: str) -> float:
         """Seconds until *ip* will have one token again."""
-        bucket = self._bucket(ip)
-        self._refill(bucket)
-        missing = max(0.0, 1.0 - bucket.tokens)
-        return missing / self.config.refill_per_second
+        with self._lock:
+            bucket = self._bucket(ip)
+            self._refill(bucket)
+            missing = max(0.0, 1.0 - bucket.tokens)
+            return missing / self.config.refill_per_second
 
     def tokens_available(self, ip: str) -> float:
-        bucket = self._bucket(ip)
-        self._refill(bucket)
-        return bucket.tokens
+        with self._lock:
+            bucket = self._bucket(ip)
+            self._refill(bucket)
+            return bucket.tokens
 
 
 class SimulatedClock:
-    """A manually-advanced clock for deterministic, sleep-free tests."""
+    """A manually-advanced clock for deterministic, sleep-free tests.
+
+    Thread-safe: concurrent fetcher threads advance one shared virtual
+    timeline (each sleep still moves time forward exactly once).
+    """
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = start
+        self._lock = threading.Lock()
 
     def __call__(self) -> float:
-        return self._now
+        with self._lock:
+            return self._now
 
     def advance(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"cannot rewind the clock: {seconds}")
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
 
     def sleep(self, seconds: float) -> None:
         """Sleep by advancing virtual time (duck-types ``time.sleep``)."""

@@ -22,7 +22,6 @@ import dataclasses
 import numpy as np
 
 from repro.rand import hashed_uniform, stable_key
-from repro.timeutil import TimeWindow
 from repro.trends.records import BREAKOUT_WEIGHT, RisingTerm, TimeFrameRequest
 from repro.world.catalog import TERMS
 from repro.world.population import SearchPopulation

@@ -15,6 +15,7 @@ always returns the same response, so full pipeline runs reproduce.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from collections import Counter
 
@@ -67,6 +68,8 @@ class TrendsService:
         self.limiter = TokenBucketLimiter(self.config.rate_limit, clock=clock)
         self.stats = ServiceStats()
         self._round_counter: Counter = Counter()
+        #: Guards the mutable counters; the sampling itself is pure.
+        self._stats_lock = threading.Lock()
 
     def fetch(
         self,
@@ -84,11 +87,13 @@ class TrendsService:
         try:
             self.limiter.acquire(ip)
         except Exception:
-            self.stats.rate_limited += 1
+            with self._stats_lock:
+                self.stats.rate_limited += 1
             raise
         if sample_round is None:
-            sample_round = self._round_counter[request.cache_key]
-            self._round_counter[request.cache_key] += 1
+            with self._stats_lock:
+                sample_round = self._round_counter[request.cache_key]
+                self._round_counter[request.cache_key] += 1
         values = self._sample_values(request, sample_round)
         rising: tuple[RisingTerm, ...] = ()
         if include_rising:
@@ -102,9 +107,11 @@ class TrendsService:
                 self.config.sample_rate,
                 self.config.rising,
             )
-            self.stats.rising_computed += 1
-        self.stats.frames_served += 1
-        self.stats.frames_by_geo[request.geo] += 1
+        with self._stats_lock:
+            if include_rising:
+                self.stats.rising_computed += 1
+            self.stats.frames_served += 1
+            self.stats.frames_by_geo[request.geo] += 1
         return TimeFrameResponse(
             request=request,
             values=values,

@@ -13,6 +13,7 @@ Endpoints::
     GET /api/timeline?geo=US-TX[&start=ISO&end=ISO]   series values
     GET /api/spikes?geo=US-TX[&min_hours=N]           detected spikes
     GET /api/outages[?min_states=N]                   grouped outages
+    GET /api/runtime                                  progress events + crawl stats
 """
 
 from __future__ import annotations
@@ -24,16 +25,31 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.analysis.reporting import render_timeline
+from repro.collection.scheduler import CrawlReport
 from repro.core.pipeline import StudyResult
+from repro.core.progress import ProgressLog
 from repro.errors import ReproError
 from repro.timeutil import TimeWindow, ensure_grid
 
 
 class SiftWebApp:
-    """Routes paths to JSON/HTML payloads over a finished study."""
+    """Routes paths to JSON/HTML payloads over a finished study.
 
-    def __init__(self, study: StudyResult) -> None:
+    ``progress_log`` and ``crawl_report`` are optional runtime
+    telemetry — when the app is served from a :class:`StudyRuntime`
+    the ``/api/runtime`` endpoint exposes how the study ran (structured
+    progress events, resumed geographies, crawl throughput).
+    """
+
+    def __init__(
+        self,
+        study: StudyResult,
+        progress_log: ProgressLog | None = None,
+        crawl_report: CrawlReport | None = None,
+    ) -> None:
         self.study = study
+        self.progress_log = progress_log
+        self.crawl_report = crawl_report
 
     # -- routing -------------------------------------------------------------
 
@@ -52,6 +68,8 @@ class SiftWebApp:
                 return self._json(self._spikes(params))
             if parsed.path == "/api/outages":
                 return self._json(self._outages(params))
+            if parsed.path == "/api/runtime":
+                return self._json(self._runtime(params))
         except (KeyError, ValueError, ReproError) as error:
             return self._error(400, str(error))
         return self._error(404, f"unknown path: {parsed.path}")
@@ -124,6 +142,34 @@ class SiftWebApp:
         ]
         return {"count": len(outages), "outages": outages}
 
+    def _runtime(self, params: dict[str, str]) -> dict:
+        kind = params.get("type")
+        events = []
+        if self.progress_log is not None:
+            events = [
+                event.to_dict()
+                for event in self.progress_log.events()
+                if kind is None or type(event).__name__ == kind
+            ]
+        crawl = None
+        if self.crawl_report is not None:
+            report = self.crawl_report
+            crawl = {
+                "requested": report.requested,
+                "fetched": report.fetched,
+                "served_from_cache": report.served_from_cache,
+                "retries": report.retries,
+                "elapsed_seconds": round(report.elapsed_seconds, 3),
+                "frames_per_second": round(report.frames_per_second, 1),
+                "per_fetcher": dict(report.per_fetcher),
+            }
+        return {
+            "resumed_geos": list(self.study.resumed_geos),
+            "event_count": len(events),
+            "events": events,
+            "crawl": crawl,
+        }
+
     def _index(self, params: dict[str, str]) -> str:
         geo = params.get("geo") or next(iter(sorted(self.study.states)), "")
         rows = [
@@ -165,14 +211,18 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def serve(
-    study: StudyResult, host: str = "127.0.0.1", port: int = 0
+    study: StudyResult,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    progress_log: ProgressLog | None = None,
+    crawl_report: CrawlReport | None = None,
 ) -> tuple[ThreadingHTTPServer, threading.Thread]:
     """Serve a study over HTTP; returns (server, daemon thread).
 
     ``port=0`` picks a free port (see ``server.server_address``).  Call
     ``server.shutdown()`` to stop.
     """
-    app = SiftWebApp(study)
+    app = SiftWebApp(study, progress_log=progress_log, crawl_report=crawl_report)
     handler = type("BoundHandler", (_Handler,), {"app": app})
     server = ThreadingHTTPServer((host, port), handler)
     thread = threading.Thread(target=server.serve_forever, daemon=True)

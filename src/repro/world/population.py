@@ -25,7 +25,6 @@ from datetime import datetime
 
 import numpy as np
 
-from repro.errors import UnknownTermError
 from repro.rand import hashed_normal, stable_key
 from repro.timeutil import TimeWindow, hour_index
 from repro.world.behavior import (

@@ -2,7 +2,6 @@
 
 from datetime import timedelta
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.complaints import (
-    ComplaintConfig,
     ComplaintStream,
     Downdetector,
     DowndetectorConfig,

@@ -1,6 +1,5 @@
 """Unit tests for spike records and spike sets."""
 
-import numpy as np
 import pytest
 
 from repro.core.spikes import Spike, SpikeSet

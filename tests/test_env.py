@@ -1,6 +1,5 @@
 """Tests for the one-stop environment wiring."""
 
-import pytest
 
 from repro import ALL_GEOS, STUDY_END, STUDY_START, make_environment, utc
 from repro.core.pipeline import StudyResult

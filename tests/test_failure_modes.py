@@ -1,12 +1,11 @@
 """Failure-injection and degenerate-input tests across the stack."""
 
-import pytest
 
 from repro.collection import CollectionManager
 from repro.core import AveragingConfig, Sift, SiftConfig
 from repro.core.area import group_outages
 from repro.core.spikes import SpikeSet
-from repro.timeutil import TimeWindow, utc
+from repro.timeutil import utc
 from repro.trends import (
     RateLimitConfig,
     SimulatedClock,

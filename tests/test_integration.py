@@ -9,7 +9,6 @@ import pytest
 
 from repro import make_environment, utc
 from repro.ant import AntDataset, CrossValidationConfig, trace_spike
-from repro.timeutil import TimeWindow
 
 
 class TestTexasWinterStorm:

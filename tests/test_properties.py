@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core.detection import DetectionConfig, detect_bounds
+from repro.core.detection import detect_bounds
 from repro.core.nlp import phrase_similarity, tokenize
 from repro.core.spikes import Spike, SpikeSet
 from repro.core.stitching import estimate_ratio, stitch_frames

@@ -1,7 +1,6 @@
 """Unit tests for counter-based deterministic randomness."""
 
 import numpy as np
-import pytest
 
 from repro.rand import hashed_normal, hashed_uniform, stable_key, substream
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.timeutil import TimeWindow, utc
+from repro.timeutil import utc
 from repro.world.catalog import get_term
 from repro.world.events import Cause
 from repro.world.scenarios import Scenario, ScenarioConfig, headline_events
