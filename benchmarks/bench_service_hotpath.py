@@ -1,0 +1,255 @@
+"""Hot-path perf bench: frames/sec, rising/sec, and study wall-clock.
+
+The paper's crawl serves ~160k hourly frames (51 states x six averaging
+rounds), so the simulated service's per-frame cost bounds every full
+study.  This bench measures the three rates that matter and writes them
+to ``BENCH_service.json`` (see :mod:`benchmarks.perf` for the layout):
+
+* ``frames_per_sec`` — full ``TrendsService.fetch`` calls with rising
+  suggestions enabled, over a rotation of geographies, weekly frames
+  and sample rounds;
+* ``rising_per_sec`` — the rising-suggestion computation alone;
+* ``study_serial_s`` / ``study_workers4_s`` — wall-clock of a complete
+  SIFT study (crawl -> stitch -> detect -> annotate) over the bench
+  geographies, serial and on four workers;
+* ``scalar_ref_frames_per_sec`` — the same fetch workload served by the
+  frozen scalar reference implementation (:mod:`repro._reference`), and
+  ``speedup_vs_scalar`` — the hardware-independent ratio CI guards.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_hotpath.py [--smoke]
+        [--as-baseline]   # record the pre-change numbers
+        [--check]         # fail when speedup_vs_scalar regressed >30%
+                          # against the committed BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._reference import ReferencePopulation, reference_fetch
+from repro.rand import substream
+from repro.timeutil import TimeWindow, utc, weekly_frames
+from repro.trends.ratelimit import RateLimitConfig
+from repro.trends.records import TimeFrameRequest
+from repro.trends.rising import rising_terms
+from repro.trends.service import TrendsConfig, TrendsService
+from repro.world.population import SearchPopulation
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+try:  # runnable both as a script and under the benchmarks package
+    from perf import measure_rate, measure_seconds, read_bench, write_bench
+except ImportError:  # pragma: no cover
+    from benchmarks.perf import measure_rate, measure_seconds, read_bench, write_bench
+
+BENCH_NAME = "service"
+
+#: Default scenario: two months around the Texas winter storm, the
+#: same world the test suite exercises, over a timezone-diverse
+#: geography rotation (Eastern/Central/Mountain/Pacific/Arizona/
+#: Hawaii/Alaska are all represented).
+SCENARIO_START = utc(2021, 1, 1)
+SCENARIO_END = utc(2021, 3, 1)
+BACKGROUND_SCALE = 0.3
+GEOS = (
+    "US-TX", "US-CA", "US-NY", "US-FL", "US-AZ", "US-HI",
+    "US-AK", "US-CO", "US-IL", "US-WA", "US-GA", "US-MI",
+)
+SMOKE_GEOS = ("US-TX", "US-CA", "US-AZ", "US-NY")
+
+#: Frames start one week into the scenario so every frame has a full
+#: preceding window for the rising computation.
+FRAME_SPAN = TimeWindow(utc(2021, 1, 8), utc(2021, 2, 19))
+
+#: Regression gate: fail CI when the measured speedup-vs-scalar drops
+#: below this fraction of the committed value (the "30% frames/sec
+#: regression" budget, expressed hardware-independently).
+CHECK_RATIO = 0.7
+
+
+def build_requests(smoke: bool) -> list[TimeFrameRequest]:
+    geos = SMOKE_GEOS if smoke else GEOS
+    frames = weekly_frames(FRAME_SPAN)
+    return [
+        TimeFrameRequest("Internet outage", geo, frame)
+        for geo in geos
+        for frame in frames
+    ]
+
+
+def build_service(population: SearchPopulation) -> TrendsService:
+    config = TrendsConfig(
+        rate_limit=RateLimitConfig(burst=10**9, refill_per_second=10**9)
+    )
+    return TrendsService(population, config)
+
+
+def bench_frames(service, requests, rounds) -> tuple[float, float]:
+    def one_pass() -> int:
+        served = 0
+        for sample_round in range(rounds):
+            for request in requests:
+                service.fetch(request, sample_round=sample_round)
+                served += 1
+        return served
+
+    return measure_rate(one_pass)
+
+
+def bench_rising(population, requests, rounds) -> tuple[float, float]:
+    def one_pass() -> int:
+        computed = 0
+        for sample_round in range(rounds):
+            for request in requests:
+                rng = substream(99, "rising", request.cache_key, sample_round)
+                rising_terms(population, request, rng, 0.03)
+                computed += 1
+        return computed
+
+    return measure_rate(one_pass)
+
+
+def bench_scalar_reference(scenario, requests, rounds) -> tuple[float, float]:
+    """Reference fetches over the frozen scalar implementation."""
+    population = ReferencePopulation(scenario, noise_seed=20221026)
+
+    def one_pass() -> int:
+        served = 0
+        for sample_round in range(rounds):
+            for request in requests:
+                reference_fetch(population, request, sample_round)
+                served += 1
+        return served
+
+    # The scalar path is slow; a single timed repeat keeps the bench fast.
+    return measure_rate(one_pass, repeats=1, warmup=1)
+
+
+def bench_study(smoke: bool, max_workers: int) -> float:
+    from repro.runtime import StudyRuntime
+
+    geos = SMOKE_GEOS if smoke else GEOS
+
+    def run() -> None:
+        with StudyRuntime.build(
+            background_scale=BACKGROUND_SCALE,
+            start=SCENARIO_START,
+            end=SCENARIO_END,
+            max_workers=max_workers,
+        ) as runtime:
+            runtime.run_study(geos=geos)
+
+    return measure_seconds(run, repeats=1, warmup=0)
+
+
+def run_bench(smoke: bool) -> dict:
+    scenario = Scenario.build(
+        ScenarioConfig(
+            start=SCENARIO_START,
+            end=SCENARIO_END,
+            background_scale=BACKGROUND_SCALE,
+        )
+    )
+    population = SearchPopulation(scenario, noise_seed=20221026)
+    service = build_service(population)
+    requests = build_requests(smoke)
+    rounds = 1 if smoke else 3
+    ref_rounds = 1
+
+    frames_rate, _ = bench_frames(service, requests, rounds)
+    rising_rate, _ = bench_rising(population, requests, rounds)
+    scalar_rate, _ = bench_scalar_reference(
+        scenario, requests[: len(requests) if smoke else len(requests) // 2],
+        ref_rounds,
+    )
+    serial_s = bench_study(smoke, max_workers=1)
+    workers4_s = bench_study(smoke, max_workers=4)
+
+    return {
+        "frames_per_sec": round(frames_rate, 1),
+        "rising_per_sec": round(rising_rate, 1),
+        "study_serial_s": round(serial_s, 3),
+        "study_workers4_s": round(workers4_s, 3),
+        "scalar_ref_frames_per_sec": round(scalar_rate, 1),
+        "speedup_vs_scalar": round(frames_rate / scalar_rate, 2),
+        "frames_measured": len(requests) * rounds,
+        "smoke": smoke,
+    }
+
+
+def check_regression(metrics: dict) -> int:
+    """Compare against the committed results; return an exit code."""
+    committed = read_bench(BENCH_NAME)
+    if not committed or "current" not in committed:
+        print("check: no committed BENCH_service.json current section; skipping")
+        return 0
+    committed_ratio = committed["current"].get("speedup_vs_scalar")
+    measured_ratio = metrics["speedup_vs_scalar"]
+    if not committed_ratio:
+        print("check: committed results carry no speedup_vs_scalar; skipping")
+        return 0
+    floor = CHECK_RATIO * committed_ratio
+    verdict = "ok" if measured_ratio >= floor else "REGRESSION"
+    print(
+        f"check: speedup_vs_scalar measured {measured_ratio:.2f}x, "
+        f"committed {committed_ratio:.2f}x, floor {floor:.2f}x -> {verdict}"
+    )
+    return 0 if measured_ratio >= floor else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI scenario")
+    parser.add_argument(
+        "--as-baseline",
+        action="store_true",
+        help="record results as the pre-change baseline",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when the speedup regressed >30%% vs committed results",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="persist results even for a smoke run (CI artifact upload)",
+    )
+    args = parser.parse_args(argv)
+
+    metrics = run_bench(smoke=args.smoke)
+    for key, value in metrics.items():
+        print(f"{key}: {value}")
+
+    exit_code = check_regression(metrics) if args.check else 0
+    # A smoke run only persists on request: the committed numbers should
+    # come from the full workload, but CI wants the fresh measurements
+    # in its artifact (the check above reads the committed file first).
+    if args.as_baseline or args.write or not args.smoke:
+        write_bench(
+            BENCH_NAME,
+            metrics,
+            as_baseline=args.as_baseline,
+            extra={
+                "workload": {
+                    "scenario": {
+                        "start": SCENARIO_START.isoformat(),
+                        "end": SCENARIO_END.isoformat(),
+                        "background_scale": BACKGROUND_SCALE,
+                    },
+                    "geos": list(SMOKE_GEOS if args.smoke else GEOS),
+                    "frame_span": [
+                        FRAME_SPAN.start.isoformat(),
+                        FRAME_SPAN.end.isoformat(),
+                    ],
+                },
+            },
+        )
+        print(f"wrote BENCH_{BENCH_NAME}.json")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Shared perf-run helpers: wall-clock measurement + BENCH_*.json output.
+
+Every figure/table benchmark prints human-readable tables; this module
+is the machine-readable side.  A perf benchmark measures rates with
+:func:`measure_rate` (best-of-N to shed scheduler noise) and persists
+them with :func:`write_bench`, so successive PRs accumulate a
+performance trajectory in the committed ``BENCH_*.json`` files instead
+of anecdotes in commit messages.
+
+The JSON layout is shared by every perf bench:
+
+```
+{
+  "benchmark": "<name>",
+  "updated_utc": "...",
+  "machine": {...},            # where the numbers were taken
+  "baseline": {...metrics...}, # pre-change numbers recorded in the PR
+                               # that introduced the bench
+  "current": {...metrics...},  # latest numbers on this code
+  "speedup": {...}             # current / baseline, per metric
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable
+
+#: Repository root (BENCH_*.json live next to README.md).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_path(name: str) -> str:
+    """Path of the committed machine-readable result file."""
+    return os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+
+
+def measure_seconds(
+    fn: Callable[[], Any], *, repeats: int = 3, warmup: int = 1
+) -> float:
+    """Best-of-*repeats* wall-clock seconds of one ``fn()`` call."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_rate(
+    fn: Callable[[], int], *, repeats: int = 3, warmup: int = 1
+) -> tuple[float, float]:
+    """Best-of-*repeats* ``(units_per_second, seconds)`` for ``fn``.
+
+    ``fn`` performs a batch of work and returns how many units it
+    served; the rate is taken from the fastest repeat.
+    """
+    for _ in range(warmup):
+        fn()
+    best_rate, best_seconds = 0.0, float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        units = fn()
+        elapsed = time.perf_counter() - started
+        if units / elapsed > best_rate:
+            best_rate, best_seconds = units / elapsed, elapsed
+    return best_rate, best_seconds
+
+
+def machine_info() -> dict[str, Any]:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def read_bench(name: str) -> dict[str, Any] | None:
+    """Load the committed results for *name*, or None when absent."""
+    path = bench_path(name)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_bench(
+    name: str,
+    metrics: dict[str, Any],
+    *,
+    as_baseline: bool = False,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Merge *metrics* into ``BENCH_<name>.json`` and return the payload.
+
+    With ``as_baseline`` the metrics land in the ``baseline`` slot (the
+    pre-change numbers a PR measures before optimizing); otherwise they
+    become ``current`` and per-metric speedups against the stored
+    baseline are recomputed.
+    """
+    payload = read_bench(name) or {"benchmark": name}
+    payload["updated_utc"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    payload["machine"] = machine_info()
+    if extra:
+        payload.update(extra)
+    if as_baseline:
+        payload["baseline"] = metrics
+    else:
+        payload["current"] = metrics
+        baseline = payload.get("baseline")
+        if baseline:
+            # Rates improve upward, durations (``*_s``) downward; report
+            # both as "how many times faster".
+            payload["speedup"] = {
+                key: round(
+                    baseline[key] / value if key.endswith("_s") else value / baseline[key],
+                    2,
+                )
+                for key, value in metrics.items()
+                if isinstance(value, (int, float))
+                and isinstance(baseline.get(key), (int, float))
+                and baseline[key]
+                and value
+            }
+    with open(bench_path(name), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

@@ -137,9 +137,17 @@ class PhraseClusterer:
                 self._exemplars.append(
                     (concept, phrasing, tokenize(phrasing), trigrams(phrasing))
                 )
+        # The exemplar scan is pure in the phrase, and study-scale
+        # annotation re-asks the same few hundred catalog variants
+        # thousands of times — memoization turns the annotation stage
+        # from the study's dominant cost into a dict lookup.  Benign
+        # race under threads: recomputed values are identical.
+        self._match_cache: dict[str, ClusterMatch | None] = {}
 
     def match(self, phrase: str) -> ClusterMatch | None:
         """Best concept for *phrase*, or None below the threshold."""
+        if phrase in self._match_cache:
+            return self._match_cache[phrase]
         tokens = tokenize(phrase)
         grams = trigrams(phrase)
         best: ClusterMatch | None = None
@@ -149,8 +157,11 @@ class PhraseClusterer:
             )
             if best is None or score > best.similarity:
                 best = ClusterMatch(concept, score, exemplar)
-        if best is None or best.similarity < self.threshold:
-            return None
+        if best is not None and best.similarity < self.threshold:
+            best = None
+        if len(self._match_cache) >= 65536:
+            self._match_cache.clear()
+        self._match_cache[phrase] = best
         return best
 
     def canonicalize(self, phrase: str) -> str:

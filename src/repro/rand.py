@@ -9,9 +9,19 @@ SplitMix64-style integer hash, vectorized with numpy.
 The Trends service's per-request sampling, by contrast, must differ
 between re-fetches of the same frame; that path uses ordinary seeded
 ``numpy.random.Generator`` streams keyed by (request, round).
+
+Hashing itself is on the frame-serving hot path, so :func:`stable_key`
+folds long inputs through numpy (FNV-1a decomposes into a byte-wise
+low-8-bit chain plus a wrap-around dot product with prime powers) and
+keeps the plain masked Python loop for the short keys that dominate in
+practice.  :func:`stable_key_from` exposes the fold's prefix property —
+``stable_key(a, b) == stable_key_from(stable_key(a), b)`` — which lets
+callers memoize a common key prefix and extend it per call.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -20,6 +30,65 @@ _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX2 = np.uint64(0x94D049BB133111EB)
 _U64_MAX_PLUS_1 = float(2**64)
 
+_MASK64 = (1 << 64) - 1
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_GOLDEN_INT = 0x9E3779B97F4A7C15
+
+#: Byte count above which the numpy FNV fold beats the Python loop.
+_NUMPY_FOLD_MIN = 192
+
+#: ``_FNV_PRIME ** n (mod 2**64)`` for n = 0 .. chunk; grown on demand.
+_PRIME_POWERS = np.array([1], dtype=np.uint64)
+
+
+def _prime_powers(count: int) -> np.ndarray:
+    """First *count* powers of the FNV prime, modulo 2**64."""
+    global _PRIME_POWERS
+    if len(_PRIME_POWERS) < count:
+        powers = [1]
+        for _ in range(count - 1):
+            powers.append((powers[-1] * _FNV_PRIME) & _MASK64)
+        _PRIME_POWERS = np.array(powers, dtype=np.uint64)
+    return _PRIME_POWERS[:count]
+
+
+def _fold_bytes_numpy(acc: int, data: bytes) -> int:
+    """One FNV-1a fold of *data* into *acc*, vectorized.
+
+    FNV-1a is ``acc = (acc ^ b) * p`` per byte.  Because the xor only
+    touches the low 8 bits, the low byte of the accumulator evolves
+    independently: ``l_{i+1} = ((l_i ^ b_i) * (p & 0xFF)) & 0xFF``.
+    With that chain in hand the full-width recurrence is affine, and
+    the accumulator after n bytes decomposes exactly (mod 2**64) into
+    ``acc_0 * p**n + sum(d_i * p**(n - i))`` where
+    ``d_i = (l_i ^ b_i) - l_i``.  The low-byte chain is a cheap Python
+    loop over one byte of state; the dot product is numpy.
+    """
+    n = len(data)
+    low_prime = _FNV_PRIME & 0xFF
+    lows = np.empty(n, dtype=np.uint64)
+    low = acc & 0xFF
+    for i, byte in enumerate(data):
+        lows[i] = low
+        low = ((low ^ byte) * low_prime) & 0xFF
+    values = np.frombuffer(data, dtype=np.uint8).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        deltas = (lows ^ values) - lows  # uint64 wrap-around == mod 2**64
+        powers = _prime_powers(n + 1)[1:][::-1]  # p**n .. p**1
+        total = np.multiply(deltas, powers, dtype=np.uint64).sum(dtype=np.uint64)
+    head = (acc * pow(_FNV_PRIME, n, 1 << 64)) & _MASK64
+    return (head + int(total)) & _MASK64
+
+
+def _fold_part(acc: int, part: object) -> int:
+    data = str(part).encode("utf-8") + b"\x1f"
+    if len(data) >= _NUMPY_FOLD_MIN:
+        return _fold_bytes_numpy(acc, data)
+    for byte in data:
+        acc = ((acc ^ byte) * _FNV_PRIME) & _MASK64
+    return acc
+
 
 def stable_key(*parts: object) -> int:
     """Derive a 64-bit key from arbitrary hashable parts, stable across runs.
@@ -27,13 +96,30 @@ def stable_key(*parts: object) -> int:
     Python's builtin ``hash`` is salted per process for strings, so we
     fold the UTF-8 bytes manually (FNV-1a) instead.
     """
-    acc = 0xCBF29CE484222325
+    acc = _FNV_OFFSET
     for part in parts:
-        data = str(part).encode("utf-8") + b"\x1f"
-        for byte in data:
-            acc ^= byte
-            acc = (acc * 0x100000001B3) % (1 << 64)
+        acc = _fold_part(acc, part)
     return acc
+
+
+def stable_key_from(base: int, *parts: object) -> int:
+    """Extend an existing :func:`stable_key` with more parts.
+
+    The FNV fold is a left fold over bytes, so
+    ``stable_key(a, b, c) == stable_key_from(stable_key(a, b), c)``.
+    Hot paths memoize the key of a repeated prefix and extend it with
+    the varying suffix instead of re-hashing the whole tuple.
+    """
+    acc = base
+    for part in parts:
+        acc = _fold_part(acc, part)
+    return acc
+
+
+@lru_cache(maxsize=4096)
+def stable_key_cached(*parts: object) -> int:
+    """Memoized :func:`stable_key` for hashable, high-repeat parts."""
+    return stable_key(*parts)
 
 
 def _splitmix64(values: np.ndarray) -> np.ndarray:
@@ -45,12 +131,58 @@ def _splitmix64(values: np.ndarray) -> np.ndarray:
         return z ^ (z >> np.uint64(31))
 
 
+def _splitmix64_scalar(value: int) -> int:
+    """Scalar SplitMix64 finalizer, bit-identical to :func:`_splitmix64`."""
+    z = (value + _GOLDEN_INT) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _base_key(key: int, salt: int) -> int:
+    """The pre-mix base ``(key ^ salt * golden) mod 2**64``.
+
+    Computed in Python ints: ``salt * golden`` can exceed 64 bits, and
+    the original expression reduces it modulo 2**64 only after the xor.
+    """
+    return (key ^ (salt * _GOLDEN_INT)) % (1 << 64)
+
+
 def hashed_uniform(key: int, indices: np.ndarray, salt: int = 0) -> np.ndarray:
     """Uniform(0, 1) values as a pure function of (key, salt, index)."""
-    base = np.uint64((key ^ (salt * 0x9E3779B97F4A7C15)) % (1 << 64))
+    base = np.uint64(_base_key(key, salt))
     with np.errstate(over="ignore"):
         mixed = _splitmix64(indices.astype(np.uint64) * _GOLDEN + base)
     # Scale into (0, 1); add half a ULP so 0.0 never appears (log-safe).
+    return (mixed.astype(np.float64) + 0.5) / _U64_MAX_PLUS_1
+
+
+def hashed_uniform_scalar(key: int, index: int, salt: int = 0) -> float:
+    """One Uniform(0, 1) draw, bit-identical to ``hashed_uniform(...)[i]``.
+
+    Avoids allocating a 1-element array when a single draw is needed;
+    int→float64 conversion rounds half-even exactly like numpy's cast.
+    """
+    base = _base_key(key, salt)
+    mixed = _splitmix64_scalar((index * _GOLDEN_INT + base) & _MASK64)
+    return (mixed + 0.5) / _U64_MAX_PLUS_1
+
+
+def hashed_uniform_keys(
+    keys: np.ndarray, indices: np.ndarray, salt: int = 0
+) -> np.ndarray:
+    """Uniform(0, 1) draws for many keys over one index axis at once.
+
+    Returns shape ``(len(keys), len(indices))``; row *k* is bit-identical
+    to ``hashed_uniform(int(keys[k]), indices, salt)``.
+    """
+    bases = np.array(
+        [_base_key(int(key), salt) for key in np.asarray(keys).tolist()],
+        dtype=np.uint64,
+    )
+    with np.errstate(over="ignore"):
+        counters = indices.astype(np.uint64)[None, :] * _GOLDEN + bases[:, None]
+        mixed = _splitmix64(counters)
     return (mixed.astype(np.float64) + 0.5) / _U64_MAX_PLUS_1
 
 
@@ -64,6 +196,22 @@ def hashed_normal(key: int, indices: np.ndarray, salt: int = 0) -> np.ndarray:
     return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
 
 
+def hashed_normal_keys(
+    keys: np.ndarray, indices: np.ndarray, salt: int = 0
+) -> np.ndarray:
+    """Batched :func:`hashed_normal`: one row per key, bit-identical."""
+    u1 = hashed_uniform_keys(keys, indices, salt=salt * 2 + 1)
+    u2 = hashed_uniform_keys(keys, indices, salt=salt * 2 + 2)
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
 def substream(seed: int, *parts: object) -> np.random.Generator:
     """An independent ``Generator`` for a named substream of *seed*."""
     return np.random.default_rng(np.random.SeedSequence([seed, stable_key(*parts)]))
+
+
+def substream_from(seed: int, base: int, *parts: object) -> np.random.Generator:
+    """A substream whose key extends a memoized :func:`stable_key` prefix."""
+    return np.random.default_rng(
+        np.random.SeedSequence([seed, stable_key_from(base, *parts)])
+    )

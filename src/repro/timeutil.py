@@ -86,16 +86,19 @@ class TimeWindow:
 
     start: datetime
     end: datetime
+    #: Span length, precomputed once — ``hours`` is hot-path data.
+    _hours: int = dataclasses.field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         ensure_grid(self.start)
         ensure_grid(self.end)
         if self.end <= self.start:
             raise TimeGridError(f"empty window: {self.start!r} .. {self.end!r}")
+        object.__setattr__(self, "_hours", span_hours(self.start, self.end))
 
     @property
     def hours(self) -> int:
-        return span_hours(self.start, self.end)
+        return self._hours
 
     def contains(self, moment: datetime) -> bool:
         return self.start <= moment < self.end

@@ -13,17 +13,26 @@ recomputes exactly that from the ground-truth population:
   is one of the topic's raw query variants — chosen deterministically
   per (term, geo, frame) so the downstream clustering stage has real
   work to do.
+
+The whole computation is batched: one ``term_window_sums`` call per
+window gives every candidate's volume, and a single ``rng.binomial``
+over a ``(candidates, 2)`` array draws all now/prev counts.  numpy
+fills that array in C order — row by row, now before prev — which is
+exactly the draw order of the original per-term loop, so the sampled
+counts (and therefore the suggestions) are bit-identical.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from functools import lru_cache
 
 import numpy as np
 
-from repro.rand import hashed_uniform, stable_key
+from repro.rand import hashed_uniform_scalar, stable_key
+from repro.timeutil import TimeWindow
 from repro.trends.records import BREAKOUT_WEIGHT, RisingTerm, TimeFrameRequest
-from repro.world.catalog import TERMS
+from repro.world.catalog import TERMS, Term
 from repro.world.population import SearchPopulation
 from repro.world.states import get_state
 
@@ -40,8 +49,34 @@ class RisingConfig:
 def _variant_phrase(term_name: str, variants: tuple[str, ...], key: int) -> str:
     """Pick one raw phrasing deterministically for this (term, frame)."""
     phrasings = (term_name, *variants)
-    pick = hashed_uniform(key, np.array([1], dtype=np.uint64))[0]
+    # Index 1 of the hashed stream — the same draw the original
+    # 1-element ``hashed_uniform`` array round-trip produced.
+    pick = hashed_uniform_scalar(key, 1)
     return phrasings[int(pick * len(phrasings)) % len(phrasings)]
+
+
+@lru_cache(maxsize=8192)
+def _pick_phrase(term: Term, geo: str, start_iso: str) -> str:
+    """Memoized phrase choice — pure in (term, geo, frame start)."""
+    key = stable_key("rising-phrase", term.name, geo, start_iso)
+    return _variant_phrase(term.name, term.variants, key)
+
+
+@lru_cache(maxsize=4096)
+def _previous_window(window: TimeWindow) -> TimeWindow:
+    """The equal-length window immediately preceding *window*."""
+    return window.shift(-window.hours)
+
+
+@lru_cache(maxsize=64)
+def _candidates(requested: str) -> tuple[tuple[Term, ...], np.ndarray]:
+    """Catalog terms other than *requested*, with their tensor rows."""
+    terms = tuple(term for term in TERMS if term.name != requested)
+    rows = np.array(
+        [row for row, term in enumerate(TERMS) if term.name != requested]
+    )
+    rows.setflags(write=False)
+    return terms, rows
 
 
 def rising_terms(
@@ -55,43 +90,50 @@ def rising_terms(
     config = config or RisingConfig()
     state = get_state(request.geo)
     window = request.window
-    previous = window.shift(-window.hours)
+    previous = _previous_window(window)
     if previous.start < population.window.start:
         return ()  # no preceding period to compare against
-    suggestions: list[RisingTerm] = []
-    total_now = float(population.total_volume(state.code, window).sum())
-    total_prev = float(population.total_volume(state.code, previous).sum())
+    total_now = population.total_window_sum(state.code, window)
+    total_prev = population.total_window_sum(state.code, previous)
     size_now = max(int(round(total_now * sample_rate)), 1)
     size_prev = max(int(round(total_prev * sample_rate)), 1)
-    for term in TERMS:
-        if term.name == request.term:
-            continue
-        volume_now = float(population.term_volume(term.name, state.code, window).sum())
-        volume_prev = float(
-            population.term_volume(term.name, state.code, previous).sum()
-        )
-        count_now = int(
-            rng.binomial(size_now, min(volume_now / max(total_now, 1e-9), 1.0))
-        )
-        count_prev = int(
-            rng.binomial(size_prev, min(volume_prev / max(total_prev, 1e-9), 1.0))
-        )
-        if count_now < config.min_window_count:
+
+    candidates, rows = _candidates(request.term)
+    sums_now = population.term_window_sums(state.code, window)[rows]
+    sums_prev = population.term_window_sums(state.code, previous)[rows]
+
+    probs = np.empty((len(candidates), 2), dtype=np.float64)
+    probs[:, 0] = np.minimum(sums_now / max(total_now, 1e-9), 1.0)
+    probs[:, 1] = np.minimum(sums_prev / max(total_prev, 1e-9), 1.0)
+    sizes = np.array([[size_now, size_prev]], dtype=np.int64)
+    counts = rng.binomial(sizes, probs)  # C-order fill == per-term interleave
+    counts_now = counts[:, 0]
+    counts_prev = counts[:, 1]
+
+    share_now = counts_now / size_now
+    share_prev = counts_prev / size_prev
+    numerator = 100.0 * (share_now - share_prev)
+    raw = np.divide(
+        numerator,
+        share_prev,
+        out=np.zeros_like(numerator),
+        where=share_prev > 0,
+    )
+    raw = np.round(raw)
+    breakout = share_prev <= 0
+    visible = counts_now >= config.min_window_count
+
+    suggestions: list[RisingTerm] = []
+    start_iso = window.start.isoformat()
+    for i, term in enumerate(candidates):
+        if not visible[i]:
             continue  # anonymity: the term is invisible this window
-        share_now = count_now / size_now
-        share_prev = count_prev / size_prev
-        if share_prev <= 0:
-            weight = BREAKOUT_WEIGHT
-        else:
-            weight = int(round(100.0 * (share_now - share_prev) / share_prev))
+        weight = BREAKOUT_WEIGHT if breakout[i] else int(raw[i])
         if weight < config.min_weight:
             continue
-        phrase_key = stable_key(
-            "rising-phrase", term.name, request.geo, window.start.isoformat()
-        )
         suggestions.append(
             RisingTerm(
-                phrase=_variant_phrase(term.name, term.variants, phrase_key),
+                phrase=_pick_phrase(term, request.geo, start_iso),
                 weight=min(weight, BREAKOUT_WEIGHT),
             )
         )

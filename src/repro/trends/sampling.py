@@ -26,6 +26,7 @@ def sample_counts(
     volumes: np.ndarray,
     totals: np.ndarray,
     sample_rate: float,
+    sizes: np.ndarray | None = None,
 ) -> np.ndarray:
     """Draw sampled per-hour counts of a term from the search population.
 
@@ -33,13 +34,17 @@ def sample_counts(
     searches out of ``total`` and counts how many are for the term —
     i.e. a binomial draw with the term's true proportion.  The binomial
     standard error is what shrinks when the pipeline averages re-fetches.
+
+    *sizes* are derived from ``totals`` when omitted; the service passes
+    its cached per-(state, window) sizes to skip the recomputation.
     """
     if not 0 < sample_rate <= 1:
         raise ValueError(f"sample_rate must be in (0, 1]: {sample_rate}")
     if volumes.shape != totals.shape:
         raise ValueError("volumes and totals must align")
     proportions = np.clip(volumes / np.maximum(totals, 1e-9), 0.0, 1.0)
-    sizes = np.maximum(np.round(totals * sample_rate), 1.0).astype(np.int64)
+    if sizes is None:
+        sizes = np.maximum(np.round(totals * sample_rate), 1.0).astype(np.int64)
     return rng.binomial(sizes, proportions)
 
 

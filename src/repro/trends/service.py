@@ -21,7 +21,7 @@ from collections import Counter
 
 import numpy as np
 
-from repro.rand import substream
+from repro.rand import stable_key_cached, substream_from
 from repro.trends.ratelimit import Clock, RateLimitConfig, TokenBucketLimiter
 from repro.trends.records import RisingTerm, TimeFrameRequest, TimeFrameResponse
 from repro.trends.rising import RisingConfig, rising_terms
@@ -70,6 +70,9 @@ class TrendsService:
         self._round_counter: Counter = Counter()
         #: Guards the mutable counters; the sampling itself is pure.
         self._stats_lock = threading.Lock()
+        #: Sample sizes per (state, window) — pure in the request, so a
+        #: benign-race dict is safe across worker threads.
+        self._sizes_cache: dict[tuple[str, object], np.ndarray] = {}
 
     def fetch(
         self,
@@ -90,15 +93,18 @@ class TrendsService:
             with self._stats_lock:
                 self.stats.rate_limited += 1
             raise
+        cache_key = request.cache_key
         if sample_round is None:
             with self._stats_lock:
-                sample_round = self._round_counter[request.cache_key]
-                self._round_counter[request.cache_key] += 1
-        values = self._sample_values(request, sample_round)
+                sample_round = self._round_counter[cache_key]
+                self._round_counter[cache_key] += 1
+        values = self._sample_values(request, cache_key, sample_round)
         rising: tuple[RisingTerm, ...] = ()
         if include_rising:
-            rising_rng = substream(
-                self.config.seed, "rising", request.cache_key, sample_round
+            rising_rng = substream_from(
+                self.config.seed,
+                stable_key_cached("rising", cache_key),
+                sample_round,
             )
             rising = rising_terms(
                 self.population,
@@ -120,15 +126,28 @@ class TrendsService:
         )
 
     def _sample_values(
-        self, request: TimeFrameRequest, sample_round: int
+        self, request: TimeFrameRequest, cache_key: tuple, sample_round: int
     ) -> np.ndarray:
         state = get_state(request.geo)
-        rng = substream(self.config.seed, "frame", request.cache_key, sample_round)
+        # The substream key prefix repeats across rounds of the same
+        # frame; memoize it and extend with the round number only.
+        rng = substream_from(
+            self.config.seed,
+            stable_key_cached("frame", cache_key),
+            sample_round,
+        )
         volumes = self.population.term_volume(request.term, state.code, request.window)
         totals = self.population.total_volume(state.code, request.window)
-        counts = sample_counts(rng, volumes, totals, self.config.sample_rate)
+        sizes_key = (state.code, request.window)
+        sizes = self._sizes_cache.get(sizes_key)
+        if sizes is None:
+            sizes = np.maximum(
+                np.round(totals * self.config.sample_rate), 1.0
+            ).astype(np.int64)
+            sizes.setflags(write=False)
+            if len(self._sizes_cache) >= 8192:
+                self._sizes_cache.clear()
+            self._sizes_cache[sizes_key] = sizes
+        counts = sample_counts(rng, volumes, totals, self.config.sample_rate, sizes)
         counts = privacy_round(counts, self.config.privacy_threshold)
-        sizes = np.maximum(
-            np.round(totals * self.config.sample_rate), 1.0
-        ).astype(np.int64)
         return index_frame(counts, sizes)

@@ -84,6 +84,60 @@ def diurnal_curve() -> np.ndarray:
     return curve / curve.max()
 
 
+def _local_hour(start, tz, index: int) -> int:
+    return (start + timedelta(hours=index)).astimezone(tz).hour
+
+
+def _utc_offset(start, tz, index: int):
+    return (start + timedelta(hours=index)).astimezone(tz).utcoffset()
+
+
+def _first_change(start, tz, lo: int, hi: int, offset) -> int:
+    """Smallest index in ``(lo, hi]`` whose UTC offset differs from *offset*.
+
+    Real tzdata has at most one transition per day, so within a 24-hour
+    probe gap the "offset changed" predicate is monotone and binary
+    search finds the exact transition hour.
+    """
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _utc_offset(start, tz, mid) == offset:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+@functools.lru_cache(maxsize=1024)
+def _tz_local_hours(tz, window: TimeWindow) -> np.ndarray:
+    """Local wall-clock hour (0..23) of each UTC hour in *window*.
+
+    One ``astimezone`` per day plus a binary search per DST transition,
+    instead of one per hour: within a constant-UTC-offset segment the
+    local hour just advances by one per hour, modulo 24.  Cached per
+    timezone *object*, so all states sharing a zone share one entry.
+    """
+    n = window.hours
+    start = window.start
+    hours = np.empty(n, dtype=np.intp)
+    probes = list(range(0, n, 24))
+    if probes[-1] != n - 1:
+        probes.append(n - 1)
+    seg_start = 0
+    seg_offset = _utc_offset(start, tz, 0)
+    for probe in probes[1:]:
+        while _utc_offset(start, tz, probe) != seg_offset:
+            cut = _first_change(start, tz, seg_start, probe, seg_offset)
+            base = _local_hour(start, tz, seg_start)
+            hours[seg_start:cut] = (base + np.arange(cut - seg_start)) % 24
+            seg_start = cut
+            seg_offset = _utc_offset(start, tz, cut)
+    base = _local_hour(start, tz, seg_start)
+    hours[seg_start:] = (base + np.arange(n - seg_start)) % 24
+    hours.setflags(write=False)
+    return hours
+
+
 def local_diurnal(state_code: str, window: TimeWindow) -> np.ndarray:
     """Diurnal engagement per UTC hour of *window*, in state-local time.
 
@@ -91,14 +145,8 @@ def local_diurnal(state_code: str, window: TimeWindow) -> np.ndarray:
     saving transitions are handled by ``zoneinfo``.
     """
     state = get_state(state_code)
-    tz = state.tzinfo
     curve = diurnal_curve()
-    values = np.empty(window.hours, dtype=np.float64)
-    moment = window.start
-    for i in range(window.hours):
-        values[i] = curve[moment.astimezone(tz).hour]
-        moment += timedelta(hours=1)
-    return values
+    return curve[_tz_local_hours(state.tzinfo, window)]
 
 
 def interest_shape(interest_hours: int) -> np.ndarray:
@@ -123,6 +171,30 @@ def interest_shape(interest_hours: int) -> np.ndarray:
     return np.concatenate([body, tail])
 
 
+def event_window_shape(
+    event: OutageEvent, state_code: str, window: TimeWindow
+):
+    """Term-independent part of an event's boost: the placed envelope.
+
+    Returns ``(padded_shape, impact)`` — the unit-peak interest envelope
+    zero-padded onto the window's hour grid — or ``None`` when the event
+    does not touch this state/window.  The tensor build computes this
+    once per event and reuses it across every affected term row.
+    """
+    impact = event.impact_on(state_code)
+    if impact is None:
+        return None
+    shape = interest_shape(impact.interest_hours)
+    onset_offset = hour_index(window.start, impact.onset)
+    lo = max(0, onset_offset)
+    hi = min(window.hours, onset_offset + shape.size)
+    if hi <= lo:
+        return None
+    padded = np.zeros(window.hours, dtype=np.float64)
+    padded[lo:hi] = shape[lo - onset_offset : hi - onset_offset]
+    return padded, impact
+
+
 def event_boost(
     event: OutageEvent,
     term_name: str,
@@ -135,25 +207,17 @@ def event_boost(
     Returns ``None`` when the event does not touch this term/state/window
     so callers can skip the array work entirely.
     """
-    impact = event.impact_on(state_code)
-    if impact is None:
-        return None
     if term_name == INTERNET_OUTAGE.name:
         factor = 1.0
     elif term_name in event.terms:
         factor = _ASSOCIATED_TERM_FACTOR
     else:
         return None
-    shape = interest_shape(impact.interest_hours)
-    onset_offset = hour_index(window.start, impact.onset)
-    lo = max(0, onset_offset)
-    hi = min(window.hours, onset_offset + shape.size)
-    if hi <= lo:
+    placed = event_window_shape(event, state_code, window)
+    if placed is None:
         return None
-    boost = np.zeros(window.hours, dtype=np.float64)
-    boost[lo:hi] = shape[lo - onset_offset : hi - onset_offset]
-    boost *= impact.intensity * config.unit_boost_volume * factor
-    return boost
+    padded, impact = placed
+    return padded * (impact.intensity * config.unit_boost_volume * factor)
 
 
 #: Population pivot and exponent for baseline flattening.  Per-capita

@@ -134,6 +134,10 @@ TERMS: tuple[Term, ...] = (
 )
 
 _BY_NAME = {term.name: term for term in TERMS}
+
+#: Row index of each catalog term in the population tensors — the
+#: (terms × hours) matrices are laid out in ``TERMS`` order.
+TERM_INDEX: dict[str, int] = {term.name: row for row, term in enumerate(TERMS)}
 _BY_PHRASE = {
     phrase.lower(): term for term in TERMS for phrase in term.all_phrasings()
 }

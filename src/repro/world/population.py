@@ -12,34 +12,66 @@ deterministic noise (hash-based log-normal) models organic popularity
 wobble that re-fetching cannot average away — the distinction matters:
 re-fetch averaging (paper §3.2) reduces *sampling* error only.
 
-Full-span series per (term, state) are computed once and cached; every
-windowed query is a cheap slice.  At paper scale one cached series is
-~140 KB, so even touching every catalog term in every state stays well
-under a gigabyte; an LRU bound keeps casual use far below that.
+Volumes are materialized as one ``(len(TERMS), span.hours)`` float64
+tensor per state, built in a single batched pass over all catalog terms
+(baselines and noise broadcast across the term axis, event boosts added
+per affected row).  Every windowed query — ``term_volume``,
+``volumes_matrix``, the rising stage's per-term window sums — is then a
+slice of the cached tensor.  The batched arithmetic keeps the exact
+per-element operation order of the original per-term computation, so
+series are bit-identical to building each term alone.
+
+Memory accounting stays in *series units*: one tensor pins
+``len(TERMS)`` series, so the LRU evicts whole states once the cached
+tensors exceed :data:`_CACHE_LIMIT` series (~70 MB at paper scale).
 """
 
 from __future__ import annotations
 
 import collections
+import dataclasses
+import threading
 from datetime import datetime
 
 import numpy as np
 
-from repro.rand import hashed_normal, stable_key
+from repro.rand import hashed_normal_keys, stable_key
 from repro.timeutil import TimeWindow, hour_index
 from repro.world.behavior import (
     DEFAULT_BEHAVIOR,
+    _ASSOCIATED_TERM_FACTOR,
     BehaviorConfig,
-    event_boost,
+    event_window_shape,
     local_diurnal,
-    response_modulation,
     term_baseline_per_hour,
 )
-from repro.world.catalog import get_term
+from repro.world.catalog import INTERNET_OUTAGE, TERM_INDEX, TERMS, get_term
 from repro.world.scenarios import Scenario
 from repro.world.states import get_state
 
+#: Cache budget in single-term series units; one state tensor costs
+#: ``len(TERMS)`` units, so the default keeps ~13 states resident.
 _CACHE_LIMIT = 512
+
+#: Bound on the memoized window->slice lookups (windows are tiny, the
+#: bound only guards against adversarial churn).
+_CLIP_CACHE_LIMIT = 8192
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PopulationCacheStats:
+    """Tensor-cache accounting, in series units (like ``_CACHE_LIMIT``)."""
+
+    hits: int
+    misses: int
+    size: int  # cached series units: states x len(TERMS)
+    capacity: int
+
+    def describe(self) -> str:
+        return (
+            f"population cache: {self.hits} hits / {self.misses} misses "
+            f"({self.size}/{self.capacity} series)"
+        )
 
 
 class SearchPopulation:
@@ -55,11 +87,23 @@ class SearchPopulation:
         self.behavior = behavior
         self.noise_seed = noise_seed
         self._span = scenario.window
-        self._series_cache: collections.OrderedDict[tuple[str, str], np.ndarray] = (
+        self._matrix_cache: collections.OrderedDict[str, np.ndarray] = (
             collections.OrderedDict()
         )
+        self._matrix_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        # Diurnal/response series depend only on the timezone, so all
+        # states sharing a zone share one entry.
         self._diurnal_cache: dict[str, np.ndarray] = {}
         self._response_cache: dict[str, np.ndarray] = {}
+        self._total_cache: dict[str, np.ndarray] = {}
+        self._clip_cache: dict[TimeWindow, tuple[int, int]] = {}
+        # Windowed aggregates are pure in (state, window); averaging
+        # rounds re-ask for the same windows, so memoizing the sums
+        # saves a slice-copy-reduce per round.  Benign-race dicts.
+        self._term_sums_cache: dict[tuple[str, TimeWindow], np.ndarray] = {}
+        self._total_sum_cache: dict[tuple[str, TimeWindow], float] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -72,17 +116,20 @@ class SearchPopulation:
     ) -> np.ndarray:
         """Expected hourly search volume for a term in a state."""
         get_term(term_name)  # raise UnknownTermError early
-        full = self._full_series(term_name, get_state(state_code).code)
+        matrix = self._matrix(get_state(state_code).code)
         lo, hi = self._clip(window)
-        return full[lo:hi].copy()
+        return matrix[TERM_INDEX[term_name], lo:hi].copy()
 
     def total_volume(self, state_code: str, window: TimeWindow) -> np.ndarray:
         """Expected hourly volume of *all* searches in a state."""
         state = get_state(state_code)
-        diurnal = self._diurnal(state.code)
+        full = self._total_cache.get(state.code)
+        if full is None:
+            base = state.population * self.behavior.engagement_per_capita
+            full = base * self._diurnal(state.code)
+            self._total_cache[state.code] = full
         lo, hi = self._clip(window)
-        base = state.population * self.behavior.engagement_per_capita
-        return base * diurnal[lo:hi]
+        return full[lo:hi].copy()
 
     def proportion(
         self, term_name: str, state_code: str, window: TimeWindow
@@ -96,62 +143,162 @@ class SearchPopulation:
         self, term_names: tuple[str, ...], state_code: str, window: TimeWindow
     ) -> np.ndarray:
         """Stacked term volumes, shape ``(len(term_names), window.hours)``."""
-        rows = [self.term_volume(name, state_code, window) for name in term_names]
-        return np.vstack(rows) if rows else np.empty((0, window.hours))
+        if not term_names:
+            return np.empty((0, window.hours))
+        for name in term_names:
+            get_term(name)  # raise UnknownTermError early
+        matrix = self._matrix(get_state(state_code).code)
+        lo, hi = self._clip(window)
+        rows = [TERM_INDEX[name] for name in term_names]
+        return matrix[rows, lo:hi]  # fancy indexing: already a copy
+
+    def term_window_sums(self, state_code: str, window: TimeWindow) -> np.ndarray:
+        """Per-catalog-term volume sums over *window*, in ``TERMS`` order.
+
+        The rising stage's bulk query: one row-sum over the state tensor
+        instead of ``len(TERMS)`` separate slice-and-sum calls.
+        """
+        code = get_state(state_code).code
+        key = (code, window)
+        sums = self._term_sums_cache.get(key)
+        if sums is None:
+            matrix = self._matrix(code)
+            lo, hi = self._clip(window)
+            sums = matrix[:, lo:hi].sum(axis=1)
+            sums.setflags(write=False)
+            if len(self._term_sums_cache) >= _CLIP_CACHE_LIMIT:
+                self._term_sums_cache.clear()
+            self._term_sums_cache[key] = sums
+        return sums
+
+    def total_window_sum(self, state_code: str, window: TimeWindow) -> float:
+        """Sum of :meth:`total_volume` over *window*, memoized."""
+        code = get_state(state_code).code
+        key = (code, window)
+        total = self._total_sum_cache.get(key)
+        if total is None:
+            total = float(self.total_volume(code, window).sum())
+            if len(self._total_sum_cache) >= _CLIP_CACHE_LIMIT:
+                self._total_sum_cache.clear()
+            self._total_sum_cache[key] = total
+        return total
+
+    def cache_stats(self) -> PopulationCacheStats:
+        """Tensor-cache hit/miss counters (thread-safe snapshot)."""
+        with self._matrix_lock:
+            return PopulationCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._matrix_cache) * len(TERMS),
+                capacity=_CACHE_LIMIT,
+            )
 
     # -- internals ------------------------------------------------------------
 
     def _clip(self, window: TimeWindow) -> tuple[int, int]:
+        cached = self._clip_cache.get(window)
+        if cached is not None:
+            return cached
         lo = hour_index(self._span.start, window.start)
         hi = hour_index(self._span.start, window.end)
         if lo < 0 or hi > self._span.hours:
             raise ValueError(
                 f"window {window.start}..{window.end} outside scenario span"
             )
+        if len(self._clip_cache) >= _CLIP_CACHE_LIMIT:
+            self._clip_cache.clear()
+        self._clip_cache[window] = (lo, hi)
         return lo, hi
 
     def _diurnal(self, code: str) -> np.ndarray:
-        series = self._diurnal_cache.get(code)
+        tz_name = str(get_state(code).tzinfo)
+        series = self._diurnal_cache.get(tz_name)
         if series is None:
             series = local_diurnal(code, self._span)
-            self._diurnal_cache[code] = series
+            self._diurnal_cache[tz_name] = series
         return series
 
     def _response(self, code: str) -> np.ndarray:
-        series = self._response_cache.get(code)
+        tz_name = str(get_state(code).tzinfo)
+        series = self._response_cache.get(tz_name)
         if series is None:
-            series = response_modulation(code, self._span, self.behavior)
-            self._response_cache[code] = series
+            floor = self.behavior.night_response_floor
+            series = floor + (1.0 - floor) * self._diurnal(code)
+            self._response_cache[tz_name] = series
         return series
 
-    def _full_series(self, term_name: str, code: str) -> np.ndarray:
-        key = (term_name, code)
-        cached = self._series_cache.get(key)
-        if cached is not None:
-            self._series_cache.move_to_end(key)
-            return cached
-        series = self._compute_series(term_name, code)
-        self._series_cache[key] = series
-        if len(self._series_cache) > _CACHE_LIMIT:
-            self._series_cache.popitem(last=False)
-        return series
+    def _matrix(self, code: str) -> np.ndarray:
+        with self._matrix_lock:
+            cached = self._matrix_cache.get(code)
+            if cached is not None:
+                self._matrix_cache.move_to_end(code)
+                self._hits += 1
+                return cached
+            self._misses += 1
+        # Build outside the lock: concurrent duplicate builds are
+        # wasteful but benign — the tensor is a pure function of
+        # (scenario, behavior, noise_seed, state).
+        matrix = self._build_matrix(code)
+        with self._matrix_lock:
+            self._matrix_cache.setdefault(code, matrix)
+            self._matrix_cache.move_to_end(code)
+            while (
+                len(self._matrix_cache) * len(TERMS) > _CACHE_LIMIT
+                and len(self._matrix_cache) > 1
+            ):
+                self._matrix_cache.popitem(last=False)
+            return self._matrix_cache[code]
 
-    def _compute_series(self, term_name: str, code: str) -> np.ndarray:
+    def _build_matrix(self, code: str) -> np.ndarray:
+        """All term series for one state, shape ``(len(TERMS), hours)``.
+
+        Every arithmetic step reproduces the original per-term series
+        computation element for element: broadcasting ``(terms, 1) *
+        (1, hours)`` yields the same ``baseline * diurnal`` products,
+        the noise rows are the same per-term hash streams, and event
+        boosts accumulate per affected row in the same event order.
+        """
         hours = self._span.hours
-        baseline = term_baseline_per_hour(term_name, code) * self._diurnal(code)
-        noise_key = stable_key(self.noise_seed, term_name, code)
-        noise = np.exp(
-            self.behavior.noise_sigma * hashed_normal(noise_key, np.arange(hours))
+        diurnal = self._diurnal(code)
+        baselines = np.array(
+            [term_baseline_per_hour(term.name, code) for term in TERMS],
+            dtype=np.float64,
         )
-        series = baseline * noise
+        noise_keys = np.array(
+            [stable_key(self.noise_seed, term.name, code) for term in TERMS],
+            dtype=np.uint64,
+        )
+        noise = np.exp(
+            self.behavior.noise_sigma
+            * hashed_normal_keys(noise_keys, np.arange(hours))
+        )
+        matrix = (baselines[:, None] * diurnal[None, :]) * noise
         response = self._response(code)
+        unit = self.behavior.unit_boost_volume
         for event in self.scenario.events_in_state(code):
-            boost = event_boost(event, term_name, code, self._span, self.behavior)
-            if boost is not None:
-                series = series + boost * response
-        return series
+            placed = event_window_shape(event, code, self._span)
+            if placed is None:
+                continue
+            padded, impact = placed
+            factors: dict[int, float] = {
+                TERM_INDEX[INTERNET_OUTAGE.name]: 1.0
+            }
+            for name in event.terms:
+                row = TERM_INDEX.get(name)
+                if row is not None:
+                    factors.setdefault(row, _ASSOCIATED_TERM_FACTOR)
+            for row, factor in factors.items():
+                # Scalar first, then two elementwise passes — the exact
+                # float ordering of the scalar ``event_boost`` path.
+                scale = impact.intensity * unit * factor
+                matrix[row] += (padded * scale) * response
+        return matrix
 
     # -- ground-truth helpers (for validation, never used by the pipeline) ----
+
+    def _full_series(self, term_name: str, code: str) -> np.ndarray:
+        """Full-span series view for one term (validation helper)."""
+        return self._matrix(code)[TERM_INDEX[term_name]]
 
     def expected_peak(
         self, term_name: str, state_code: str, around: datetime, radius_hours: int = 6

@@ -7,6 +7,7 @@ from repro.errors import UnknownTermError
 from repro.timeutil import TimeWindow, utc
 from repro.world.population import SearchPopulation
 from repro.world.scenarios import Scenario, ScenarioConfig
+from repro.world.states import STATES
 
 
 @pytest.fixture(scope="module")
@@ -101,13 +102,28 @@ class TestTotalsAndProportions:
 
 class TestCaching:
     def test_cache_is_bounded(self, population):
-        # Touch more than the limit's worth of combinations cheaply by
-        # reusing one small window; the cache must not grow unboundedly.
+        # One tensor pins len(TERMS) series units; touching many states
+        # must keep the accounted size under the series-unit budget.
         window = TimeWindow(utc(2021, 2, 1), utc(2021, 2, 2))
         for code in ("TX", "CA", "NY", "FL", "WA"):
             for term in ("Internet outage", "Verizon", "Spectrum"):
                 population.term_volume(term, code, window)
-        assert len(population._series_cache) <= 512
+        stats = population.cache_stats()
+        assert stats.size <= stats.capacity == 512
+
+    def test_cache_eviction_keeps_size_under_capacity(self, population):
+        # More states than the budget can hold: eviction must kick in
+        # and the counters must reflect hits vs misses.
+        window = TimeWindow(utc(2021, 2, 1), utc(2021, 2, 2))
+        codes = [state.code for state in STATES[:20]]
+        for code in codes:
+            population.term_volume("Internet outage", code, window)
+        stats = population.cache_stats()
+        assert stats.size <= stats.capacity
+        assert stats.misses >= len(codes)
+        # A repeat visit of the most recent state is a hit.
+        population.term_volume("Internet outage", codes[-1], window)
+        assert population.cache_stats().hits > stats.hits
 
     def test_expected_peak_helper(self, population):
         peak = population.expected_peak(
