@@ -11,8 +11,10 @@ Commands mirror the system's stages:
 Every pipeline command accepts the runtime knobs: ``--workers`` for
 parallel per-geography analysis, ``--db`` for a durable database that
 checkpoints finished geographies (rerunning after an interrupt resumes
-instead of recrawling), and ``--progress`` to stream the structured
-progress events as they happen.
+instead of recrawling), ``--progress`` to stream the structured
+progress events as they happen, and ``--chaos PROFILE``/``--chaos-seed``
+to inject deterministic faults into the simulated Trends service (see
+DESIGN.md §7) — the fault summary prints after the run.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from repro.analysis import (
 )
 from repro.core.progress import ProgressLog, text_listener
 from repro.runtime import ALL_GEOS, StudyRuntime
+from repro.trends.faults import PROFILES
 from repro.world.scenarios import Scenario, ScenarioConfig
 
 
@@ -64,6 +67,20 @@ def _add_runtime(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="stream structured progress events to stderr",
     )
+    parser.add_argument(
+        "--chaos",
+        choices=sorted(PROFILES),
+        default=None,
+        help="inject deterministic faults into the simulated Trends "
+        "service (fault profile name)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=7,
+        help="seed of the fault plan; (profile, seed) replays a chaos "
+        "run exactly (default 7)",
+    )
 
 
 def _runtime(args: argparse.Namespace) -> StudyRuntime:
@@ -76,6 +93,8 @@ def _runtime(args: argparse.Namespace) -> StudyRuntime:
         max_workers=getattr(args, "workers", 1),
         database=getattr(args, "db", ":memory:"),
         progress=progress,
+        faults=getattr(args, "chaos", None),
+        fault_seed=getattr(args, "chaos_seed", 7),
     )
 
 
@@ -135,6 +154,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     report = runtime.report()
     print(f"crawl: {report.fetched} fetched, {report.served_from_cache} cached, "
           f"{report.frames_per_second:.0f} frames/s")
+    faults = runtime.fault_report()
+    if faults is not None:
+        print(faults.describe())
     return 0
 
 
@@ -172,6 +194,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         database=args.db,
         progress=progress,
+        faults=args.chaos,
+        fault_seed=args.chaos_seed,
     )
     geos = tuple(args.geos) if args.geos else ALL_GEOS
     study = runtime.run_study(geos=geos)
@@ -181,6 +205,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         progress_log=log,
         crawl_report=runtime.report(),
+        fault_report=runtime.fault_report(),
     )
     host, port = server.server_address[:2]
     print(f"serving SIFT on http://{host}:{port}/ (Ctrl-C to stop)")

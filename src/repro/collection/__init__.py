@@ -6,19 +6,27 @@ responses into a unified sqlite-backed database that also stores
 reconstructed series and detected spikes.
 """
 
+from repro.collection.breaker import BreakerConfig, BreakerState, CircuitBreaker
 from repro.collection.database import CollectionDatabase
 from repro.collection.fetchers import FetcherUnit, WorkItem, build_fleet
 from repro.collection.scheduler import (
     CollectionManager,
     CollectionScheduler,
     CrawlReport,
+    DeadLetter,
+    DeadLetterQueue,
 )
 
 __all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
     "CollectionDatabase",
     "CollectionManager",
     "CollectionScheduler",
     "CrawlReport",
+    "DeadLetter",
+    "DeadLetterQueue",
     "FetcherUnit",
     "WorkItem",
     "build_fleet",

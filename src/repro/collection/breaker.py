@@ -1,0 +1,133 @@
+"""Per-fetcher circuit breaking for the crawl.
+
+When an IP goes dark — the fault injector's blackout, or a run of
+503-style transport errors from the real service — every request routed
+to it burns a full retry budget before failing.  The breaker is the
+standard three-state remedy, one instance per
+:class:`~repro.collection.fetchers.FetcherUnit`:
+
+* **CLOSED** — healthy; requests flow.  Consecutive transport failures
+  are counted, and reaching ``failure_threshold`` trips the breaker.
+* **OPEN** — dark; the unit refuses work (the client raises
+  :class:`~repro.errors.CircuitOpenError` before touching the wire and
+  the scheduler leases a different unit).  After ``cooldown_seconds``
+  of (virtual) clock time the next attempt is allowed through as a
+  probe.
+* **HALF_OPEN** — probing; one request goes through.  Success closes
+  the breaker, failure re-opens it for another cooldown.
+
+Fetcher units are exclusively leased — only one thread drives a unit at
+a time — so the half-open state needs no probe bookkeeping; whoever
+holds the lease *is* the probe.  Only transport faults count toward
+tripping: rate limits are back-pressure (the service is healthy and
+says when to come back) and truncated/degraded frames are data-quality
+faults that say nothing about the path to the service.
+
+All mutation happens under a lock; the clock is injectable so
+cooldowns elapse in virtual time during tests and simulated studies.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+
+from repro.errors import ConfigurationError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class BreakerConfig:
+    """Trip threshold and cooldown for one fetcher's breaker."""
+
+    __slots__ = ("failure_threshold", "cooldown_seconds")
+
+    def __init__(
+        self, failure_threshold: int = 5, cooldown_seconds: float = 60.0
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ConfigurationError(
+                f"failure_threshold must be positive: {failure_threshold}"
+            )
+        if cooldown_seconds <= 0.0:
+            raise ConfigurationError(
+                f"cooldown_seconds must be positive: {cooldown_seconds}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+
+
+class CircuitBreaker:
+    """Three-state breaker guarding one fetcher IP (thread-safe)."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self.clock = clock
+        self.state = BreakerState.CLOSED
+        self.retry_at = 0.0
+        #: Transition counters, surfaced in the FaultReport.
+        self.opened = 0
+        self.half_opened = 0
+        self.closed = 0
+        self._consecutive = 0
+        self._lock = threading.Lock()
+
+    def available(self) -> bool:
+        """Would an attempt be allowed right now?  (Non-mutating.)
+
+        The scheduler uses this to route leases away from dark units
+        without spending the half-open probe.
+        """
+        with self._lock:
+            if self.state is BreakerState.OPEN:
+                return self.clock() >= self.retry_at
+            return True
+
+    def allow(self) -> bool:
+        """Gate one attempt; an expired cooldown moves OPEN → HALF_OPEN."""
+        with self._lock:
+            if self.state is BreakerState.OPEN:
+                if self.clock() < self.retry_at:
+                    return False
+                self.state = BreakerState.HALF_OPEN
+                self.half_opened += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive = 0
+            if self.state is BreakerState.HALF_OPEN:
+                self.state = BreakerState.CLOSED
+                self.closed += 1
+
+    def record_failure(self) -> None:
+        """Count one transport failure; trip when the threshold is hit.
+
+        A failed half-open probe re-opens immediately — one bad probe
+        is all the evidence needed that the IP is still dark.
+        """
+        with self._lock:
+            if self.state is BreakerState.HALF_OPEN:
+                self._trip()
+                return
+            if self.state is BreakerState.OPEN:
+                self.retry_at = self.clock() + self.config.cooldown_seconds
+                return
+            self._consecutive += 1
+            if self._consecutive >= self.config.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self.state = BreakerState.OPEN
+        self.opened += 1
+        self.retry_at = self.clock() + self.config.cooldown_seconds
+        self._consecutive = 0

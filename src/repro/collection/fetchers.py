@@ -4,13 +4,17 @@ GT's IP-based rate limiting is the collection bottleneck (paper §4,
 Implementation), so the workload is spread over multiple fetcher units,
 each owning its own IP (and therefore its own token bucket at the
 service).  A :class:`FetcherUnit` is a thin stateful wrapper around a
-:class:`repro.trends.TrendsClient` that tracks its own load.
+:class:`repro.trends.TrendsClient` that tracks its own load, plus a
+per-IP :class:`~repro.collection.breaker.CircuitBreaker` so the
+scheduler can route work away from an IP that has gone dark.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 
+from repro.collection.breaker import BreakerConfig, CircuitBreaker
 from repro.errors import ConfigurationError
 from repro.timeutil import TimeWindow
 from repro.trends.client import RetryPolicy, Sleeper, TrendsClient
@@ -40,7 +44,7 @@ class WorkItem:
 
 
 class FetcherUnit:
-    """One crawl identity: an IP plus its client and statistics."""
+    """One crawl identity: an IP plus its client, breaker and statistics."""
 
     def __init__(
         self,
@@ -50,12 +54,22 @@ class FetcherUnit:
         sleep: Sleeper,
         policy: RetryPolicy | None = None,
         latency: float = 0.0,
+        clock=time.monotonic,
+        breaker_config: BreakerConfig | None = None,
     ) -> None:
         if not name:
             raise ConfigurationError("fetcher needs a name")
         self.name = name
+        self.sleep = sleep
+        self.clock = clock
+        self.breaker = CircuitBreaker(breaker_config, clock=clock)
         self.client = TrendsClient(
-            service, ip=ip, sleep=sleep, policy=policy, latency=latency
+            service,
+            ip=ip,
+            sleep=sleep,
+            policy=policy,
+            latency=latency,
+            breaker=self.breaker,
         )
         self.completed = 0
 
@@ -87,6 +101,8 @@ def build_fleet(
     policy: RetryPolicy | None = None,
     subnet: str = "203.0.113",
     latency: float = 0.0,
+    clock=time.monotonic,
+    breaker_config: BreakerConfig | None = None,
 ) -> list[FetcherUnit]:
     """Construct *count* fetcher units on distinct (documentation) IPs."""
     if count <= 0:
@@ -101,6 +117,8 @@ def build_fleet(
             sleep=sleep,
             policy=policy,
             latency=latency,
+            clock=clock,
+            breaker_config=breaker_config,
         )
         for index in range(count)
     ]

@@ -15,11 +15,24 @@ Two layers:
 
 Concurrency model: fetcher units are handed out through an exclusive
 **lease** (checkout/checkin over a condition variable) — the least
-loaded *idle* unit wins, and a unit is never shared between threads —
-and concurrent requests for the same frame are **single-flighted**: the
-first caller crawls, everyone else blocks on the in-flight entry and
-reuses the response.  Together these guarantee each frame is crawled at
-most once no matter how many pipeline workers run.
+loaded *idle* unit whose circuit breaker admits work wins, and a unit
+is never shared between threads — and concurrent requests for the same
+frame are **single-flighted**: the first caller crawls, everyone else
+blocks on the in-flight entry and reuses the response.  Together these
+guarantee each frame is crawled at most once no matter how many
+pipeline workers run.
+
+Failure model (see DESIGN.md §7): a fetcher that exhausts its retry
+budget on a frame raises :class:`~repro.errors.FrameCrawlError` and
+the scheduler **reassigns** the frame to another unit; a unit whose
+breaker is open is skipped at lease time (and raises
+:class:`~repro.errors.CircuitOpenError` if raced).  A frame that
+exhausts the reassignment budget too is parked on the **dead-letter
+queue** — exactly once, owner-side of the single flight — and
+surfaces as :class:`~repro.errors.FrameDeadLettered`, which the
+pipeline converts into a missing-frame record instead of crashing the
+study.  Fatal errors (malformed requests) are recorded on the DLQ and
+re-raised as themselves.
 """
 
 from __future__ import annotations
@@ -28,19 +41,32 @@ import concurrent.futures
 import dataclasses
 import threading
 import time
+from collections import Counter
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.collection.breaker import BreakerConfig
 from repro.collection.database import CollectionDatabase
 from repro.collection.fetchers import FetcherUnit, WorkItem, build_fleet
-from repro.errors import CollectionError
+from repro.errors import (
+    CircuitOpenError,
+    CollectionError,
+    FrameCrawlError,
+    FrameDeadLettered,
+    ReproError,
+)
 from repro.timeutil import TimeWindow
 from repro.trends.client import RetryPolicy, Sleeper
+from repro.trends.faults import FaultReport
 from repro.trends.records import TimeFrameResponse
 from repro.trends.service import TrendsService
 
 #: Frames accumulated per batched database write during bulk crawls.
 _WRITE_BATCH = 64
+
+#: Distinct fetcher units allowed to exhaust their retry budget on one
+#: frame before it is dead-lettered.
+_MAX_UNIT_ATTEMPTS = 3
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -53,6 +79,7 @@ class CrawlReport:
     retries: int
     per_fetcher: dict[str, int]
     elapsed_seconds: float = 0.0
+    dead_lettered: int = 0
 
     @property
     def frames_per_second(self) -> float:
@@ -60,6 +87,39 @@ class CrawlReport:
         if self.elapsed_seconds <= 0.0:
             return 0.0
         return self.fetched / self.elapsed_seconds
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DeadLetter:
+    """One frame the crawl gave up on, with the error that killed it."""
+
+    item: WorkItem
+    error: str
+    error_type: str
+
+
+class DeadLetterQueue:
+    """Thread-safe parking lot for frames the crawl could not complete."""
+
+    def __init__(self) -> None:
+        self._entries: list[DeadLetter] = []
+        self._lock = threading.Lock()
+
+    def record(self, item: WorkItem, error: BaseException) -> DeadLetter:
+        letter = DeadLetter(
+            item=item, error=str(error), error_type=type(error).__name__
+        )
+        with self._lock:
+            self._entries.append(letter)
+        return letter
+
+    def entries(self) -> list[DeadLetter]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class _InFlight:
@@ -76,11 +136,21 @@ class _InFlight:
 class CollectionScheduler:
     """Leases fetchers to work items and merges results (thread-safe)."""
 
-    def __init__(self, fleet: list[FetcherUnit], database: CollectionDatabase) -> None:
+    def __init__(
+        self,
+        fleet: list[FetcherUnit],
+        database: CollectionDatabase,
+        sleep: Sleeper | None = None,
+    ) -> None:
         if not fleet:
             raise CollectionError("scheduler needs at least one fetcher")
         self.fleet = fleet
         self.database = database
+        #: Spends the wait when every idle unit's breaker is open;
+        #: defaults to whatever sleeper the fleet itself runs on so
+        #: virtual-time studies stay sleep-free.
+        self._sleep = sleep if sleep is not None else fleet[0].sleep
+        self.dead_letters = DeadLetterQueue()
         self._fetcher_ready = threading.Condition()
         self._idle: list[FetcherUnit] = list(fleet)
         self._flight_lock = threading.Lock()
@@ -94,16 +164,39 @@ class CollectionScheduler:
 
     @contextmanager
     def lease(self) -> Iterator[FetcherUnit]:
-        """Exclusive checkout of the least-loaded idle fetcher.
+        """Exclusive checkout of the least-loaded admissible idle fetcher.
 
-        Blocks while the whole fleet is busy; the unit is returned to
-        the idle pool (and a waiter woken) on exit, even on error.
+        Blocks while the whole fleet is busy; skips units whose circuit
+        breaker is open, sleeping (virtual time) until the earliest
+        half-open probe when every idle unit is dark.  The unit is
+        returned to the idle pool (and a waiter woken) on exit, even on
+        error.
         """
-        with self._fetcher_ready:
-            while not self._idle:
-                self._fetcher_ready.wait()
-            unit = min(self._idle, key=lambda candidate: candidate.completed)
-            self._idle.remove(unit)
+        while True:
+            delay = 0.0
+            with self._fetcher_ready:
+                while not self._idle:
+                    self._fetcher_ready.wait()
+                ready = [
+                    unit for unit in self._idle if unit.breaker.available()
+                ]
+                if ready:
+                    unit = min(ready, key=lambda candidate: candidate.completed)
+                    self._idle.remove(unit)
+                    break
+                if len(self._idle) < len(self.fleet):
+                    # Some units are busy; one may come back healthy.
+                    self._fetcher_ready.wait()
+                    continue
+                # The whole fleet is idle and dark: wait out the
+                # shortest cooldown, off the lock so returns can
+                # proceed, then re-check.
+                now = self.fleet[0].breaker.clock()
+                delay = max(
+                    min(unit.breaker.retry_at for unit in self._idle) - now,
+                    0.0,
+                )
+            self._sleep(max(delay, 1e-3))
         try:
             yield unit
         finally:
@@ -115,6 +208,47 @@ class CollectionScheduler:
         with self._counter_lock:
             self._fetched_total += fetched
             self._cache_hits += cached
+
+    # -- crawling ----------------------------------------------------------------
+
+    def _crawl_item(self, item: WorkItem) -> tuple[TimeFrameResponse, str]:
+        """Crawl one frame, reassigning across units on failure.
+
+        A unit that gives up (:class:`FrameCrawlError`) or whose breaker
+        opens mid-lease (:class:`CircuitOpenError`) costs one slot of
+        the respective budget and the frame moves to another unit.
+        Exhausting the budgets dead-letters the frame; fatal errors are
+        dead-lettered and re-raised as themselves.
+        """
+        unit_attempts = 0
+        breaker_bounces = 0
+        max_bounces = 2 * len(self.fleet) + 2
+        while True:
+            with self.lease() as unit:
+                try:
+                    response = unit.fetch(item)
+                    return response, unit.name
+                except CircuitOpenError as error:
+                    breaker_bounces += 1
+                    if breaker_bounces >= max_bounces:
+                        self.dead_letters.record(item, error)
+                        raise FrameDeadLettered(
+                            f"frame {item.key} dead-lettered after "
+                            f"{breaker_bounces} open-breaker bounces: {error}"
+                        ) from error
+                except FrameCrawlError as error:
+                    unit_attempts += 1
+                    if unit_attempts >= _MAX_UNIT_ATTEMPTS:
+                        self.dead_letters.record(item, error)
+                        raise FrameDeadLettered(
+                            f"frame {item.key} dead-lettered after "
+                            f"{unit_attempts} fetchers gave up: {error}"
+                        ) from error
+                except ReproError as error:
+                    # Fatal: no retry can help.  Record for the
+                    # post-mortem and propagate the original.
+                    self.dead_letters.record(item, error)
+                    raise
 
     # -- serving -----------------------------------------------------------------
 
@@ -145,9 +279,7 @@ class CollectionScheduler:
             assert flight.response is not None
             return flight.response
         try:
-            with self.lease() as unit:
-                response = unit.fetch(item)
-                fetched_by = unit.name
+            response, fetched_by = self._crawl_item(item)
             self.database.store_frame(response, fetched_by=fetched_by)
             flight.response = response
             self._count(fetched=1)
@@ -168,10 +300,13 @@ class CollectionScheduler:
         ``max_workers > 1`` dispatches over a thread pool (capped at the
         fleet size — more workers than fetchers would only queue on the
         lease).  Duplicate items and database hits count as served from
-        cache; each distinct frame is crawled at most once.
+        cache; each distinct frame is crawled at most once.  Frames the
+        fleet cannot complete are dead-lettered and skipped (counted in
+        the report), not raised.
         """
         started = time.perf_counter()
         retries_before = sum(unit.retries for unit in self.fleet)
+        dead_before = len(self.dead_letters)
         seen: set[tuple] = set()
         unique: list[WorkItem] = []
         for item in workload:
@@ -190,12 +325,15 @@ class CollectionScheduler:
 
         pending: list[tuple[TimeFrameResponse, str]] = []
         pending_lock = threading.Lock()
+        crawled = [0]
 
         def crawl(item: WorkItem) -> None:
-            with self.lease() as unit:
-                response = unit.fetch(item)
-                fetched_by = unit.name
+            try:
+                response, fetched_by = self._crawl_item(item)
+            except FrameDeadLettered:
+                return
             with pending_lock:
+                crawled[0] += 1
                 pending.append((response, fetched_by))
                 batch = pending.copy() if len(pending) >= _WRITE_BATCH else None
                 if batch is not None:
@@ -218,14 +356,15 @@ class CollectionScheduler:
                 batch = pending.copy()
                 pending.clear()
             self.database.store_frames(batch)
-        self._count(fetched=len(to_crawl), cached=cached)
+        self._count(fetched=crawled[0], cached=cached)
         return CrawlReport(
             requested=len(workload),
-            fetched=len(to_crawl),
+            fetched=crawled[0],
             served_from_cache=cached,
             retries=sum(unit.retries for unit in self.fleet) - retries_before,
             per_fetcher={unit.name: unit.completed for unit in self.fleet},
             elapsed_seconds=time.perf_counter() - started,
+            dead_lettered=len(self.dead_letters) - dead_before,
         )
 
     def lifetime_report(self) -> CrawlReport:
@@ -240,6 +379,38 @@ class CollectionScheduler:
             retries=sum(unit.retries for unit in self.fleet),
             per_fetcher={unit.name: unit.completed for unit in self.fleet},
             elapsed_seconds=time.perf_counter() - self._started,
+            dead_lettered=len(self.dead_letters),
+        )
+
+    def fault_report(self) -> FaultReport | None:
+        """Chaos accounting, or ``None`` when no fault injector is wired.
+
+        ``injected`` comes from the service wrapper's counters,
+        ``observed`` from the fleet clients' per-exception retry
+        causes — in a clean run every injected fault is observed (and
+        retried) exactly once downstream.
+        """
+        service = self.fleet[0].client.service
+        if not hasattr(service, "injection_counts"):
+            return None
+        observed: Counter = Counter()
+        for unit in self.fleet:
+            observed.update(unit.client.retry_causes)
+        return FaultReport(
+            profile=service.plan.profile.name,
+            seed=service.plan.seed,
+            injected=service.injection_counts(),
+            observed=dict(sorted(observed.items())),
+            retries=sum(unit.retries for unit in self.fleet),
+            breaker_opened=sum(unit.breaker.opened for unit in self.fleet),
+            breaker_half_opened=sum(
+                unit.breaker.half_opened for unit in self.fleet
+            ),
+            breaker_closed=sum(unit.breaker.closed for unit in self.fleet),
+            dead_letters=len(self.dead_letters),
+            blackout_rejections=dict(
+                sorted(service.blackout_rejections.items())
+            ),
         )
 
 
@@ -254,12 +425,20 @@ class CollectionManager:
         database: CollectionDatabase | None = None,
         policy: RetryPolicy | None = None,
         latency: float = 0.0,
+        clock=time.monotonic,
+        breaker_config: BreakerConfig | None = None,
     ) -> None:
         self.database = database or CollectionDatabase()
         fleet = build_fleet(
-            service, fetcher_count, sleep=sleep, policy=policy, latency=latency
+            service,
+            fetcher_count,
+            sleep=sleep,
+            policy=policy,
+            latency=latency,
+            clock=clock,
+            breaker_config=breaker_config,
         )
-        self.scheduler = CollectionScheduler(fleet, self.database)
+        self.scheduler = CollectionScheduler(fleet, self.database, sleep=sleep)
 
     def interest_over_time(
         self,
@@ -287,6 +466,10 @@ class CollectionManager:
     def report(self) -> CrawlReport:
         """Lifetime crawl accounting across every request served."""
         return self.scheduler.lifetime_report()
+
+    def fault_report(self) -> FaultReport | None:
+        """Chaos accounting (``None`` without a fault injector)."""
+        return self.scheduler.fault_report()
 
     @property
     def frames_stored(self) -> int:

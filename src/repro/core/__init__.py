@@ -6,7 +6,12 @@ and analysis (area grouping + context annotation), orchestrated by
 """
 
 from repro.core.area import AreaConfig, Outage, footprint_distribution, group_outages, most_extensive
-from repro.core.averaging import AveragingConfig, AveragingResult, average_until_convergence
+from repro.core.averaging import (
+    AveragingConfig,
+    AveragingResult,
+    MissingFrame,
+    average_until_convergence,
+)
 from repro.core.context import (
     ContextConfig,
     HeavyHitterAnalyzer,
@@ -26,6 +31,8 @@ from repro.core.pipeline import (
     StudyResult,
 )
 from repro.core.progress import (
+    FaultStats,
+    FramesDropped,
     ProgressEvent,
     ProgressListener,
     ProgressLog,
@@ -41,9 +48,12 @@ __all__ = [
     "AveragingResult",
     "ContextConfig",
     "DetectionConfig",
+    "FaultStats",
     "FrameSource",
+    "FramesDropped",
     "HeavyHitterAnalyzer",
     "HourlyTimeline",
+    "MissingFrame",
     "Outage",
     "PhraseClusterer",
     "ProgressEvent",

@@ -26,11 +26,27 @@ from repro.core.detection import DetectionConfig, detect_spikes
 from repro.core.series import HourlyTimeline
 from repro.core.spikes import SpikeSet
 from repro.core.stitching import StitchReport, stitch_frames
-from repro.errors import ConvergenceError
-from repro.trends.records import TimeFrameResponse
+from repro.errors import CollectionError, ConvergenceError
+from repro.trends.records import TimeFrameRequest, TimeFrameResponse
 
-#: A round of frame responses, one entry per weekly frame, in order.
-FrameFetcher = Callable[[int], list[TimeFrameResponse]]
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MissingFrame:
+    """A frame the crawl could not deliver for one sample round.
+
+    The collection layer dead-letters frames that exhaust every fetcher
+    (see DESIGN.md §7); the pipeline substitutes this record so the
+    averaging loop can keep folding the rounds that *did* arrive.
+    """
+
+    request: TimeFrameRequest
+    sample_round: int
+    error: str = ""
+
+
+#: A round of frame entries, one per weekly frame, in order; frames the
+#: crawl gave up on arrive as :class:`MissingFrame` placeholders.
+FrameFetcher = Callable[[int], "list[TimeFrameResponse | MissingFrame]"]
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -56,6 +72,11 @@ class AveragingConfig:
     #: Raise :class:`ConvergenceError` when the budget runs out without
     #: convergence instead of returning the best effort.
     strict: bool = False
+    #: Largest tolerated fraction of missing frames in any single round
+    #: before the run is declared unsalvageable.  Below the bound the
+    #: loop degrades gracefully: each frame folds only the rounds that
+    #: actually arrived, and a frame no round delivered becomes zeros.
+    max_missing_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.min_rounds < 1 or self.max_rounds < self.min_rounds:
@@ -65,6 +86,11 @@ class AveragingConfig:
         if not 0.0 < self.similarity_threshold <= 1.0:
             raise ConvergenceError(
                 f"similarity_threshold must be in (0, 1]: {self.similarity_threshold}"
+            )
+        if not 0.0 <= self.max_missing_fraction < 1.0:
+            raise ConvergenceError(
+                f"max_missing_fraction must be in [0, 1): "
+                f"{self.max_missing_fraction}"
             )
 
 
@@ -79,48 +105,79 @@ class AveragingResult:
     similarity_history: tuple[float, ...]  # between consecutive rounds
     stitch_report: StitchReport
     responses: tuple[TimeFrameResponse, ...]  # final averaged frames
+    #: Every frame-fetch the crawl dropped across all rounds (empty in
+    #: a healthy run; bounded by ``max_missing_fraction`` per round).
+    missing_frames: tuple[MissingFrame, ...] = ()
 
 
-def _average_round(
-    running: list[np.ndarray], responses: list[TimeFrameResponse], rounds_done: int
-) -> list[np.ndarray]:
-    """Fold one more round of frame values into the running means."""
-    if not running:
-        return [response.values.astype(np.float64) for response in responses]
-    if len(running) != len(responses):
-        raise ConvergenceError(
-            f"round returned {len(responses)} frames, expected {len(running)}"
-        )
-    averaged = []
-    for mean, response in zip(running, responses):
-        fresh = response.values.astype(np.float64)
-        if fresh.shape != mean.shape:
-            raise ConvergenceError("frame shapes changed between rounds")
-        averaged.append(mean + (fresh - mean) / (rounds_done + 1))
-    return averaged
+class _RunningMeans:
+    """Per-frame incremental means with per-frame fold counts.
 
+    A missing frame simply does not fold, so its mean keeps averaging
+    over the rounds that did arrive — when nothing is missing,
+    ``counts[i] == rounds_done`` everywhere and the fold is exactly the
+    classic ``mean + (fresh - mean) / (rounds_done + 1)``.
+    """
 
-def _to_responses(
-    template: list[TimeFrameResponse], averaged: list[np.ndarray]
-) -> list[TimeFrameResponse]:
-    """Wrap averaged values back into response records for stitching."""
-    rebuilt = []
-    for response, values in zip(template, averaged):
-        # Averaged index values are no longer integers; re-index onto
-        # 0..100 floats rounded to keep the response contract (ints).
-        peak = values.max()
-        scaled = np.round(100.0 * values / peak).astype(np.int16) if peak > 0 else (
-            np.zeros(values.shape, dtype=np.int16)
-        )
-        rebuilt.append(
-            TimeFrameResponse(
-                request=response.request,
-                values=scaled,
-                rising=response.rising,
-                sample_round=response.sample_round,
+    def __init__(self, entries: list) -> None:
+        self.means = [
+            np.zeros(entry.request.window.hours, dtype=np.float64)
+            for entry in entries
+        ]
+        self.counts = [0] * len(entries)
+        #: First real response seen per position: carries the request,
+        #: rising terms and sample round for the rebuilt frames.
+        self.templates: list[TimeFrameResponse | None] = [None] * len(entries)
+        self.requests = [entry.request for entry in entries]
+
+    def fold(self, entries: list) -> None:
+        if len(entries) != len(self.means):
+            raise ConvergenceError(
+                f"round returned {len(entries)} frames, "
+                f"expected {len(self.means)}"
             )
-        )
-    return rebuilt
+        for index, entry in enumerate(entries):
+            if isinstance(entry, MissingFrame):
+                continue
+            fresh = entry.values.astype(np.float64)
+            if fresh.shape != self.means[index].shape:
+                raise ConvergenceError("frame shapes changed between rounds")
+            if self.templates[index] is None:
+                self.templates[index] = entry
+            self.means[index] = self.means[index] + (
+                fresh - self.means[index]
+            ) / (self.counts[index] + 1)
+            self.counts[index] += 1
+
+    def to_responses(self) -> list[TimeFrameResponse]:
+        """Wrap averaged values back into response records for stitching."""
+        rebuilt = []
+        for index, values in enumerate(self.means):
+            # Averaged index values are no longer integers; re-index
+            # onto 0..100 floats rounded to keep the response contract
+            # (ints).  A frame no round delivered stays all-zero.
+            peak = values.max()
+            scaled = (
+                np.round(100.0 * values / peak).astype(np.int16)
+                if peak > 0
+                else np.zeros(values.shape, dtype=np.int16)
+            )
+            template = self.templates[index]
+            rebuilt.append(
+                TimeFrameResponse(
+                    request=(
+                        template.request
+                        if template is not None
+                        else self.requests[index]
+                    ),
+                    values=scaled,
+                    rising=template.rising if template is not None else (),
+                    sample_round=(
+                        template.sample_round if template is not None else 0
+                    ),
+                )
+            )
+        return rebuilt
 
 
 def average_until_convergence(
@@ -135,19 +192,29 @@ def average_until_convergence(
     stitching, detection, and the convergence decision.
     """
     config = config or AveragingConfig()
-    running: list[np.ndarray] = []
-    template: list[TimeFrameResponse] = []
+    running: _RunningMeans | None = None
     previous_spikes: SpikeSet | None = None
     history: list[float] = []
+    missing: list[MissingFrame] = []
     result: AveragingResult | None = None
     for round_index in range(config.max_rounds):
-        responses = fetch_round(round_index)
-        if not responses:
+        entries = fetch_round(round_index)
+        if not entries:
             raise ConvergenceError("fetch_round returned no frames")
-        if not template:
-            template = responses
-        running = _average_round(running, responses, round_index)
-        averaged_responses = _to_responses(template, running)
+        dropped = [
+            entry for entry in entries if isinstance(entry, MissingFrame)
+        ]
+        if len(dropped) > config.max_missing_fraction * len(entries):
+            raise CollectionError(
+                f"round {round_index} lost {len(dropped)}/{len(entries)} "
+                f"frames; exceeds max_missing_fraction="
+                f"{config.max_missing_fraction}"
+            )
+        missing.extend(dropped)
+        if running is None:
+            running = _RunningMeans(entries)
+        running.fold(entries)
+        averaged_responses = running.to_responses()
         timeline, report = stitch_frames(averaged_responses)
         if config.quantize:
             timeline = timeline.with_values(np.round(timeline.values))
@@ -171,6 +238,7 @@ def average_until_convergence(
             similarity_history=tuple(history),
             stitch_report=report,
             responses=tuple(averaged_responses),
+            missing_frames=tuple(missing),
         )
         if converged:
             return result

@@ -37,6 +37,7 @@ from datetime import datetime
 from repro.core.averaging import (
     AveragingConfig,
     AveragingResult,
+    MissingFrame,
     average_until_convergence,
 )
 from repro.core.area import AreaConfig, Outage, group_outages
@@ -48,6 +49,8 @@ from repro.core.progress import (
     CacheStats,
     CheckpointHit,
     CrawlStats,
+    FaultStats,
+    FramesDropped,
     GeoFinished,
     GeoStarted,
     ProgressEvent,
@@ -57,8 +60,9 @@ from repro.core.progress import (
 )
 from repro.core.series import HourlyTimeline
 from repro.core.spikes import Spike, SpikeSet
+from repro.errors import FrameDeadLettered
 from repro.timeutil import TimeWindow, daily_frame, weekly_frames
-from repro.trends.records import RisingTerm, TimeFrameResponse
+from repro.trends.records import RisingTerm, TimeFrameRequest, TimeFrameResponse
 
 
 class FrameSource:
@@ -212,25 +216,43 @@ class Sift:
 
     def fetch_week_frames(
         self, geo: str, window: TimeWindow, sample_round: int
-    ) -> list[TimeFrameResponse]:
+    ) -> list[TimeFrameResponse | MissingFrame]:
         """Crawl one full round of weekly frames for a geography.
 
         Rising suggestions ride along only on the first round: they are
         frame metadata, not sampled values, and re-fetching them would
         only burn request budget (exactly what a crawler must avoid
         under IP rate limiting).
+
+        A frame the collection layer dead-letters (see DESIGN.md §7)
+        comes back as a :class:`MissingFrame` placeholder — the
+        averaging loop tolerates a bounded fraction of those — instead
+        of aborting the geography.
         """
         frames = weekly_frames(window, self.config.overlap_hours)
-        return [
-            self.source.interest_over_time(
-                self.config.term,
-                geo,
-                frame,
-                sample_round=sample_round,
-                include_rising=(sample_round == 0),
-            )
-            for frame in frames
-        ]
+        entries: list[TimeFrameResponse | MissingFrame] = []
+        for frame in frames:
+            try:
+                entries.append(
+                    self.source.interest_over_time(
+                        self.config.term,
+                        geo,
+                        frame,
+                        sample_round=sample_round,
+                        include_rising=(sample_round == 0),
+                    )
+                )
+            except FrameDeadLettered as error:
+                entries.append(
+                    MissingFrame(
+                        request=TimeFrameRequest(
+                            term=self.config.term, geo=geo, window=frame
+                        ),
+                        sample_round=sample_round,
+                        error=str(error),
+                    )
+                )
+        return entries
 
     def build_timeline(self, geo: str, window: TimeWindow) -> AveragingResult:
         """Reconstruct the calibrated continuous series for a geography."""
@@ -269,6 +291,14 @@ class Sift:
         self._emit(GeoStarted(geo=geo, index=index, total=total))
         started = time.perf_counter()
         averaging = self.build_timeline(geo, window)
+        if averaging.missing_frames:
+            self._emit(
+                FramesDropped(
+                    geo=geo,
+                    dropped=len(averaging.missing_frames),
+                    rounds_used=averaging.rounds_used,
+                )
+            )
         result = StateResult(
             geo=geo,
             timeline=averaging.timeline,
@@ -387,16 +417,21 @@ class Sift:
         if self._progress is None:
             return
         report_fn = getattr(self.source, "report", None)
-        if report_fn is None:
-            return
-        report = report_fn()
-        self._emit(
-            CrawlStats(
-                requested=report.requested,
-                fetched=report.fetched,
-                served_from_cache=report.served_from_cache,
-                retries=report.retries,
-                elapsed_seconds=report.elapsed_seconds,
-                frames_per_second=report.frames_per_second,
+        if report_fn is not None:
+            report = report_fn()
+            self._emit(
+                CrawlStats(
+                    requested=report.requested,
+                    fetched=report.fetched,
+                    served_from_cache=report.served_from_cache,
+                    retries=report.retries,
+                    elapsed_seconds=report.elapsed_seconds,
+                    frames_per_second=report.frames_per_second,
+                    dead_lettered=getattr(report, "dead_lettered", 0),
+                )
             )
-        )
+        fault_fn = getattr(self.source, "fault_report", None)
+        if fault_fn is not None:
+            faults = fault_fn()
+            if faults is not None:
+                self._emit(FaultStats(**faults.to_dict()))

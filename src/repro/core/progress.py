@@ -136,12 +136,55 @@ class CrawlStats(ProgressEvent):
     retries: int
     elapsed_seconds: float
     frames_per_second: float
+    dead_lettered: int = 0
 
     def describe(self) -> str:
+        dead = (
+            f", {self.dead_lettered} dead-lettered" if self.dead_lettered else ""
+        )
         return (
             f"crawl: {self.fetched} fetched, {self.served_from_cache} from "
             f"cache, {self.retries} retries "
-            f"({self.frames_per_second:.0f} frames/s)"
+            f"({self.frames_per_second:.0f} frames/s){dead}"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FramesDropped(ProgressEvent):
+    """A geography's averaging ran with crawl-dropped (missing) frames."""
+
+    geo: str
+    dropped: int
+    rounds_used: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.geo}: averaged around {self.dropped} missing "
+            f"frame-fetches over {self.rounds_used} rounds"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FaultStats(ProgressEvent):
+    """Chaos accounting for a fault-injected run (mirrors ``FaultReport``)."""
+
+    profile: str
+    seed: int
+    injected: dict
+    observed: dict
+    retries: int
+    breaker_opened: int
+    breaker_half_opened: int
+    breaker_closed: int
+    dead_letters: int
+    blackout_rejections: dict
+
+    def describe(self) -> str:
+        return (
+            f"faults[{self.profile}/{self.seed}]: "
+            f"{sum(self.injected.values())} injected, "
+            f"{self.retries} retries, breaker {self.breaker_opened} opens, "
+            f"{self.dead_letters} dead-lettered"
         )
 
 

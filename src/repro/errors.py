@@ -3,9 +3,17 @@
 All errors raised by this package derive from :class:`ReproError` so
 callers can catch package failures with a single ``except`` clause while
 still distinguishing the fine-grained conditions below.
+
+The collection layer additionally needs to know, for *any* error the
+Trends service can surface, whether retrying can help.
+:func:`classify_error` is that decision, total over the hierarchy:
+every :class:`ReproError` maps to exactly one :class:`ErrorClass`, and
+anything the table does not explicitly mark retryable is fatal.
 """
 
 from __future__ import annotations
+
+import enum
 
 
 class ReproError(Exception):
@@ -55,6 +63,42 @@ class RateLimitError(TrendsRequestError):
         self.retry_after = retry_after
 
 
+class TransientServiceError(TrendsRequestError):
+    """A 503-style hiccup: the request failed but a retry may succeed."""
+
+
+class RequestTimeout(TransientServiceError):
+    """The service did not answer within the request deadline.
+
+    Attributes:
+        timeout_seconds: how long the caller waited (virtual time).
+    """
+
+    def __init__(self, ip: str, timeout_seconds: float) -> None:
+        super().__init__(
+            f"request from {ip} timed out after {timeout_seconds:.1f}s"
+        )
+        self.ip = ip
+        self.timeout_seconds = timeout_seconds
+
+
+class TruncatedFrameError(TransientServiceError):
+    """The response covered fewer hours than the requested frame."""
+
+    def __init__(self, expected_hours: int, got_hours: int) -> None:
+        super().__init__(
+            f"truncated frame: expected {expected_hours} hours, "
+            f"got {got_hours}"
+        )
+        self.expected_hours = expected_hours
+        self.got_hours = got_hours
+
+
+class DegradedFrameError(TransientServiceError):
+    """The response was computed from a sample below the privacy
+    threshold (the service flagged it as all-zero low-sample data)."""
+
+
 class StitchingError(ReproError):
     """Consecutive time frames could not be stitched together."""
 
@@ -73,3 +117,78 @@ class DatabaseError(ReproError):
 
 class CollectionError(ReproError):
     """The collection scheduler could not complete a workload."""
+
+
+class CircuitOpenError(CollectionError):
+    """A fetcher's circuit breaker is open; route work elsewhere.
+
+    Attributes:
+        ip: the fetcher IP whose breaker rejected the request.
+        retry_at: virtual-clock time of the next half-open probe.
+    """
+
+    def __init__(self, ip: str, retry_at: float) -> None:
+        super().__init__(
+            f"circuit open for {ip}; next probe at t={retry_at:.2f}"
+        )
+        self.ip = ip
+        self.retry_at = retry_at
+
+
+class FrameCrawlError(CollectionError):
+    """One fetcher exhausted its retry budget on a single frame.
+
+    Attributes:
+        ip: the fetcher that gave up.
+        attempts: how many attempts were spent.
+        last_error: the final failure (``None`` if unknown).
+    """
+
+    def __init__(
+        self, ip: str, attempts: int, last_error: BaseException | None
+    ) -> None:
+        super().__init__(
+            f"fetcher {ip} gave up after {attempts} attempts: {last_error}"
+        )
+        self.ip = ip
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class FrameDeadLettered(CollectionError):
+    """A frame exhausted every fetcher and was parked on the DLQ."""
+
+
+class ErrorClass(enum.Enum):
+    """What a caller should do with an error mid-crawl."""
+
+    #: Back-pressure: wait out the ``retry_after`` hint and retry.
+    RATE_LIMITED = "rate_limited"
+    #: Transient fault (503, timeout, truncated/degraded data, open
+    #: breaker): retry with backoff, possibly on another fetcher.
+    RETRYABLE = "retryable"
+    #: Retrying cannot help (bad request, bad configuration, exhausted
+    #: budgets): propagate.
+    FATAL = "fatal"
+
+
+def classify_error_type(error_type: type[BaseException]) -> ErrorClass:
+    """Classify an exception *type*; total over :class:`ReproError`.
+
+    The table is ordered most-specific first.  ``FrameCrawlError`` is
+    fatal even though it wraps retryable causes: it means a retry budget
+    is already spent.  Anything unlisted — including future
+    :class:`ReproError` subclasses — defaults to fatal, so a new fault
+    type must be added here (and to the classifier property test)
+    before the crawl will retry it.
+    """
+    if issubclass(error_type, RateLimitError):
+        return ErrorClass.RATE_LIMITED
+    if issubclass(error_type, (TransientServiceError, CircuitOpenError)):
+        return ErrorClass.RETRYABLE
+    return ErrorClass.FATAL
+
+
+def classify_error(error: BaseException) -> ErrorClass:
+    """Classify an exception instance (see :func:`classify_error_type`)."""
+    return classify_error_type(type(error))

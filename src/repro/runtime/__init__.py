@@ -20,6 +20,8 @@ from repro.core.progress import (
     CacheStats,
     CheckpointHit,
     CrawlStats,
+    FaultStats,
+    FramesDropped,
     GeoFinished,
     GeoStarted,
     ProgressEvent,
@@ -51,6 +53,8 @@ __all__ = [
     "CheckpointHit",
     "CrawlStats",
     "DatabaseCheckpoint",
+    "FaultStats",
+    "FramesDropped",
     "GeoFinished",
     "GeoStarted",
     "ProgressEvent",

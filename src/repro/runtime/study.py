@@ -32,9 +32,17 @@ from repro.collection.database import CollectionDatabase
 from repro.collection.scheduler import CollectionManager, CrawlReport
 from repro.core.pipeline import Sift, SiftConfig, StateResult, StudyResult
 from repro.core.progress import ProgressListener
+from repro.errors import ConfigurationError
 from repro.runtime.checkpoint import DatabaseCheckpoint
 from repro.runtime.executor import StudyExecutor, make_executor
 from repro.timeutil import TimeWindow, utc
+from repro.trends.faults import (
+    PROFILES,
+    FaultPlan,
+    FaultProfile,
+    FaultReport,
+    FaultyTrendsService,
+)
 from repro.trends.ratelimit import RateLimitConfig, SimulatedClock
 from repro.trends.service import TrendsConfig, TrendsService
 from repro.world.population import SearchPopulation
@@ -69,6 +77,13 @@ class RuntimeConfig:
     database: str = ":memory:"
     #: Persist per-geography results and resume completed geographies.
     checkpoint: bool = True
+    #: Chaos: a profile name from :data:`repro.trends.faults.PROFILES`
+    #: (or a :class:`FaultProfile`) to inject into the Trends service;
+    #: ``None`` runs fault-free.
+    faults: str | FaultProfile | None = None
+    #: Seed of the fault plan; ``(faults, fault_seed)`` fully determines
+    #: every injected fault, so any chaos run can be replayed exactly.
+    fault_seed: int = 7
 
 
 class StudyRuntime:
@@ -105,12 +120,28 @@ class StudyRuntime:
             ),
             clock=self.clock,
         )
+        service = self.service
+        if config.faults is not None:
+            profile = config.faults
+            if isinstance(profile, str):
+                if profile not in PROFILES:
+                    raise ConfigurationError(
+                        f"unknown fault profile {profile!r}; "
+                        f"choose from {sorted(PROFILES)}"
+                    )
+                profile = PROFILES[profile]
+            service = FaultyTrendsService(
+                self.service,
+                FaultPlan(profile, config.fault_seed),
+                sleep=self.clock.sleep,
+            )
         self.database = CollectionDatabase(config.database)
         self.manager = CollectionManager(
-            self.service,
+            service,
             sleep=self.clock.sleep,
             fetcher_count=config.fetcher_count,
             database=self.database,
+            clock=self.clock,
         )
         self.executor: StudyExecutor = make_executor(config.max_workers)
         self.checkpoint: DatabaseCheckpoint | None = (
@@ -143,6 +174,8 @@ class StudyRuntime:
         progress: ProgressListener | None = None,
         scenario: Scenario | None = None,
         population: SearchPopulation | None = None,
+        faults: str | FaultProfile | None = None,
+        fault_seed: int = 7,
     ) -> "StudyRuntime":
         """Assemble a deployment with sensible defaults.
 
@@ -167,6 +200,8 @@ class StudyRuntime:
                 max_workers=max_workers,
                 database=database,
                 checkpoint=checkpoint,
+                faults=faults,
+                fault_seed=fault_seed,
             ),
             progress=progress,
             scenario=scenario,
@@ -197,6 +232,10 @@ class StudyRuntime:
     def report(self) -> CrawlReport:
         """Lifetime crawl accounting for this runtime's collection layer."""
         return self.manager.report()
+
+    def fault_report(self) -> FaultReport | None:
+        """Chaos accounting (``None`` when no faults were configured)."""
+        return self.manager.fault_report()
 
     def completed_geos(self, window: TimeWindow | None = None) -> tuple[str, ...]:
         """Geographies already checkpointed for the study window."""

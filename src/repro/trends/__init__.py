@@ -7,6 +7,14 @@ ground-truth :mod:`repro.world` population.
 """
 
 from repro.trends.client import RetryPolicy, TrendsClient
+from repro.trends.faults import (
+    PROFILES,
+    FaultKind,
+    FaultPlan,
+    FaultProfile,
+    FaultReport,
+    FaultyTrendsService,
+)
 from repro.trends.ratelimit import (
     RateLimitConfig,
     SimulatedClock,
@@ -30,7 +38,13 @@ from repro.trends.service import ServiceStats, TrendsConfig, TrendsService
 
 __all__ = [
     "BREAKOUT_WEIGHT",
+    "FaultKind",
+    "FaultPlan",
+    "FaultProfile",
+    "FaultReport",
+    "FaultyTrendsService",
     "MAX_HOURLY_FRAME",
+    "PROFILES",
     "RateLimitConfig",
     "RetryPolicy",
     "RisingConfig",

@@ -54,7 +54,7 @@ class TokenBucketLimiter:
         self, config: RateLimitConfig | None = None, clock: Clock = time.monotonic
     ) -> None:
         self.config = config or RateLimitConfig()
-        self._clock = clock
+        self.clock = clock
         self._buckets: dict[str, _Bucket] = {}
         #: Serializes bucket creation and token accounting so concurrent
         #: fetcher threads cannot double-spend a token.
@@ -64,12 +64,12 @@ class TokenBucketLimiter:
     def _bucket(self, ip: str) -> _Bucket:
         bucket = self._buckets.get(ip)
         if bucket is None:
-            bucket = _Bucket(float(self.config.burst), self._clock())
+            bucket = _Bucket(float(self.config.burst), self.clock())
             self._buckets[ip] = bucket
         return bucket
 
     def _refill(self, bucket: _Bucket) -> None:
-        now = self._clock()
+        now = self.clock()
         elapsed = max(0.0, now - bucket.updated)
         bucket.tokens = min(
             float(self.config.burst),
@@ -106,6 +106,18 @@ class TokenBucketLimiter:
             bucket = self._bucket(ip)
             self._refill(bucket)
             return bucket.tokens
+
+    def reset_quota(self, ip: str) -> None:
+        """Drop *ip*'s bucket to zero tokens (a server-side quota reset).
+
+        The next request from *ip* is rate-limited until the bucket
+        refills; used by the fault injector to model the real service
+        revoking a client's remaining budget mid-crawl.
+        """
+        with self._lock:
+            bucket = self._bucket(ip)
+            self._refill(bucket)
+            bucket.tokens = 0.0
 
 
 class SimulatedClock:

@@ -83,6 +83,10 @@ class TimeFrameResponse:
     values: np.ndarray  # int16 index values, 0..100, one per hour
     rising: tuple[RisingTerm, ...]
     sample_round: int  # which independent sample produced this response
+    #: The service computed this frame from a sample below its privacy
+    #: threshold and zeroed it out (the real service shows a "not
+    #: enough data" notice in this case).  Clients should re-fetch.
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.values.shape != (self.request.window.hours,):

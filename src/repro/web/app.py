@@ -30,15 +30,17 @@ from repro.core.pipeline import StudyResult
 from repro.core.progress import ProgressLog
 from repro.errors import ReproError
 from repro.timeutil import TimeWindow, ensure_grid
+from repro.trends.faults import FaultReport
 
 
 class SiftWebApp:
     """Routes paths to JSON/HTML payloads over a finished study.
 
-    ``progress_log`` and ``crawl_report`` are optional runtime
-    telemetry — when the app is served from a :class:`StudyRuntime`
-    the ``/api/runtime`` endpoint exposes how the study ran (structured
-    progress events, resumed geographies, crawl throughput).
+    ``progress_log``, ``crawl_report`` and ``fault_report`` are
+    optional runtime telemetry — when the app is served from a
+    :class:`StudyRuntime` the ``/api/runtime`` endpoint exposes how the
+    study ran (structured progress events, resumed geographies, crawl
+    throughput, chaos accounting).
     """
 
     def __init__(
@@ -46,10 +48,12 @@ class SiftWebApp:
         study: StudyResult,
         progress_log: ProgressLog | None = None,
         crawl_report: CrawlReport | None = None,
+        fault_report: FaultReport | None = None,
     ) -> None:
         self.study = study
         self.progress_log = progress_log
         self.crawl_report = crawl_report
+        self.fault_report = fault_report
 
     # -- routing -------------------------------------------------------------
 
@@ -162,12 +166,17 @@ class SiftWebApp:
                 "elapsed_seconds": round(report.elapsed_seconds, 3),
                 "frames_per_second": round(report.frames_per_second, 1),
                 "per_fetcher": dict(report.per_fetcher),
+                "dead_lettered": report.dead_lettered,
             }
+        faults = (
+            self.fault_report.to_dict() if self.fault_report is not None else None
+        )
         return {
             "resumed_geos": list(self.study.resumed_geos),
             "event_count": len(events),
             "events": events,
             "crawl": crawl,
+            "faults": faults,
         }
 
     def _index(self, params: dict[str, str]) -> str:
@@ -216,13 +225,19 @@ def serve(
     port: int = 0,
     progress_log: ProgressLog | None = None,
     crawl_report: CrawlReport | None = None,
+    fault_report: FaultReport | None = None,
 ) -> tuple[ThreadingHTTPServer, threading.Thread]:
     """Serve a study over HTTP; returns (server, daemon thread).
 
     ``port=0`` picks a free port (see ``server.server_address``).  Call
     ``server.shutdown()`` to stop.
     """
-    app = SiftWebApp(study, progress_log=progress_log, crawl_report=crawl_report)
+    app = SiftWebApp(
+        study,
+        progress_log=progress_log,
+        crawl_report=crawl_report,
+        fault_report=fault_report,
+    )
     handler = type("BoundHandler", (_Handler,), {"app": app})
     server = ThreadingHTTPServer((host, port), handler)
     thread = threading.Thread(target=server.serve_forever, daemon=True)

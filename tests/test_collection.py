@@ -7,7 +7,12 @@ from repro.collection.database import CollectionDatabase
 from repro.collection.fetchers import WorkItem, build_fleet
 from repro.collection.scheduler import CollectionManager, CollectionScheduler
 from repro.core.spikes import Spike
-from repro.errors import CollectionError, ConfigurationError
+from repro.errors import (
+    CollectionError,
+    ConfigurationError,
+    TransientServiceError,
+    UnknownTermError,
+)
 from repro.timeutil import TimeWindow, utc
 from repro.trends.ratelimit import RateLimitConfig, SimulatedClock
 from repro.trends.records import RisingTerm, TimeFrameRequest, TimeFrameResponse
@@ -240,3 +245,67 @@ class TestManager:
         manager.interest_over_time("Internet outage", "US-TX", WEEK, sample_round=0)
         manager.interest_over_time("Internet outage", "US-TX", WEEK, sample_round=1)
         assert manager.frames_stored == 2
+
+
+class TestFatalErrorHandling:
+    """Regression: a fatal mid-crawl error must not leak the leased unit.
+
+    The client used to treat any non-RateLimitError as instantly fatal
+    and the scheduler dropped the unit on the floor — a study that hit
+    one malformed response would slowly strangle its own fleet.  Fatal
+    errors now dead-letter the item and release the lease; transient
+    errors are retried on the same unit.
+    """
+
+    def make_scheduler(self, service, fetchers, clock):
+        fleet = build_fleet(service, fetchers, sleep=clock.sleep, clock=clock)
+        return fleet, CollectionScheduler(fleet, CollectionDatabase())
+
+    def test_fatal_error_releases_the_unit_and_dead_letters(self, population):
+        clock = SimulatedClock()
+        inner = TrendsService(population, clock=clock)
+
+        class Exploding:
+            explode = True
+
+            def fetch(self, request, **kwargs):
+                if self.explode:
+                    raise UnknownTermError("no data for term")
+                return inner.fetch(request, **kwargs)
+
+        service = Exploding()
+        fleet, scheduler = self.make_scheduler(service, 2, clock)
+        with pytest.raises(UnknownTermError):
+            scheduler.fetch_one(WorkItem("Internet outage", "US-TX", WEEK))
+
+        assert len(scheduler.dead_letters) == 1
+        (entry,) = scheduler.dead_letters.entries()
+        assert entry.error_type == "UnknownTermError"
+        # Every unit is back in the idle pool: the lease was released.
+        assert sorted(unit.name for unit in scheduler._idle) == sorted(
+            unit.name for unit in fleet
+        )
+        # ... and the fleet still crawls once the service recovers.
+        service.explode = False
+        response = scheduler.fetch_one(WorkItem("Internet outage", "US-TX", WEEK2))
+        assert response.values.shape == (WEEK2.hours,)
+
+    def test_transient_errors_are_retried_not_fatal(self, population):
+        clock = SimulatedClock()
+        inner = TrendsService(population, clock=clock)
+
+        class Flaky:
+            failures = 2
+
+            def fetch(self, request, **kwargs):
+                if self.failures:
+                    self.failures -= 1
+                    raise TransientServiceError("503: try again")
+                return inner.fetch(request, **kwargs)
+
+        fleet, scheduler = self.make_scheduler(Flaky(), 1, clock)
+        response = scheduler.fetch_one(WorkItem("Internet outage", "US-TX", WEEK))
+        assert response.values.shape == (WEEK.hours,)
+        assert fleet[0].retries == 2  # absorbed by backoff, not dead-lettered
+        assert len(scheduler.dead_letters) == 0
+        assert clock() > 0  # the backoff spent virtual time

@@ -1,0 +1,75 @@
+"""End-to-end golden regression: a fixed-seed study, frozen to JSON.
+
+The committed fixture (``tests/golden/study_small.json``) pins the
+*entire* pipeline output for one small deployment — detected spikes
+with annotations, the grouped outage/impact summary, heavy hitters,
+and per-state timeline checksums.  Any change to sampling, stitching,
+averaging, detection, grouping, or annotation shows up as a readable
+JSON diff here before it can silently shift the paper's numbers.
+
+After an *intentional* behaviour change, regenerate with::
+
+    PYTHONPATH=src REGEN_GOLDEN=1 python -m pytest tests/test_golden_study.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.runtime.study import StudyRuntime
+from repro.timeutil import utc
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "study_small.json"
+GEOS = ("US-TX", "US-WY")
+
+
+def build_study_payload() -> dict:
+    """The canonical serialization of the fixed-seed small study."""
+    runtime = StudyRuntime.build(
+        background_scale=0.3,
+        start=utc(2021, 1, 1),
+        end=utc(2021, 3, 1),
+        checkpoint=False,
+    )
+    try:
+        study = runtime.run_study(GEOS)
+    finally:
+        runtime.close()
+    return {
+        "window": [study.window.start.isoformat(), study.window.end.isoformat()],
+        "geos": sorted(study.states),
+        "spike_count": study.spike_count,
+        "spikes": [spike.to_dict() for spike in study.spikes],
+        "outages": [
+            {
+                "label": outage.label,
+                "states": sorted(outage.states),
+                "footprint": outage.footprint,
+                "max_duration_hours": outage.max_duration_hours,
+                "annotations": list(outage.annotations),
+            }
+            for outage in study.outages
+        ],
+        "heavy_hitters": list(study.heavy_hitters),
+        "states": {
+            geo: {
+                "spike_count": len(result.spikes),
+                "timeline_hours": len(result.timeline),
+                "timeline_checksum": round(float(result.timeline.values.sum()), 6),
+                "rounds_used": result.averaging.rounds_used,
+            }
+            for geo, result in sorted(study.states.items())
+        },
+    }
+
+
+def test_study_matches_golden_fixture():
+    actual = build_study_payload()
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+    expected = json.loads(GOLDEN_PATH.read_text())
+    assert actual == expected, (
+        "study output diverged from tests/golden/study_small.json; if the "
+        "change is intentional, regenerate with REGEN_GOLDEN=1"
+    )

@@ -11,7 +11,18 @@ from repro.core.detection import detect_bounds
 from repro.core.nlp import phrase_similarity, tokenize
 from repro.core.spikes import Spike, SpikeSet
 from repro.core.stitching import estimate_ratio, stitch_frames
+from repro.errors import (
+    CircuitOpenError,
+    ErrorClass,
+    FrameCrawlError,
+    FrameDeadLettered,
+    RateLimitError,
+    ReproError,
+    TransientServiceError,
+    classify_error_type,
+)
 from repro.timeutil import TimeWindow, utc, weekly_frames
+from repro.trends.client import RetryPolicy
 from repro.trends.ratelimit import RateLimitConfig, SimulatedClock, TokenBucketLimiter
 from repro.trends.records import TimeFrameRequest, TimeFrameResponse
 from repro.trends.sampling import index_frame, privacy_round
@@ -351,3 +362,111 @@ class TestSimilarityProperties:
     def test_weighted_similarity_bounded(self, left, right):
         a, b = _build_set(left), _build_set(right)
         assert 0.0 <= a.weighted_match_similarity(b) <= 1.0 + 1e-9
+
+
+# --------------------------------------------------------------------------
+# Retry policy invariants
+# --------------------------------------------------------------------------
+
+retry_policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=16),
+    backoff_base=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    max_backoff=st.floats(min_value=1.0, max_value=600.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+)
+
+_EPS = 1e-9
+
+
+class TestRetryPolicyProperties:
+    @given(
+        policy=retry_policies,
+        attempt=st.integers(min_value=0, max_value=30),
+        retry_after=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        unit=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_delay_is_bounded_by_cap_and_hint(self, policy, attempt, retry_after, unit):
+        """No delay exceeds max(hint, max_backoff) plus full jitter."""
+        delay = policy.delay(attempt, retry_after, unit)
+        ceiling = max(retry_after, policy.max_backoff) * (1.0 + policy.jitter)
+        assert 0.0 <= delay <= ceiling * (1.0 + _EPS)
+
+    @given(
+        policy=retry_policies,
+        attempt=st.integers(min_value=0, max_value=30),
+        retry_after=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        unit=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_jitter_stays_within_the_band(self, policy, attempt, retry_after, unit):
+        """The jittered delay lands within +-jitter of the base delay."""
+        delay = policy.delay(attempt, retry_after, unit)
+        base = max(retry_after, min(policy.backoff_base**attempt, policy.max_backoff))
+        assert base * (1.0 - policy.jitter) - _EPS <= delay
+        assert delay <= base * (1.0 + policy.jitter) + _EPS
+
+    @given(
+        policy=retry_policies,
+        attempt=st.integers(min_value=0, max_value=30),
+        retry_after=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        unit=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_retry_after_hint_is_honored(self, policy, attempt, retry_after, unit):
+        """A server's retry-after floor survives jitter."""
+        delay = policy.delay(attempt, retry_after, unit)
+        assert delay >= retry_after * (1.0 - policy.jitter) - _EPS
+
+    @given(
+        policy=retry_policies,
+        unit=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_backoff_is_monotone_up_to_the_cap(self, policy, unit):
+        """At a fixed jitter draw, delays never shrink between attempts."""
+        delays = [policy.delay(attempt, 0.0, unit) for attempt in range(12)]
+        assert all(a <= b + _EPS for a, b in zip(delays, delays[1:]))
+
+
+# --------------------------------------------------------------------------
+# Error-classifier totality
+# --------------------------------------------------------------------------
+
+
+def _all_repro_error_types() -> list[type]:
+    """Every ReproError subclass reachable from the imported hierarchy."""
+    seen: set[type] = set()
+    stack: list[type] = [ReproError]
+    while stack:
+        cls = stack.pop()
+        if cls in seen:
+            continue
+        seen.add(cls)
+        stack.extend(cls.__subclasses__())
+    return sorted(seen, key=lambda cls: cls.__name__)
+
+
+class TestClassifierTotality:
+    @given(error_type=st.sampled_from(_all_repro_error_types()))
+    def test_every_error_type_classifies(self, error_type):
+        assert isinstance(classify_error_type(error_type), ErrorClass)
+
+    @given(error_type=st.sampled_from(_all_repro_error_types()))
+    def test_transients_never_classify_as_fatal(self, error_type):
+        """The retryable branches of the hierarchy stay retryable."""
+        verdict = classify_error_type(error_type)
+        if issubclass(error_type, RateLimitError):
+            assert verdict is ErrorClass.RATE_LIMITED
+        elif issubclass(error_type, (TransientServiceError, CircuitOpenError)):
+            assert verdict is ErrorClass.RETRYABLE
+
+    def test_dead_letters_and_crawl_failures_are_fatal(self):
+        """Budget-exhausted errors must not re-enter the retry loop."""
+        assert classify_error_type(FrameCrawlError) is ErrorClass.FATAL
+        assert classify_error_type(FrameDeadLettered) is ErrorClass.FATAL
+
+    def test_unknown_subclasses_default_to_fatal(self):
+        """A fault type the classifier has never seen fails safe."""
+
+        class NovelError(ReproError):
+            pass
+
+        assert classify_error_type(NovelError) is ErrorClass.FATAL

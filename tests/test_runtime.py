@@ -446,3 +446,49 @@ class TestStudyRuntimeWiring:
         runtime = StudyRuntime.build(scenario=scenario)
         assert runtime.window == scenario.window
         assert runtime.scenario is scenario
+
+
+class TestResumeUnderFaults:
+    """Checkpoint durability composes with chaos (the fault injector).
+
+    An interrupted chaos run must resume exactly like a fault-free one:
+    completed geographies never touch the service again, and because the
+    fault schedule is keyed by request identity (not arrival order), the
+    resumed study lands on the same spikes as an uninterrupted run under
+    the same ``(profile, seed)``.
+    """
+
+    config = SiftConfig(annotate=False)
+    chaos = dict(faults="transient", fault_seed=11)
+
+    def test_interrupted_chaos_run_resumes_without_refetching(self, tmp_path):
+        db_path = str(tmp_path / "study.db")
+        interrupter = _InterruptAfter(geo_limit=2)
+        first = build_runtime(
+            database=db_path, sift=self.config, progress=interrupter, **self.chaos
+        )
+        with pytest.raises(KeyboardInterrupt):
+            first.run_study(geos=MINI_GEOS)
+        assert first.fault_report().total_injected > 0  # chaos fired pre-interrupt
+        first.close()
+        completed = tuple(interrupter.finished)
+        assert len(completed) == 2
+
+        resumed = build_runtime(database=db_path, sift=self.config, **self.chaos)
+        study = resumed.run_study(geos=MINI_GEOS)
+        assert study.resumed_geos == completed
+        # Zero refetches: the checkpointed geographies are served from
+        # the database, faults and all.
+        for geo in completed:
+            assert resumed.service.stats.frames_by_geo[geo] == 0
+        assert resumed.report().fetched > 0  # the rest did crawl
+        assert resumed.fault_report().dead_letters == 0
+
+        fresh = build_runtime(sift=self.config, **self.chaos)
+        uninterrupted = fresh.run_study(geos=MINI_GEOS)
+        assert spike_dicts(study) == spike_dicts(uninterrupted)
+        for geo in MINI_GEOS:
+            assert np.array_equal(
+                study.states[geo].timeline.values,
+                uninterrupted.states[geo].timeline.values,
+            )
