@@ -1,0 +1,257 @@
+"""Web serving perf bench: cold vs warm requests/sec per endpoint.
+
+PR 4 put a columnar :class:`repro.web.index.QueryIndex` and an
+ETag-aware LRU of fully-encoded responses in front of the study.  This
+bench quantifies both layers and writes ``BENCH_web.json`` (see
+:mod:`benchmarks.perf` for the layout):
+
+* ``baseline`` — the **cold** path: every request re-plans, rebuilds
+  its payload from the query index, re-encodes and re-hashes it
+  (``caching=False``);
+* ``current`` — the **warm** path: the same requests served from the
+  preloaded response cache, so the ``speedup`` section is exactly the
+  warm-vs-cold ratio per endpoint;
+* ``etag_304_rps`` — conditional requests revalidating with
+  ``If-None-Match`` (no body moves at all);
+* ``http_soak_rps`` — one real ``ThreadingHTTPServer`` soak over a
+  keep-alive connection, to keep the socket path honest.
+
+Every request issued cold is also issued warm and the bodies are
+asserted byte-identical — the cache must never change a response.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_web_serving.py [--smoke]
+        [--check]   # fail when warm-vs-cold drops below the 10x floor
+                    # on /api/timeline or /api/outages
+        [--write]   # persist BENCH_web.json even for a smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import sys
+
+from repro.runtime import StudyRuntime
+from repro.timeutil import utc
+from repro.web import SiftWebApp, serve
+
+try:  # runnable both as a script and under the benchmarks package
+    from perf import measure_rate, write_bench
+except ImportError:  # pragma: no cover
+    from benchmarks.perf import measure_rate, write_bench
+
+BENCH_NAME = "web"
+
+#: Same world as ``bench_service_hotpath``: two months around the Texas
+#: winter storm, over a timezone-diverse geography rotation.
+SCENARIO_START = utc(2021, 1, 1)
+SCENARIO_END = utc(2021, 3, 1)
+BACKGROUND_SCALE = 0.3
+GEOS = (
+    "US-TX", "US-CA", "US-NY", "US-FL", "US-AZ", "US-HI",
+    "US-AK", "US-CO", "US-IL", "US-WA", "US-GA", "US-MI",
+)
+SMOKE_GEOS = ("US-TX", "US-CA", "US-NY", "US-FL", "US-AZ", "US-HI",
+              "US-AK", "US-CO")
+
+#: Hardware-portable acceptance floor: the response cache must serve
+#: the heavy endpoints at least this many times faster than a full
+#: rebuild.  A ratio of rates on the same machine, so CI boxes of any
+#: speed apply the same bar.
+WARM_VS_COLD_FLOOR = 10.0
+CHECKED_ENDPOINTS = ("timeline", "outages")
+
+
+def build_study(smoke: bool):
+    geos = SMOKE_GEOS if smoke else GEOS
+    with StudyRuntime.build(
+        background_scale=BACKGROUND_SCALE,
+        start=SCENARIO_START,
+        end=SCENARIO_END,
+    ) as runtime:
+        return runtime.run_study(geos=geos)
+
+
+def endpoint_paths(study) -> dict[str, list[str]]:
+    """The request mix, keyed by the metric name of each endpoint."""
+    geos = sorted(study.states)
+    return {
+        "index": ["/"],
+        "geos": ["/api/geos"],
+        "summary": ["/api/summary"],
+        "timeline": [f"/api/timeline?geo={geo}" for geo in geos],
+        "spikes": [f"/api/spikes?geo={geo}" for geo in geos],
+        "outages": [f"/api/outages?min_states={n}" for n in (0, 2, 5, 8)],
+    }
+
+
+def assert_byte_identity(cold: SiftWebApp, warm: SiftWebApp, paths) -> None:
+    for group in paths.values():
+        for path in group:
+            a = cold.handle_request(path)
+            b = warm.handle_request(path)
+            if a.status != 200 or a.body != b.body:
+                raise AssertionError(
+                    f"cached response diverges from uncached on {path}"
+                )
+
+
+def bench_endpoint(app: SiftWebApp, group: list[str], passes: int) -> float:
+    def one_pass() -> int:
+        served = 0
+        for _ in range(passes):
+            for path in group:
+                app.handle_request(path)
+                served += 1
+        return served
+
+    rate, _ = measure_rate(one_pass)
+    return rate
+
+
+def bench_304(app: SiftWebApp, paths, passes: int) -> float:
+    """Conditional-request rate: every request revalidates to a 304."""
+    validators = []
+    for group in paths.values():
+        for path in group:
+            etag = app.handle_request(path).header("ETag")
+            validators.append((path, {"If-None-Match": etag}))
+
+    def one_pass() -> int:
+        served = 0
+        for _ in range(passes):
+            for path, headers in validators:
+                response = app.handle_request(path, headers=headers)
+                if response.status != 304:
+                    raise AssertionError(f"expected 304 on {path}")
+                served += 1
+        return served
+
+    rate, _ = measure_rate(one_pass)
+    return rate
+
+
+def bench_http_soak(study, requests: int, *, caching: bool) -> float:
+    """Requests/sec over one keep-alive connection to a live server."""
+    server, _thread = serve(study, port=0, caching=caching, preload=caching)
+    host, port = server.server_address[:2]
+    soak_paths = [
+        "/api/geos",
+        f"/api/timeline?geo={sorted(study.states)[0]}",
+        "/api/outages",
+    ]
+    try:
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+
+        def one_pass() -> int:
+            for index in range(requests):
+                connection.request("GET", soak_paths[index % len(soak_paths)])
+                response = connection.getresponse()
+                response.read()
+                if response.status != 200:
+                    raise AssertionError(f"soak got HTTP {response.status}")
+            return requests
+
+        rate, _ = measure_rate(one_pass, repeats=2, warmup=1)
+        connection.close()
+    finally:
+        server.shutdown()
+    return rate
+
+
+def run_bench(smoke: bool) -> tuple[dict, dict]:
+    """Measure the request mix cold and warm; return both metric sets."""
+    study = build_study(smoke)
+    paths = endpoint_paths(study)
+    cold_app = SiftWebApp(study, caching=False, preload=False)
+    warm_app = SiftWebApp(study, caching=True, preload=True)
+    assert_byte_identity(cold_app, warm_app, paths)
+
+    cold_passes, warm_passes = (1, 20) if smoke else (2, 50)
+    cold: dict = {"smoke": smoke}
+    warm: dict = {"smoke": smoke, "byte_identical": True}
+    for name, group in paths.items():
+        cold[f"{name}_rps"] = round(
+            bench_endpoint(cold_app, group, cold_passes), 1
+        )
+        warm[f"{name}_rps"] = round(
+            bench_endpoint(warm_app, group, warm_passes), 1
+        )
+        warm[f"warm_vs_cold_{name}"] = round(
+            warm[f"{name}_rps"] / cold[f"{name}_rps"], 1
+        )
+    cold["etag_304_rps"] = round(bench_304(cold_app, paths, cold_passes), 1)
+    warm["etag_304_rps"] = round(bench_304(warm_app, paths, warm_passes), 1)
+
+    soak_requests = 150 if smoke else 600
+    cold["http_soak_rps"] = round(
+        bench_http_soak(study, soak_requests, caching=False), 1
+    )
+    warm["http_soak_rps"] = round(
+        bench_http_soak(study, soak_requests, caching=True), 1
+    )
+    return cold, warm
+
+
+def check_floor(warm: dict) -> int:
+    """Apply the hardware-portable warm-vs-cold floor; return exit code."""
+    failed = False
+    for name in CHECKED_ENDPOINTS:
+        ratio = warm[f"warm_vs_cold_{name}"]
+        verdict = "ok" if ratio >= WARM_VS_COLD_FLOOR else "REGRESSION"
+        if ratio < WARM_VS_COLD_FLOOR:
+            failed = True
+        print(
+            f"check: /api/{name} warm vs cold {ratio:.1f}x "
+            f"(floor {WARM_VS_COLD_FLOOR:.0f}x) -> {verdict}"
+        )
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI scenario")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when the warm-vs-cold ratio drops below the 10x floor",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="persist results even for a smoke run (CI artifact upload)",
+    )
+    args = parser.parse_args(argv)
+
+    cold, warm = run_bench(smoke=args.smoke)
+    print("-- cold (caching off) --")
+    for key, value in cold.items():
+        print(f"{key}: {value}")
+    print("-- warm (cached + preloaded) --")
+    for key, value in warm.items():
+        print(f"{key}: {value}")
+
+    exit_code = check_floor(warm) if args.check else 0
+    # Smoke runs only persist on request: the committed numbers come
+    # from the full workload, but CI uploads its fresh measurements.
+    if args.write or not args.smoke:
+        extra = {
+            "workload": {
+                "scenario": {
+                    "start": SCENARIO_START.isoformat(),
+                    "end": SCENARIO_END.isoformat(),
+                    "background_scale": BACKGROUND_SCALE,
+                },
+                "geos": list(SMOKE_GEOS if args.smoke else GEOS),
+            },
+        }
+        write_bench(BENCH_NAME, cold, as_baseline=True, extra=extra)
+        write_bench(BENCH_NAME, warm)
+        print(f"wrote BENCH_{BENCH_NAME}.json")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

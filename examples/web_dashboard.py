@@ -6,19 +6,22 @@ interface" of the paper's implementation.  Endpoints:
 
     /                       HTML overview with a timeline sketch
     /api/geos               geographies in the study
-    /api/timeline?geo=US-TX the reconstructed series
-    /api/spikes?geo=US-TX   detected spikes (JSON)
-    /api/outages            grouped multi-state outages
-    /api/runtime            progress events + crawl statistics
+    /api/summary            headline numbers + content fingerprint
+    /api/timeline?geo=US-TX the reconstructed series (start=/end= window)
+    /api/spikes?geo=US-TX   detected spikes (min_hours= filter)
+    /api/outages            grouped multi-state outages (min_states=)
+    /api/runtime            progress events + crawl/serving statistics
 
-Run:  python examples/web_dashboard.py [port]
+Responses are compact JSON (`?pretty=1` opts into indentation), carry
+strong ETags for `If-None-Match` revalidation, gzip when the client
+asks, and come out of an LRU of pre-encoded bytes — `/api/runtime`
+shows the live hit rate.  Run:  python examples/web_dashboard.py [port]
 """
 
 import sys
 
 from repro import StudyRuntime, utc
 from repro.runtime import ProgressLog
-from repro.web import serve
 
 
 def main() -> None:
@@ -33,11 +36,13 @@ def main() -> None:
     )
     print("running the study (TX, CA, OK, LA) ...")
     study = runtime.run_study(geos=("US-TX", "US-CA", "US-OK", "US-LA"))
-    server, _thread = serve(
-        study, port=port, progress_log=log, crawl_report=runtime.report()
+    server, _thread = runtime.serve_web(
+        study, port=port, progress_log=log, cache_size=512, progress=log
     )
     host, bound_port = server.server_address[:2]
     print(f"SIFT dashboard: http://{host}:{bound_port}/?geo=US-TX  (Ctrl-C stops)")
+    print("try:  curl -sD- -o/dev/null "
+          f"http://{host}:{bound_port}/api/timeline?geo=US-TX   # note the ETag")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

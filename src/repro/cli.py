@@ -5,7 +5,9 @@ Commands mirror the system's stages:
 * ``simulate`` — build the ground-truth scenario and print its summary;
 * ``detect``   — run the pipeline for one geography and list top spikes;
 * ``study``    — run a multi-geography study and print headline stats;
-* ``serve``    — run a study and expose the web interface;
+* ``serve``    — run a study and expose the web interface (the
+  response-cache knobs: ``--cache-size``, ``--no-cache``,
+  ``--no-preload``);
 * ``report``   — regenerate the paper's headline numbers.
 
 Every pipeline command accepts the runtime knobs: ``--workers`` for
@@ -175,8 +177,6 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.web import serve  # deferred: not needed for other commands
-
     log = ProgressLog()
     listeners = [log]
     if args.progress:
@@ -199,16 +199,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     geos = tuple(args.geos) if args.geos else ALL_GEOS
     study = runtime.run_study(geos=geos)
-    server, _thread = serve(
+    server, _thread = runtime.serve_web(
         study,
         host=args.host,
         port=args.port,
         progress_log=log,
-        crawl_report=runtime.report(),
-        fault_report=runtime.fault_report(),
+        cache_size=args.cache_size,
+        caching=not args.no_cache,
+        preload=not args.no_preload,
+        progress=progress,
     )
     host, port = server.server_address[:2]
-    print(f"serving SIFT on http://{host}:{port}/ (Ctrl-C to stop)")
+    cache = "off" if args.no_cache else f"{args.cache_size} entries"
+    print(f"serving SIFT on http://{host}:{port}/ "
+          f"(response cache: {cache}; Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -252,6 +256,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("geos", nargs="*")
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=8080)
+    serve_cmd.add_argument(
+        "--cache-size",
+        type=int,
+        default=512,
+        help="LRU bound of the encoded-response cache (default 512)",
+    )
+    serve_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the response cache (payloads still come from the "
+        "columnar query index)",
+    )
+    serve_cmd.add_argument(
+        "--no-preload",
+        action="store_true",
+        help="skip pre-encoding the hot payloads at startup",
+    )
     serve_cmd.set_defaults(handler=_cmd_serve)
 
     return parser

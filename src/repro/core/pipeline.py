@@ -29,6 +29,7 @@ study resumes them from the database instead of recrawling.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import threading
 import time
 from collections import OrderedDict
@@ -142,6 +143,31 @@ class StudyResult:
 
     def spikes_in_year(self, year: int) -> SpikeSet:
         return self.spikes.in_year(year)
+
+    def fingerprint(self) -> str:
+        """Stable content digest of this study snapshot.
+
+        The serving layer derives strong ETags and cache invalidation
+        from it: two studies with identical timelines, spikes and
+        outages share a fingerprint, and any content change — a value,
+        an annotation, a resumed geography — produces a new one.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.window.start.isoformat().encode())
+        digest.update(self.window.end.isoformat().encode())
+        for geo in sorted(self.states):
+            result = self.states[geo]
+            digest.update(geo.encode())
+            digest.update(result.timeline.start.isoformat().encode())
+            digest.update(result.timeline.values.tobytes())
+        for spike in self.spikes:
+            digest.update(
+                f"{spike.geo}|{spike.peak.isoformat()}|{spike.magnitude!r}|"
+                f"{'|'.join(spike.annotations)}".encode()
+            )
+        digest.update(str(len(self.outages)).encode())
+        digest.update("|".join(self.resumed_geos).encode())
+        return digest.hexdigest()[:16]
 
 
 class RisingCache:

@@ -189,6 +189,53 @@ class FaultStats(ProgressEvent):
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
+class SnapshotInstalled(ProgressEvent):
+    """A study snapshot was installed into the web serving layer."""
+
+    snapshot: int
+    fingerprint: str
+    geo_count: int
+    preloaded: int
+
+    def describe(self) -> str:
+        return (
+            f"serving snapshot v{self.snapshot} ({self.fingerprint}): "
+            f"{self.geo_count} geographies, {self.preloaded} hot payloads "
+            f"pre-encoded"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ServingStats(ProgressEvent):
+    """Web serving-layer accounting (response cache + handle times)."""
+
+    snapshot: int
+    fingerprint: str
+    requests: int
+    hits: int
+    misses: int
+    not_modified: int
+    errors: int
+    evictions: int
+    entries: int
+    capacity: int
+    preloaded: int
+    bytes_served: int
+    bytes_saved: int
+    p50_handle_ms: float
+    p99_handle_ms: float
+
+    def describe(self) -> str:
+        return (
+            f"serving[v{self.snapshot}]: {self.requests} requests, "
+            f"{self.hits} hits / {self.misses} misses / "
+            f"{self.not_modified} not-modified, "
+            f"{self.bytes_saved} bytes saved, "
+            f"p50 {self.p50_handle_ms:.2f} ms / p99 {self.p99_handle_ms:.2f} ms"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
 class StudyFinished(ProgressEvent):
     geo_count: int
     spike_count: int

@@ -27,6 +27,8 @@ from repro.core.progress import (
     ProgressEvent,
     ProgressListener,
     ProgressLog,
+    ServingStats,
+    SnapshotInstalled,
     StudyFinished,
     StudyStarted,
     text_listener,
@@ -64,6 +66,8 @@ __all__ = [
     "STUDY_END",
     "STUDY_START",
     "SerialExecutor",
+    "ServingStats",
+    "SnapshotInstalled",
     "StudyExecutor",
     "StudyFinished",
     "StudyRuntime",

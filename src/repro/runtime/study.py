@@ -233,6 +233,32 @@ class StudyRuntime:
         """Lifetime crawl accounting for this runtime's collection layer."""
         return self.manager.report()
 
+    def serve_web(
+        self,
+        study: StudyResult,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        progress_log=None,
+        **options,
+    ):
+        """Expose a finished study over HTTP with this runtime's
+        telemetry (crawl report, fault report) wired into
+        ``/api/runtime``.  Keyword *options* pass through to
+        :func:`repro.web.serve` (``cache_size``, ``caching``,
+        ``preload``, ``progress``); returns ``(server, thread)``.
+        """
+        from repro.web import serve  # deferred: keeps runtime import light
+
+        return serve(
+            study,
+            host=host,
+            port=port,
+            progress_log=progress_log,
+            crawl_report=self.report(),
+            fault_report=self.fault_report(),
+            **options,
+        )
+
     def fault_report(self) -> FaultReport | None:
         """Chaos accounting (``None`` when no faults were configured)."""
         return self.manager.fault_report()

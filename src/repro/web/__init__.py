@@ -1,5 +1,6 @@
-"""Web interface for browsing SIFT results."""
+"""Web interface for browsing SIFT results (read-optimized serving)."""
 
-from repro.web.app import SiftWebApp, serve
+from repro.web.app import ResponseCache, SiftWebApp, WebResponse, serve
+from repro.web.index import QueryIndex
 
-__all__ = ["SiftWebApp", "serve"]
+__all__ = ["QueryIndex", "ResponseCache", "SiftWebApp", "WebResponse", "serve"]

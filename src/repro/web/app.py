@@ -1,46 +1,233 @@
-"""A small web interface over SIFT results (paper §4, Implementation).
+"""A high-throughput web interface over SIFT results (paper §4).
 
 The paper's system includes "a running web interface to display the
 requested data to the SIFT user"; this is a dependency-free equivalent
-on ``http.server``.  The request routing is a pure function
-(:meth:`SiftWebApp.handle_path`) so tests can exercise every endpoint
-without sockets; :func:`serve` binds the same app to a real port.
+on ``http.server``, built to serve read-mostly snapshots fast:
+
+* all payloads come from a columnar :class:`~repro.web.index.QueryIndex`
+  built once per study snapshot (see that module for the layout);
+* responses are cached as fully **encoded bytes** in an LRU keyed by
+  canonicalized queries — equivalent filters share one entry;
+* every snapshot carries a monotonically increasing version that yields
+  strong ETags, so conditional requests (``If-None-Match``) revalidate
+  with a 304 and zero body bytes;
+* clients sending ``Accept-Encoding: gzip`` get a gzip representation,
+  compressed once per cached entry;
+* JSON is compact by default; ``?pretty=1`` opts into indentation.
+
+The request routing is a pure function (:meth:`SiftWebApp.handle_request`
+and the legacy tuple form :meth:`SiftWebApp.handle_path`), so tests and
+benchmarks exercise every endpoint without sockets; :func:`serve` binds
+the same app to a real ``ThreadingHTTPServer``.
 
 Endpoints::
 
     GET /                      HTML overview with a timeline sketch
     GET /api/geos              known geographies
-    GET /api/timeline?geo=US-TX[&start=ISO&end=ISO]   series values
+    GET /api/summary           study-wide headline stats
+    GET /api/timeline?geo=US-TX[&start=ISO&end=ISO]   series + aggregates
     GET /api/spikes?geo=US-TX[&min_hours=N]           detected spikes
     GET /api/outages[?min_states=N]                   grouped outages
-    GET /api/runtime                                  progress events + crawl stats
+    GET /api/runtime                                  telemetry (uncached)
+
+All JSON endpoints accept ``pretty=1``.  Duplicated query parameters
+and unknown parameters are rejected with a 400 (silent drops would
+poison the cache keyspace).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import gzip
+import hashlib
 import json
 import threading
-from datetime import datetime, timezone
+import time
+from collections import OrderedDict, deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.analysis.reporting import render_timeline
 from repro.collection.scheduler import CrawlReport
 from repro.core.pipeline import StudyResult
-from repro.core.progress import ProgressLog
+from repro.core.progress import (
+    ProgressListener,
+    ProgressLog,
+    ServingStats,
+    SnapshotInstalled,
+)
 from repro.errors import ReproError
-from repro.timeutil import TimeWindow, ensure_grid
+from repro.timeutil import TimeWindow, hour_at
 from repro.trends.faults import FaultReport
+from repro.web.index import QueryIndex, parse_window_param
+
+_COMPACT_SEPARATORS = (",", ":")
+_JSON_TYPE = "application/json"
+_HTML_TYPE = "text/html; charset=utf-8"
+#: Snapshots change only when a new study installs, so clients may cache
+#: briefly but must revalidate (the ETag makes revalidation one RTT).
+_CACHE_CONTROL = "public, max-age=60, must-revalidate"
+_NO_STORE = "no-store"
+#: Bodies below this size are served identity-encoded even to gzip
+#: clients: the header overhead outweighs the savings.
+_MIN_GZIP_BYTES = 256
+
+#: Route table: path -> (planner method name, allowed query parameters).
+_ROUTES: dict[str, tuple[str, frozenset[str]]] = {
+    "/": ("_plan_index", frozenset({"geo"})),
+    "/api/geos": ("_plan_geos", frozenset({"pretty"})),
+    "/api/summary": ("_plan_summary", frozenset({"pretty"})),
+    "/api/timeline": (
+        "_plan_timeline",
+        frozenset({"geo", "start", "end", "pretty"}),
+    ),
+    "/api/spikes": ("_plan_spikes", frozenset({"geo", "min_hours", "pretty"})),
+    "/api/outages": ("_plan_outages", frozenset({"min_states", "pretty"})),
+    "/api/runtime": ("_plan_runtime", frozenset({"type", "pretty"})),
+}
+
+
+def _encode_json(payload: object, pretty: bool) -> bytes:
+    if pretty:
+        return json.dumps(payload, indent=1).encode("utf-8")
+    return json.dumps(payload, separators=_COMPACT_SEPARATORS).encode("utf-8")
+
+
+def _truthy(value: str | None) -> bool:
+    return value is not None and value.lower() not in ("", "0", "false", "no", "off")
+
+
+def _etag_matches(header: str | None, etag: str) -> bool:
+    if not header:
+        return False
+    if header.strip() == "*":
+        return True
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WebResponse:
+    """A fully-formed HTTP response: status, header pairs, body bytes."""
+
+    status: int
+    headers: tuple[tuple[str, str], ...]
+    body: bytes
+
+    def header(self, name: str) -> str | None:
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
+
+    @property
+    def content_type(self) -> str:
+        return self.header("Content-Type") or ""
+
+
+class _CacheEntry:
+    """One cached representation set: identity bytes + lazy gzip."""
+
+    __slots__ = ("body", "etag", "gzip_body", "gzip_etag")
+
+    def __init__(self, body: bytes, etag: str) -> None:
+        self.body = body
+        self.etag = etag
+        self.gzip_body: bytes | None = None
+        self.gzip_etag: str | None = None
+
+    def gzipped(self) -> tuple[bytes, str]:
+        if self.gzip_body is None:
+            # mtime=0 keeps the compressed bytes deterministic.
+            self.gzip_body = gzip.compress(self.body, mtime=0)
+            self.gzip_etag = f'{self.etag[:-1]}+gzip"'
+        return self.gzip_body, self.gzip_etag  # type: ignore[return-value]
+
+
+class ResponseCache:
+    """A capacity-bounded LRU over fully-encoded response bodies."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> _CacheEntry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: _CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+class ServingTelemetry:
+    """Request accounting: volumes, savings, handle-time percentiles."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.not_modified = 0
+        self.bytes_served = 0
+        self.bytes_saved = 0
+        self._seconds: deque[float] = deque(maxlen=window)
+
+    def record(self, seconds: float) -> None:
+        self.requests += 1
+        self._seconds.append(seconds)
+
+    def percentile_ms(self, percent: float) -> float:
+        if not self._seconds:
+            return 0.0
+        ordered = sorted(self._seconds)
+        rank = min(
+            len(ordered) - 1, max(0, round(percent / 100 * (len(ordered) - 1)))
+        )
+        return ordered[rank] * 1000.0
 
 
 class SiftWebApp:
-    """Routes paths to JSON/HTML payloads over a finished study.
+    """Routes paths to cached, pre-encoded payloads over a study snapshot.
 
-    ``progress_log``, ``crawl_report`` and ``fault_report`` are
-    optional runtime telemetry — when the app is served from a
-    :class:`StudyRuntime` the ``/api/runtime`` endpoint exposes how the
-    study ran (structured progress events, resumed geographies, crawl
-    throughput, chaos accounting).
+    ``progress_log``, ``crawl_report`` and ``fault_report`` are optional
+    runtime telemetry surfaced by ``/api/runtime``.  The serving knobs:
+
+    * ``cache_size`` — LRU entry bound of the response cache;
+    * ``caching`` — disable the response cache entirely (payloads still
+      come from the :class:`QueryIndex`); responses are byte-identical
+      with caching on or off;
+    * ``preload`` — pre-encode the hot payloads (geos, summary, default
+      outages, per-geo full timelines and spike lists) at snapshot
+      install, so even first requests are cache hits;
+    * ``progress`` — a structured-event listener receiving
+      :class:`SnapshotInstalled` and periodic :class:`ServingStats`.
     """
 
     def __init__(
@@ -49,102 +236,305 @@ class SiftWebApp:
         progress_log: ProgressLog | None = None,
         crawl_report: CrawlReport | None = None,
         fault_report: FaultReport | None = None,
+        *,
+        cache_size: int = 512,
+        caching: bool = True,
+        preload: bool = True,
+        progress: ProgressListener | None = None,
+        stats_interval: int = 1000,
     ) -> None:
-        self.study = study
         self.progress_log = progress_log
         self.crawl_report = crawl_report
         self.fault_report = fault_report
+        self._caching = caching
+        self._preload = preload
+        self._progress = progress
+        self._stats_interval = max(1, stats_interval)
+        self._lock = threading.RLock()
+        self._cache = ResponseCache(cache_size)
+        self._telemetry = ServingTelemetry()
+        self._snapshot = 0
+        self._preloaded = 0
+        self.install_study(study)
 
-    # -- routing -------------------------------------------------------------
+    # -- snapshot lifecycle ---------------------------------------------------
+
+    def install_study(self, study: StudyResult) -> None:
+        """Swap in a new study snapshot.
+
+        Rebuilds the :class:`QueryIndex`, bumps the snapshot version
+        (which changes every ETag), drops all cached responses, resets
+        the serving counters, and re-warms the hot payloads.
+        """
+        with self._lock:
+            self.study = study
+            self.index = QueryIndex(study)
+            self._snapshot += 1
+            self._cache.clear()
+            self._cache.reset_stats()
+            self._telemetry = ServingTelemetry()
+            self._preloaded = 0
+            if self._caching and self._preload:
+                self._preloaded = self._warm_hot_paths()
+        self._emit(
+            SnapshotInstalled(
+                snapshot=self._snapshot,
+                fingerprint=self.index.fingerprint,
+                geo_count=len(self.index.geos),
+                preloaded=self._preloaded,
+            )
+        )
+
+    @property
+    def snapshot_version(self) -> int:
+        return self._snapshot
+
+    @property
+    def cache(self) -> ResponseCache:
+        return self._cache
+
+    def _warm_hot_paths(self) -> int:
+        """Pre-encode the read-mostly payloads into the cache."""
+        plans = [
+            self._plan_index({}),
+            self._plan_geos({}),
+            self._plan_summary({}),
+            self._plan_outages({}),
+        ]
+        for geo in self.index.geos:
+            plans.append(self._plan_timeline({"geo": geo}))
+            plans.append(self._plan_spikes({"geo": geo}))
+        for key, build, content_type in plans:
+            body = self._render(build, content_type, pretty=False)
+            self._cache.put((key, False), _CacheEntry(body, self._make_etag(body)))
+        return len(plans)
+
+    # -- request handling -----------------------------------------------------
+
+    def handle_request(
+        self,
+        path: str,
+        headers: dict[str, str] | None = None,
+        method: str = "GET",
+    ) -> WebResponse:
+        """Serve one request; ``headers`` may carry the conditional and
+        content-negotiation request headers (``If-None-Match``,
+        ``Accept-Encoding``)."""
+        started = time.perf_counter()
+        response = self._dispatch(path, headers or {})
+        with self._lock:
+            self._telemetry.record(time.perf_counter() - started)
+            requests = self._telemetry.requests
+        if requests % self._stats_interval == 0:
+            self._emit(self.serving_stats())
+        return response
 
     def handle_path(self, path: str) -> tuple[int, str, str]:
-        """(status, content type, body) for a request path."""
+        """Legacy tuple form: (status, content type, body text)."""
+        response = self.handle_request(path)
+        return response.status, response.content_type, response.body.decode("utf-8")
+
+    def _dispatch(self, path: str, request_headers: dict[str, str]) -> WebResponse:
         parsed = urlparse(path)
-        params = {key: values[0] for key, values in parse_qs(parsed.query).items()}
+        route = _ROUTES.get(parsed.path)
+        if route is None:
+            return self._error_response(404, f"unknown path: {parsed.path}")
+        planner_name, allowed = route
+        query = parse_qs(parsed.query, keep_blank_values=True)
+        duplicated = sorted(name for name, values in query.items() if len(values) > 1)
+        if duplicated:
+            return self._error_response(
+                400, f"duplicated query parameter(s): {', '.join(duplicated)}"
+            )
+        params = {name: values[0] for name, values in query.items()}
+        unknown = sorted(set(params) - allowed)
+        if unknown:
+            return self._error_response(
+                400, f"unknown query parameter(s): {', '.join(unknown)}"
+            )
+        pretty = _truthy(params.get("pretty"))
         try:
-            if parsed.path == "/":
-                return 200, "text/html; charset=utf-8", self._index(params)
-            if parsed.path == "/api/geos":
-                return self._json(sorted(self.study.states))
-            if parsed.path == "/api/timeline":
-                return self._json(self._timeline(params))
-            if parsed.path == "/api/spikes":
-                return self._json(self._spikes(params))
-            if parsed.path == "/api/outages":
-                return self._json(self._outages(params))
-            if parsed.path == "/api/runtime":
-                return self._json(self._runtime(params))
+            if planner_name == "_plan_runtime":
+                body = _encode_json(self._runtime(params), pretty)
+                return WebResponse(
+                    200,
+                    (
+                        ("Content-Type", _JSON_TYPE),
+                        ("Content-Length", str(len(body))),
+                        ("Cache-Control", _NO_STORE),
+                    ),
+                    body,
+                )
+            key, build, content_type = getattr(self, planner_name)(params)
         except (KeyError, ValueError, ReproError) as error:
-            return self._error(400, str(error))
-        return self._error(404, f"unknown path: {parsed.path}")
+            return self._error_response(400, str(error))
+        return self._serve_cacheable(
+            (key, pretty), build, content_type, pretty, request_headers
+        )
 
-    @staticmethod
-    def _json(payload: object, status: int = 200) -> tuple[int, str, str]:
-        return status, "application/json", json.dumps(payload, indent=1)
+    def _serve_cacheable(
+        self,
+        key: tuple,
+        build,
+        content_type: str,
+        pretty: bool,
+        request_headers: dict[str, str],
+    ) -> WebResponse:
+        accepts_gzip = "gzip" in (
+            request_headers.get("Accept-Encoding") or ""
+        ).lower()
+        with self._lock:
+            entry = self._cache.get(key) if self._caching else None
+            if entry is None:
+                body = self._render(build, content_type, pretty)
+                entry = _CacheEntry(body, self._make_etag(body))
+                if self._caching:
+                    self._cache.put(key, entry)
+                hit = False
+            else:
+                hit = True
+                # Encoded bytes we did not have to rebuild.
+                self._telemetry.bytes_saved += len(entry.body)
+            body, etag = entry.body, entry.etag
+            content_encoding = None
+            if accepts_gzip and len(entry.body) >= _MIN_GZIP_BYTES:
+                body, etag = entry.gzipped()
+                content_encoding = "gzip"
+            if _etag_matches(request_headers.get("If-None-Match"), etag):
+                self._telemetry.not_modified += 1
+                # Body bytes the 304 kept off the wire.
+                self._telemetry.bytes_saved += len(body)
+                return WebResponse(
+                    304,
+                    (
+                        ("ETag", etag),
+                        ("Cache-Control", _CACHE_CONTROL),
+                        ("Vary", "Accept-Encoding"),
+                    ),
+                    b"",
+                )
+            self._telemetry.bytes_served += len(body)
+        headers = [
+            ("Content-Type", content_type),
+            ("Content-Length", str(len(body))),
+            ("ETag", etag),
+            ("Cache-Control", _CACHE_CONTROL),
+            ("Vary", "Accept-Encoding"),
+            ("X-Cache", "hit" if hit else "miss"),
+        ]
+        if content_encoding:
+            headers.append(("Content-Encoding", content_encoding))
+        return WebResponse(200, tuple(headers), body)
 
-    @classmethod
-    def _error(cls, status: int, message: str) -> tuple[int, str, str]:
-        return cls._json({"error": message}, status=status)
+    def _render(self, build, content_type: str, pretty: bool) -> bytes:
+        payload = build()
+        if content_type == _HTML_TYPE:
+            return payload.encode("utf-8")
+        return _encode_json(payload, pretty)
 
-    # -- endpoints -------------------------------------------------------------
+    def _make_etag(self, body: bytes) -> str:
+        digest = hashlib.sha256(body).hexdigest()[:16]
+        return f'"s{self._snapshot}-{self.index.fingerprint[:8]}-{digest}"'
 
-    def _state_result(self, params: dict[str, str]):
+    def _error_response(self, status: int, message: str) -> WebResponse:
+        body = _encode_json({"error": message}, pretty=False)
+        with self._lock:
+            self._telemetry.errors += 1
+        return WebResponse(
+            status,
+            (
+                ("Content-Type", _JSON_TYPE),
+                ("Content-Length", str(len(body))),
+                ("Cache-Control", _NO_STORE),
+            ),
+            body,
+        )
+
+    # -- route planners -------------------------------------------------------
+    # Each returns (canonical cache key, payload builder, content type);
+    # the key never contains raw parameter spellings, only resolved
+    # values, so equivalent queries collapse into one cache entry.
+
+    def _require_geo(self, params: dict[str, str]) -> str:
         geo = params.get("geo")
         if not geo:
             raise ValueError("missing required parameter: geo")
-        result = self.study.states.get(geo)
-        if result is None:
-            raise ValueError(f"geography not in study: {geo}")
-        return result
+        return geo
 
-    def _window(self, params: dict[str, str], default: TimeWindow) -> TimeWindow:
-        start = params.get("start")
-        end = params.get("end")
+    def _plan_index(self, params: dict[str, str]):
+        geo = params.get("geo") or (self.index.geos[0] if self.index.geos else "")
+        return ("index", geo), (lambda: self._index_html(geo)), _HTML_TYPE
+
+    def _plan_geos(self, params: dict[str, str]):
+        return ("geos",), (lambda: list(self.index.geos)), _JSON_TYPE
+
+    def _plan_summary(self, params: dict[str, str]):
+        return ("summary",), self.index.summary_payload, _JSON_TYPE
+
+    def _plan_timeline(self, params: dict[str, str]):
+        geo = self._require_geo(params)
+        column = self.index.column(geo)
+        start, end = params.get("start"), params.get("end")
         if start is None and end is None:
-            return default
-        parse = lambda iso, fallback: (  # noqa: E731 - tiny local helper
-            ensure_grid(datetime.fromisoformat(iso).replace(tzinfo=timezone.utc))
-            if iso
-            else fallback
+            lo, hi = 0, column.hours
+        else:
+            window = TimeWindow(
+                parse_window_param(start) if start else column.start,
+                parse_window_param(end)
+                if end
+                else hour_at(column.start, column.hours),
+            )
+            lo, hi = column.locate(window)
+        return (
+            ("timeline", geo, lo, hi),
+            (lambda: self.index.timeline_payload(geo, lo, hi)),
+            _JSON_TYPE,
         )
-        return TimeWindow(parse(start, default.start), parse(end, default.end))
 
-    def _timeline(self, params: dict[str, str]) -> dict:
-        result = self._state_result(params)
-        window = self._window(params, result.timeline.window)
-        sliced = result.timeline.slice(window)
-        return {
-            "geo": result.geo,
-            "term": sliced.term,
-            "start": sliced.start.isoformat(),
-            "hours": len(sliced),
-            "values": [round(float(v), 3) for v in sliced.values],
-        }
+    def _plan_spikes(self, params: dict[str, str]):
+        geo = self._require_geo(params)
+        table = self.index.spike_table(geo)
+        cut = table.cut(int(params.get("min_hours", 1)))
+        return (
+            ("spikes", geo, cut),
+            (lambda: self.index.spikes_payload(geo, cut)),
+            _JSON_TYPE,
+        )
 
-    def _spikes(self, params: dict[str, str]) -> dict:
-        result = self._state_result(params)
-        min_hours = int(params.get("min_hours", 1))
-        spikes = [
-            spike.to_dict()
-            for spike in self.study.spikes.in_state(result.geo)
-            if spike.duration_hours >= min_hours
-        ]
-        return {"geo": result.geo, "count": len(spikes), "spikes": spikes}
+    def _plan_outages(self, params: dict[str, str]):
+        cut = self.index.outages.cut(int(params.get("min_states", 1)))
+        return (
+            ("outages", cut),
+            (lambda: self.index.outages_payload(cut)),
+            _JSON_TYPE,
+        )
 
-    def _outages(self, params: dict[str, str]) -> dict:
-        min_states = int(params.get("min_states", 1))
-        outages = [
-            {
-                "label": outage.label,
-                "states": sorted(outage.states),
-                "footprint": outage.footprint,
-                "max_duration_hours": outage.max_duration_hours,
-                "annotations": list(outage.annotations[:3]),
-            }
-            for outage in self.study.outages
-            if outage.footprint >= min_states
-        ]
-        return {"count": len(outages), "outages": outages}
+    def _plan_runtime(self, params: dict[str, str]):  # pragma: no cover
+        raise AssertionError("runtime responses are served uncached")
+
+    # -- dynamic payloads -----------------------------------------------------
+
+    def serving_stats(self) -> ServingStats:
+        """Current serving telemetry as a structured progress event."""
+        with self._lock:
+            telemetry, cache = self._telemetry, self._cache
+            return ServingStats(
+                snapshot=self._snapshot,
+                fingerprint=self.index.fingerprint,
+                requests=telemetry.requests,
+                hits=cache.hits,
+                misses=cache.misses,
+                not_modified=telemetry.not_modified,
+                errors=telemetry.errors,
+                evictions=cache.evictions,
+                entries=len(cache),
+                capacity=cache.capacity,
+                preloaded=self._preloaded,
+                bytes_served=telemetry.bytes_served,
+                bytes_saved=telemetry.bytes_saved,
+                p50_handle_ms=round(telemetry.percentile_ms(50), 4),
+                p99_handle_ms=round(telemetry.percentile_ms(99), 4),
+            )
 
     def _runtime(self, params: dict[str, str]) -> dict:
         kind = params.get("type")
@@ -177,10 +567,10 @@ class SiftWebApp:
             "events": events,
             "crawl": crawl,
             "faults": faults,
+            "serving": self.serving_stats().to_dict(),
         }
 
-    def _index(self, params: dict[str, str]) -> str:
-        geo = params.get("geo") or next(iter(sorted(self.study.states)), "")
+    def _index_html(self, geo: str) -> str:
         rows = [
             "<!doctype html><html><head><title>SIFT</title></head><body>",
             "<h1>SIFT &mdash; user-affecting Internet outages</h1>",
@@ -202,18 +592,45 @@ class SiftWebApp:
         rows.append("</body></html>")
         return "".join(rows)
 
+    # -- progress -------------------------------------------------------------
+
+    def _emit(self, event) -> None:
+        if self._progress is not None:
+            self._progress(event)
+
 
 class _Handler(BaseHTTPRequestHandler):
     app: SiftWebApp  # injected by serve()
 
+    #: Keep-alive: every non-304 response carries Content-Length.
+    protocol_version = "HTTP/1.1"
+
+    #: TCP_NODELAY: headers and body go out as separate writes, and
+    #: with Nagle enabled the second write stalls behind the client's
+    #: delayed ACK (~40ms per keep-alive request).
+    disable_nagle_algorithm = True
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        status, content_type, body = self.app.handle_path(self.path)
-        payload = body.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
+        self._respond(include_body=True)
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        self._respond(include_body=False)
+
+    def _respond(self, include_body: bool) -> None:
+        response = self.app.handle_request(
+            self.path,
+            headers={
+                "If-None-Match": self.headers.get("If-None-Match", ""),
+                "Accept-Encoding": self.headers.get("Accept-Encoding", ""),
+            },
+        )
+        self.send_response(response.status)
+        for name, value in response.headers:
+            self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(payload)
+        # 304 carries no body by definition; HEAD sends headers only.
+        if include_body and response.status != 304 and response.body:
+            self.wfile.write(response.body)
 
     def log_message(self, format: str, *args: object) -> None:
         pass  # keep pytest output clean
@@ -226,20 +643,31 @@ def serve(
     progress_log: ProgressLog | None = None,
     crawl_report: CrawlReport | None = None,
     fault_report: FaultReport | None = None,
+    *,
+    cache_size: int = 512,
+    caching: bool = True,
+    preload: bool = True,
+    progress: ProgressListener | None = None,
 ) -> tuple[ThreadingHTTPServer, threading.Thread]:
     """Serve a study over HTTP; returns (server, daemon thread).
 
     ``port=0`` picks a free port (see ``server.server_address``).  Call
-    ``server.shutdown()`` to stop.
+    ``server.shutdown()`` to stop.  The bound :class:`SiftWebApp` is
+    available as ``server.app``.
     """
     app = SiftWebApp(
         study,
         progress_log=progress_log,
         crawl_report=crawl_report,
         fault_report=fault_report,
+        cache_size=cache_size,
+        caching=caching,
+        preload=preload,
+        progress=progress,
     )
     handler = type("BoundHandler", (_Handler,), {"app": app})
     server = ThreadingHTTPServer((host, port), handler)
+    server.app = app  # type: ignore[attr-defined]
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, thread

@@ -1,0 +1,278 @@
+"""Columnar read-index over a finished study: the serving hot path.
+
+Every ``/api/*`` request used to re-walk the study's Python object
+graph — slicing :class:`~repro.core.series.HourlyTimeline` (a numpy
+copy plus a per-value ``round`` loop), re-filtering
+:class:`~repro.core.spikes.SpikeSet` through Python predicates, and
+recomputing ``Outage.annotations`` (a counting sort) on every hit.
+Outage results are read-mostly snapshots — Trinocular- and IODA-style
+dashboards have the same shape — so :class:`QueryIndex` materializes
+the query-shaped artifacts once per snapshot:
+
+* per-geo value columns with prefix sums (window sums, means and
+  non-zero counts in O(1)) and block maxima (window peaks in O(n/B));
+* display-rounded value lists, so a timeline response body is a plain
+  list slice instead of a numpy-to-python conversion loop;
+* spike tables in peak order with a duration-sorted permutation: a
+  ``min_hours`` filter is one ``searchsorted`` plus an index gather;
+* outage rows pre-rendered to JSON-safe dicts with a footprint-sorted
+  permutation for ``min_states`` cuts (the merged-annotation ranking
+  runs once per snapshot, not once per request);
+* a study-wide summary reusing the analysis layer's grouping stats
+  (``footprint_cdf``, ``duration_cdf``, ``yearly_counts``) so the web
+  tier and the report tables cannot drift apart.
+
+Filters are canonicalized to *cut positions*: ``min_hours=7`` and
+``min_hours=9`` selecting the same spikes map to the same cut, so the
+response cache collapses equivalent queries into one entry.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.analysis.area_stats import footprint_cdf, mean_footprint
+from repro.analysis.impact import duration_cdf, yearly_counts
+from repro.core.area import Outage
+from repro.core.pipeline import StudyResult
+from repro.core.series import HourlyTimeline
+from repro.core.spikes import SpikeSet
+from repro.timeutil import TimeWindow, ensure_grid, hour_at, hour_index
+
+#: Block size of the range-maximum index.  A window peak scans at most
+#: ``2 * _BLOCK`` raw values plus ``hours / _BLOCK`` block maxima.
+_BLOCK = 128
+
+
+class GeoColumn:
+    """Columnar artifacts for one geography's timeline."""
+
+    __slots__ = (
+        "geo",
+        "term",
+        "start",
+        "hours",
+        "rounded",
+        "_values",
+        "_prefix",
+        "_nonzero",
+        "_block_max",
+    )
+
+    def __init__(self, timeline: HourlyTimeline) -> None:
+        self.geo = timeline.geo
+        self.term = timeline.term
+        self.start = timeline.start
+        values = np.ascontiguousarray(timeline.values, dtype=np.float64)
+        self._values = values
+        self.hours = int(values.size)
+        # The display list is what a timeline response serves; rounding
+        # once per snapshot replaces the old per-request round loop.
+        self.rounded = [round(float(value), 3) for value in values]
+        self._prefix = np.concatenate(([0.0], np.cumsum(values, dtype=np.float64)))
+        self._nonzero = np.concatenate(
+            ([0], np.cumsum(values > 0, dtype=np.int64))
+        )
+        pad = (-self.hours) % _BLOCK
+        padded = np.pad(values, (0, pad), constant_values=0.0) if pad else values
+        self._block_max = padded.reshape(-1, _BLOCK).max(axis=1)
+
+    def locate(self, window: TimeWindow) -> tuple[int, int]:
+        """(lo, hi) hour offsets of *window*; raises for out-of-range."""
+        lo = hour_index(self.start, window.start)
+        hi = lo + window.hours
+        if lo < 0 or hi > self.hours:
+            raise ValueError(
+                f"window {window.start.isoformat()}..{window.end.isoformat()} "
+                f"outside timeline ({self.hours} hours from "
+                f"{self.start.isoformat()})"
+            )
+        return lo, hi
+
+    # -- O(1) / O(n/B) window aggregates ------------------------------------
+
+    def window_sum(self, lo: int, hi: int) -> float:
+        return float(self._prefix[hi] - self._prefix[lo])
+
+    def window_mean(self, lo: int, hi: int) -> float:
+        if hi <= lo:
+            return 0.0
+        return self.window_sum(lo, hi) / (hi - lo)
+
+    def window_nonzero(self, lo: int, hi: int) -> int:
+        return int(self._nonzero[hi] - self._nonzero[lo])
+
+    def window_peak(self, lo: int, hi: int) -> float:
+        if hi <= lo:
+            return 0.0
+        first, last = lo // _BLOCK, (hi - 1) // _BLOCK
+        if first == last:
+            return float(self._values[lo:hi].max())
+        peak = max(
+            float(self._values[lo : (first + 1) * _BLOCK].max()),
+            float(self._values[last * _BLOCK : hi].max()),
+        )
+        if last > first + 1:
+            peak = max(peak, float(self._block_max[first + 1 : last].max()))
+        return peak
+
+
+class SpikeTable:
+    """Per-geo spike rows in peak order, plus a duration permutation."""
+
+    __slots__ = ("geo", "rows", "_sorted_durations", "_by_duration")
+
+    def __init__(self, geo: str, spikes: SpikeSet) -> None:
+        self.geo = geo
+        ordered = tuple(spikes)  # SpikeSet iterates in (peak, geo) order
+        self.rows = tuple(spike.to_dict() for spike in ordered)
+        durations = np.array(
+            [spike.duration_hours for spike in ordered], dtype=np.int64
+        )
+        self._by_duration = np.argsort(-durations, kind="stable")
+        self._sorted_durations = np.sort(durations)
+
+    def cut(self, min_hours: int) -> int:
+        """How many spikes survive ``duration >= min_hours``.
+
+        The cut *is* the canonical cache key for the filter: every
+        ``min_hours`` selecting the same spikes yields the same cut.
+        """
+        kept = self._sorted_durations.size - int(
+            np.searchsorted(self._sorted_durations, min_hours, side="left")
+        )
+        return int(kept)
+
+    def select(self, cut: int) -> list[dict]:
+        """The *cut* longest spikes, restored to peak order."""
+        if cut >= len(self.rows):
+            return list(self.rows)
+        picked = np.sort(self._by_duration[:cut])
+        return [self.rows[index] for index in picked]
+
+
+class OutageTable:
+    """Pre-rendered outage rows with a footprint permutation."""
+
+    __slots__ = ("rows", "_sorted_footprints", "_by_footprint")
+
+    def __init__(self, outages: list[Outage]) -> None:
+        # Rendering here runs the merged-annotation counting sort once
+        # per snapshot instead of once per request.
+        self.rows = tuple(
+            {
+                "label": outage.label,
+                "states": sorted(outage.states),
+                "footprint": outage.footprint,
+                "max_duration_hours": outage.max_duration_hours,
+                "annotations": list(outage.annotations[:3]),
+            }
+            for outage in outages
+        )
+        footprints = np.array(
+            [row["footprint"] for row in self.rows], dtype=np.int64
+        )
+        self._by_footprint = np.argsort(-footprints, kind="stable")
+        self._sorted_footprints = np.sort(footprints)
+
+    def cut(self, min_states: int) -> int:
+        kept = self._sorted_footprints.size - int(
+            np.searchsorted(self._sorted_footprints, min_states, side="left")
+        )
+        return int(kept)
+
+    def select(self, cut: int) -> list[dict]:
+        """The *cut* widest outages, restored to chronological order."""
+        if cut >= len(self.rows):
+            return list(self.rows)
+        picked = np.sort(self._by_footprint[:cut])
+        return [self.rows[index] for index in picked]
+
+
+class QueryIndex:
+    """Read-optimized artifacts for one :class:`StudyResult` snapshot."""
+
+    def __init__(self, study: StudyResult) -> None:
+        self.study = study
+        self.fingerprint = study.fingerprint()
+        self.geos: tuple[str, ...] = tuple(sorted(study.states))
+        self._columns = {
+            geo: GeoColumn(result.timeline)
+            for geo, result in study.states.items()
+        }
+        self._spikes = {
+            geo: SpikeTable(geo, study.spikes.in_state(geo))
+            for geo in study.states
+        }
+        self.outages = OutageTable(study.outages)
+
+    # -- lookups -------------------------------------------------------------
+
+    def column(self, geo: str) -> GeoColumn:
+        column = self._columns.get(geo)
+        if column is None:
+            raise ValueError(f"geography not in study: {geo}")
+        return column
+
+    def spike_table(self, geo: str) -> SpikeTable:
+        table = self._spikes.get(geo)
+        if table is None:
+            raise ValueError(f"geography not in study: {geo}")
+        return table
+
+    # -- payload builders ----------------------------------------------------
+
+    def timeline_payload(self, geo: str, lo: int, hi: int) -> dict:
+        column = self.column(geo)
+        return {
+            "geo": column.geo,
+            "term": column.term,
+            "start": hour_at(column.start, lo).isoformat(),
+            "hours": hi - lo,
+            "mean": round(column.window_mean(lo, hi), 3),
+            "peak": round(column.window_peak(lo, hi), 3),
+            "nonzero_hours": column.window_nonzero(lo, hi),
+            "values": column.rounded[lo:hi],
+        }
+
+    def spikes_payload(self, geo: str, cut: int) -> dict:
+        table = self.spike_table(geo)
+        return {"geo": geo, "count": cut, "spikes": table.select(cut)}
+
+    def outages_payload(self, cut: int) -> dict:
+        return {"count": cut, "outages": self.outages.select(cut)}
+
+    def summary_payload(self) -> dict:
+        """Study-wide headline stats (reuses the analysis layer)."""
+        study = self.study
+        durations = duration_cdf(study.spikes)
+        footprints = footprint_cdf(study.outages)
+        return {
+            "fingerprint": self.fingerprint,
+            "window": {
+                "start": study.window.start.isoformat(),
+                "end": study.window.end.isoformat(),
+            },
+            "geo_count": len(self.geos),
+            "spike_count": study.spike_count,
+            "outage_count": len(study.outages),
+            "yearly_spikes": {
+                str(year): count
+                for year, count in yearly_counts(study.spikes).items()
+            },
+            "spikes_at_least_3h": round(durations.fraction_at_least(3), 4),
+            "outages_at_least_10_states": round(
+                footprints.fraction_at_least(10), 4
+            ),
+            "mean_footprint": round(mean_footprint(study.outages), 3),
+            "heavy_hitters": list(study.heavy_hitters),
+        }
+
+
+def parse_window_param(iso: str) -> datetime:
+    """Parse a ``start``/``end`` query value (naive ISO means UTC)."""
+    return ensure_grid(
+        datetime.fromisoformat(iso).replace(tzinfo=timezone.utc)
+    )

@@ -66,7 +66,7 @@ class TestSilentWorld:
         assert status == 200
         status, _, body = app.handle_path("/api/spikes?geo=US-WY")
         assert status == 200
-        assert '"count": 0' in body
+        assert '"count":0' in body
 
     def test_group_outages_empty(self):
         assert group_outages(SpikeSet([])) == []

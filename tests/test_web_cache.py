@@ -1,0 +1,249 @@
+"""Cache semantics of the serving layer.
+
+The acceptance bar for the response cache: caching must never change a
+body (byte-identical on vs off), conditional requests must revalidate
+through strong ETags, the LRU must hold its bound, and installing a new
+study snapshot must invalidate everything.
+"""
+
+import json
+
+import pytest
+
+from repro.core.progress import ServingStats, SnapshotInstalled
+from repro.web import QueryIndex, SiftWebApp
+
+#: One path per endpoint, plus filter/window variants.
+ENDPOINT_PATHS = (
+    "/",
+    "/?geo=US-CA",
+    "/api/geos",
+    "/api/summary",
+    "/api/timeline?geo=US-TX",
+    "/api/timeline?geo=US-TX&start=2021-02-01T00:00:00&end=2021-02-08T00:00:00",
+    "/api/spikes?geo=US-TX",
+    "/api/spikes?geo=US-TX&min_hours=4",
+    "/api/outages",
+    "/api/outages?min_states=2",
+    "/api/outages?pretty=1",
+)
+
+
+@pytest.fixture(scope="module")
+def cached_app(mini_study):
+    return SiftWebApp(mini_study, cache_size=256, caching=True, preload=True)
+
+
+@pytest.fixture(scope="module")
+def uncached_app(mini_study):
+    return SiftWebApp(mini_study, caching=False, preload=False)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("path", ENDPOINT_PATHS)
+    def test_cached_equals_uncached(self, cached_app, uncached_app, path):
+        warm = cached_app.handle_request(path)
+        cold = uncached_app.handle_request(path)
+        assert warm.status == cold.status == 200
+        assert warm.body == cold.body
+        assert warm.content_type == cold.content_type
+        # And a repeat served from the cache is still the same bytes.
+        repeat = cached_app.handle_request(path)
+        assert repeat.body == warm.body
+
+    def test_gzip_identical_cached_vs_uncached(self, cached_app, uncached_app):
+        headers = {"Accept-Encoding": "gzip"}
+        warm = cached_app.handle_request("/api/timeline?geo=US-CA", headers=headers)
+        cold = uncached_app.handle_request(
+            "/api/timeline?geo=US-CA", headers=headers
+        )
+        assert warm.header("Content-Encoding") == "gzip"
+        assert warm.body == cold.body
+
+
+class TestCanonicalization:
+    def test_equivalent_filters_share_an_entry(self, mini_study):
+        app = SiftWebApp(mini_study, preload=False)
+        app.handle_request("/api/spikes?geo=US-TX&min_hours=500")
+        entries = len(app.cache)
+        # A different spelling selecting the same (empty) spike set must
+        # hit the same canonicalized entry, not mint a new one.
+        response = app.handle_request("/api/spikes?geo=US-TX&min_hours=999")
+        assert len(app.cache) == entries
+        assert response.header("X-Cache") == "hit"
+
+    def test_explicit_full_window_is_the_default_entry(self, mini_study):
+        app = SiftWebApp(mini_study, preload=False)
+        default = app.handle_request("/api/timeline?geo=US-TX")
+        window = json.loads(default.body)
+        explicit = app.handle_request(
+            f"/api/timeline?geo=US-TX&start={window['start'][:19]}"
+        )
+        assert explicit.header("X-Cache") == "hit"
+        assert explicit.body == default.body
+
+
+class TestEtagLifecycle:
+    def test_304_roundtrip(self, cached_app):
+        first = cached_app.handle_request("/api/outages")
+        etag = first.header("ETag")
+        revalidated = cached_app.handle_request(
+            "/api/outages", headers={"If-None-Match": etag}
+        )
+        assert revalidated.status == 304
+        assert revalidated.body == b""
+        assert revalidated.header("ETag") == etag
+        stale = cached_app.handle_request(
+            "/api/outages", headers={"If-None-Match": '"bogus"'}
+        )
+        assert stale.status == 200
+        assert stale.body == first.body
+
+    def test_wildcard_and_list_matching(self, cached_app):
+        first = cached_app.handle_request("/api/geos")
+        etag = first.header("ETag")
+        assert (
+            cached_app.handle_request(
+                "/api/geos", headers={"If-None-Match": f'"other", {etag}'}
+            ).status
+            == 304
+        )
+        assert (
+            cached_app.handle_request(
+                "/api/geos", headers={"If-None-Match": "*"}
+            ).status
+            == 304
+        )
+
+    def test_etag_carries_snapshot_version(self, cached_app):
+        etag = cached_app.handle_request("/api/geos").header("ETag")
+        assert etag.startswith(f'"s{cached_app.snapshot_version}-')
+
+
+class TestLruBound:
+    def test_eviction_bound_holds(self, mini_study):
+        app = SiftWebApp(mini_study, cache_size=4, preload=False)
+        for day in range(1, 21):
+            app.handle_request(
+                f"/api/timeline?geo=US-TX&start=2021-01-{day:02d}T00:00:00"
+                f"&end=2021-02-{day:02d}T00:00:00"
+            )
+        assert len(app.cache) <= 4
+        assert app.cache.evictions >= 16
+        stats = app.serving_stats()
+        assert stats.entries <= 4
+        assert stats.evictions == app.cache.evictions
+
+    def test_lru_keeps_the_hot_entry(self, mini_study):
+        app = SiftWebApp(mini_study, cache_size=2, preload=False)
+        hot = "/api/outages"
+        app.handle_request(hot)
+        for min_states in (2, 3, 4):
+            app.handle_request(f"/api/outages?min_states={min_states}")
+            app.handle_request(hot)  # touch: keeps it most-recently-used
+        assert app.handle_request(hot).header("X-Cache") == "hit"
+
+
+class TestSnapshotInvalidation:
+    def test_install_invalidates_and_reversions(self, small_env, mini_study):
+        events = []
+        app = SiftWebApp(mini_study, progress=events.append)
+        before = app.handle_request("/api/geos")
+        etag_before = before.header("ETag")
+        assert app.snapshot_version == 1
+
+        replacement = small_env.run_study(geos=("US-TX",))
+        app.install_study(replacement)
+        assert app.snapshot_version == 2
+        after = app.handle_request("/api/geos")
+        assert json.loads(after.body) == ["US-TX"]
+        assert after.header("ETag") != etag_before
+        # The old validator no longer revalidates: clients refetch.
+        conditional = app.handle_request(
+            "/api/geos", headers={"If-None-Match": etag_before}
+        )
+        assert conditional.status == 200
+        installs = [e for e in events if isinstance(e, SnapshotInstalled)]
+        assert [e.snapshot for e in installs] == [1, 2]
+        assert installs[0].fingerprint != installs[1].fingerprint
+
+    def test_stats_reset_on_install(self, small_env, mini_study):
+        app = SiftWebApp(mini_study, preload=False)
+        for _ in range(3):
+            app.handle_request("/api/outages")
+        assert app.cache.hits > 0
+        app.install_study(small_env.run_study(geos=("US-TX",)))
+        stats = app.serving_stats()
+        assert stats.hits == 0 and stats.misses == 0 and stats.requests == 0
+
+
+class TestTelemetry:
+    def test_runtime_endpoint_reports_serving_stats(self, mini_study):
+        app = SiftWebApp(mini_study, preload=False)
+        app.handle_request("/api/outages")
+        app.handle_request("/api/outages")
+        status, _, body = app.handle_path("/api/runtime")
+        assert status == 200
+        serving = json.loads(body)["serving"]
+        assert serving["hits"] == 1
+        assert serving["misses"] == 1
+        assert serving["bytes_saved"] > 0
+        assert serving["p50_handle_ms"] <= serving["p99_handle_ms"]
+
+    def test_runtime_responses_are_never_cached(self, cached_app):
+        response = cached_app.handle_request("/api/runtime")
+        assert response.header("Cache-Control") == "no-store"
+        assert response.header("ETag") is None
+
+    def test_periodic_stats_event(self, mini_study):
+        events = []
+        app = SiftWebApp(
+            mini_study, preload=False, progress=events.append, stats_interval=5
+        )
+        for _ in range(5):
+            app.handle_request("/api/geos")
+        stats = [e for e in events if isinstance(e, ServingStats)]
+        assert stats and stats[-1].requests == 5
+
+    def test_preload_makes_first_requests_hits(self, mini_study):
+        app = SiftWebApp(mini_study, preload=True)
+        assert app.serving_stats().preloaded > 0
+        first = app.handle_request("/api/timeline?geo=US-TX")
+        assert first.header("X-Cache") == "hit"
+
+
+class TestQueryIndexAggregates:
+    def test_prefix_sums_match_numpy(self, mini_study):
+        index = QueryIndex(mini_study)
+        column = index.column("US-TX")
+        values = mini_study.states["US-TX"].timeline.values
+        for lo, hi in ((0, len(values)), (5, 6), (100, 731), (0, 1), (717, 888)):
+            assert column.window_sum(lo, hi) == pytest.approx(
+                float(values[lo:hi].sum()), rel=1e-9, abs=1e-6
+            )
+            assert column.window_peak(lo, hi) == pytest.approx(
+                float(values[lo:hi].max()), rel=1e-12
+            )
+            assert column.window_nonzero(lo, hi) == int(
+                (values[lo:hi] > 0).sum()
+            )
+
+    def test_cuts_match_bruteforce(self, mini_study):
+        index = QueryIndex(mini_study)
+        table = index.spike_table("US-TX")
+        spikes = list(mini_study.spikes.in_state("US-TX"))
+        for min_hours in range(0, 12):
+            expected = [
+                s.to_dict() for s in spikes if s.duration_hours >= min_hours
+            ]
+            cut = table.cut(min_hours)
+            assert cut == len(expected)
+            assert table.select(cut) == expected
+        outages = index.outages
+        for min_states in range(0, 8):
+            expected = [
+                row for row in outages.rows if row["footprint"] >= min_states
+            ]
+            cut = outages.cut(min_states)
+            assert cut == len(expected)
+            assert outages.select(cut) == expected
