@@ -35,7 +35,14 @@ from repro.analysis import (
     state_cdf,
     yearly_counts,
 )
+from repro.core.pipeline import SiftConfig
 from repro.core.progress import ProgressLog, text_listener
+from repro.core.reconstruct import (
+    DEFAULT_AVERAGER,
+    DEFAULT_STITCHER,
+    averager_names,
+    stitcher_names,
+)
 from repro.runtime import ALL_GEOS, StudyRuntime
 from repro.trends.faults import PROFILES
 from repro.world.scenarios import Scenario, ScenarioConfig
@@ -83,6 +90,27 @@ def _add_runtime(parser: argparse.ArgumentParser) -> None:
         help="seed of the fault plan; (profile, seed) replays a chaos "
         "run exactly (default 7)",
     )
+    parser.add_argument(
+        "--stitcher",
+        choices=stitcher_names(),
+        default=DEFAULT_STITCHER,
+        help="frame-stitching backend (see DESIGN.md §9; default "
+        f"{DEFAULT_STITCHER}, the paper's overlap-ratio chain)",
+    )
+    parser.add_argument(
+        "--averager",
+        choices=averager_names(),
+        default=DEFAULT_AVERAGER,
+        help="fetch-round merging backend (see DESIGN.md §9; default "
+        f"{DEFAULT_AVERAGER}, the paper's flat running means)",
+    )
+
+
+def _sift_config(args: argparse.Namespace) -> SiftConfig:
+    return SiftConfig(
+        stitcher=getattr(args, "stitcher", DEFAULT_STITCHER),
+        averager=getattr(args, "averager", DEFAULT_AVERAGER),
+    )
 
 
 def _runtime(args: argparse.Namespace) -> StudyRuntime:
@@ -94,6 +122,7 @@ def _runtime(args: argparse.Namespace) -> StudyRuntime:
         seed=args.seed,
         max_workers=getattr(args, "workers", 1),
         database=getattr(args, "db", ":memory:"),
+        sift=_sift_config(args),
         progress=progress,
         faults=getattr(args, "chaos", None),
         fault_seed=getattr(args, "chaos_seed", 7),
@@ -122,7 +151,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     print(result.timeline.describe())
     print(f"{len(result.spikes)} spikes "
           f"({result.averaging.rounds_used} averaging rounds, "
-          f"converged={result.averaging.converged})")
+          f"converged={result.averaging.converged}, "
+          f"backend={result.averaging.stitcher}/{result.averaging.averager})")
     rows = [
         (spike.label, spike.duration_hours, f"{spike.magnitude:.1f}")
         for spike in result.spikes.top_by_duration(args.top)
@@ -193,6 +223,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_workers=args.workers,
         database=args.db,
+        sift=_sift_config(args),
         progress=progress,
         faults=args.chaos,
         fault_seed=args.chaos_seed,

@@ -30,6 +30,19 @@ from repro.core.pipeline import (
     StudyCheckpoint,
     StudyResult,
 )
+from repro.core.reconstruct import (
+    Averager,
+    CalibratedStitcher,
+    MeanAverager,
+    NoiseAwareAverager,
+    OverlapRatioStitcher,
+    Stitcher,
+    averager_names,
+    make_averager,
+    make_stitcher,
+    stitcher_factory,
+    stitcher_names,
+)
 from repro.core.progress import (
     FaultStats,
     FramesDropped,
@@ -44,8 +57,10 @@ from repro.core.stitching import StitchReport, estimate_ratio, naive_concatenati
 
 __all__ = [
     "AreaConfig",
+    "Averager",
     "AveragingConfig",
     "AveragingResult",
+    "CalibratedStitcher",
     "ContextConfig",
     "DetectionConfig",
     "FaultStats",
@@ -53,8 +68,11 @@ __all__ = [
     "FramesDropped",
     "HeavyHitterAnalyzer",
     "HourlyTimeline",
+    "MeanAverager",
     "MissingFrame",
+    "NoiseAwareAverager",
     "Outage",
+    "OverlapRatioStitcher",
     "PhraseClusterer",
     "ProgressEvent",
     "ProgressListener",
@@ -69,19 +87,25 @@ __all__ = [
     "SpikeAnnotator",
     "StateResult",
     "StitchReport",
+    "Stitcher",
     "StudyCheckpoint",
     "StudyResult",
     "average_until_convergence",
+    "averager_names",
     "detect_bounds",
     "detect_spikes",
     "estimate_ratio",
     "footprint_distribution",
     "group_outages",
+    "make_averager",
+    "make_stitcher",
     "most_extensive",
     "naive_concatenation",
     "phrase_similarity",
     "rank_suggestions",
     "stitch_frames",
+    "stitcher_factory",
+    "stitcher_names",
     "text_listener",
     "tokenize",
 ]

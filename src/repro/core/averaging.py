@@ -20,13 +20,11 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable
 
-import numpy as np
-
-from repro.core.detection import DetectionConfig, detect_spikes
+from repro.core.detection import DetectionConfig
 from repro.core.series import HourlyTimeline
 from repro.core.spikes import SpikeSet
-from repro.core.stitching import StitchReport, stitch_frames
-from repro.errors import CollectionError, ConvergenceError
+from repro.core.stitching import StitchReport
+from repro.errors import ConvergenceError
 from repro.trends.records import TimeFrameRequest, TimeFrameResponse
 
 
@@ -108,76 +106,11 @@ class AveragingResult:
     #: Every frame-fetch the crawl dropped across all rounds (empty in
     #: a healthy run; bounded by ``max_missing_fraction`` per round).
     missing_frames: tuple[MissingFrame, ...] = ()
-
-
-class _RunningMeans:
-    """Per-frame incremental means with per-frame fold counts.
-
-    A missing frame simply does not fold, so its mean keeps averaging
-    over the rounds that did arrive — when nothing is missing,
-    ``counts[i] == rounds_done`` everywhere and the fold is exactly the
-    classic ``mean + (fresh - mean) / (rounds_done + 1)``.
-    """
-
-    def __init__(self, entries: list) -> None:
-        self.means = [
-            np.zeros(entry.request.window.hours, dtype=np.float64)
-            for entry in entries
-        ]
-        self.counts = [0] * len(entries)
-        #: First real response seen per position: carries the request,
-        #: rising terms and sample round for the rebuilt frames.
-        self.templates: list[TimeFrameResponse | None] = [None] * len(entries)
-        self.requests = [entry.request for entry in entries]
-
-    def fold(self, entries: list) -> None:
-        if len(entries) != len(self.means):
-            raise ConvergenceError(
-                f"round returned {len(entries)} frames, "
-                f"expected {len(self.means)}"
-            )
-        for index, entry in enumerate(entries):
-            if isinstance(entry, MissingFrame):
-                continue
-            fresh = entry.values.astype(np.float64)
-            if fresh.shape != self.means[index].shape:
-                raise ConvergenceError("frame shapes changed between rounds")
-            if self.templates[index] is None:
-                self.templates[index] = entry
-            self.means[index] = self.means[index] + (
-                fresh - self.means[index]
-            ) / (self.counts[index] + 1)
-            self.counts[index] += 1
-
-    def to_responses(self) -> list[TimeFrameResponse]:
-        """Wrap averaged values back into response records for stitching."""
-        rebuilt = []
-        for index, values in enumerate(self.means):
-            # Averaged index values are no longer integers; re-index
-            # onto 0..100 floats rounded to keep the response contract
-            # (ints).  A frame no round delivered stays all-zero.
-            peak = values.max()
-            scaled = (
-                np.round(100.0 * values / peak).astype(np.int16)
-                if peak > 0
-                else np.zeros(values.shape, dtype=np.int16)
-            )
-            template = self.templates[index]
-            rebuilt.append(
-                TimeFrameResponse(
-                    request=(
-                        template.request
-                        if template is not None
-                        else self.requests[index]
-                    ),
-                    values=scaled,
-                    rising=template.rising if template is not None else (),
-                    sample_round=(
-                        template.sample_round if template is not None else 0
-                    ),
-                )
-            )
-        return rebuilt
+    #: Reconstruction backends that produced this result (registry
+    #: names, see :mod:`repro.core.reconstruct`); checkpoints persist
+    #: them so a resume refuses to mix backends.
+    stitcher: str = "overlap_ratio"
+    averager: str = "mean"
 
 
 def average_until_convergence(
@@ -190,62 +123,16 @@ def average_until_convergence(
     ``fetch_round(k)`` must return the full ordered list of weekly frame
     responses for sample round *k*; the function handles averaging,
     stitching, detection, and the convergence decision.
+
+    This is the batch form of the default backend — running-mean
+    merging over overlap-ratio stitching, exactly the paper's §3.2.
+    The loop itself lives on
+    :class:`repro.core.reconstruct.base.Averager`; alternate backends
+    are selected through the strategy registry
+    (:mod:`repro.core.reconstruct`), not here.
     """
-    config = config or AveragingConfig()
-    running: _RunningMeans | None = None
-    previous_spikes: SpikeSet | None = None
-    history: list[float] = []
-    missing: list[MissingFrame] = []
-    result: AveragingResult | None = None
-    for round_index in range(config.max_rounds):
-        entries = fetch_round(round_index)
-        if not entries:
-            raise ConvergenceError("fetch_round returned no frames")
-        dropped = [
-            entry for entry in entries if isinstance(entry, MissingFrame)
-        ]
-        if len(dropped) > config.max_missing_fraction * len(entries):
-            raise CollectionError(
-                f"round {round_index} lost {len(dropped)}/{len(entries)} "
-                f"frames; exceeds max_missing_fraction="
-                f"{config.max_missing_fraction}"
-            )
-        missing.extend(dropped)
-        if running is None:
-            running = _RunningMeans(entries)
-        running.fold(entries)
-        averaged_responses = running.to_responses()
-        timeline, report = stitch_frames(averaged_responses)
-        if config.quantize:
-            timeline = timeline.with_values(np.round(timeline.values))
-        spikes = SpikeSet(detect_spikes(timeline, detection))
-        converged = False
-        if previous_spikes is not None:
-            similarity = spikes.weighted_match_similarity(
-                previous_spikes, config.tolerance_hours
-            )
-            history.append(similarity)
-            converged = (
-                round_index + 1 >= config.min_rounds
-                and similarity >= config.similarity_threshold
-            )
-        previous_spikes = spikes
-        result = AveragingResult(
-            timeline=timeline,
-            spikes=spikes,
-            rounds_used=round_index + 1,
-            converged=converged,
-            similarity_history=tuple(history),
-            stitch_report=report,
-            responses=tuple(averaged_responses),
-            missing_frames=tuple(missing),
-        )
-        if converged:
-            return result
-    if config.strict:
-        raise ConvergenceError(
-            f"spike set did not converge within {config.max_rounds} rounds "
-            f"(similarities: {history})"
-        )
-    assert result is not None  # max_rounds >= 1 guarantees one iteration
-    return result
+    # Deferred: the reconstruct package imports this module for the
+    # config/result records.
+    from repro.core.reconstruct.averagers import MeanAverager
+
+    return MeanAverager().average(fetch_round, config=config, detection=detection)

@@ -1,0 +1,53 @@
+"""Pluggable reconstruction backends (stitching + round averaging).
+
+See :mod:`repro.core.reconstruct.base` for the strategy contracts and
+:mod:`repro.core.reconstruct.registry` for the name-keyed registry the
+configuration layers use.
+"""
+
+from repro.core.reconstruct.averagers import (
+    MeanAverager,
+    NoiseAwareAverager,
+    RunningMeanAccumulator,
+    VarianceWeightedAccumulator,
+)
+from repro.core.reconstruct.base import (
+    Averager,
+    FrameAccumulator,
+    Stitcher,
+    StitcherFactory,
+)
+from repro.core.reconstruct.registry import (
+    AVERAGERS,
+    DEFAULT_AVERAGER,
+    DEFAULT_STITCHER,
+    STITCHERS,
+    averager_names,
+    make_averager,
+    make_stitcher,
+    stitcher_factory,
+    stitcher_names,
+)
+from repro.core.reconstruct.stitchers import CalibratedStitcher, OverlapRatioStitcher
+
+__all__ = [
+    "AVERAGERS",
+    "Averager",
+    "CalibratedStitcher",
+    "DEFAULT_AVERAGER",
+    "DEFAULT_STITCHER",
+    "FrameAccumulator",
+    "MeanAverager",
+    "NoiseAwareAverager",
+    "OverlapRatioStitcher",
+    "RunningMeanAccumulator",
+    "STITCHERS",
+    "Stitcher",
+    "StitcherFactory",
+    "VarianceWeightedAccumulator",
+    "averager_names",
+    "make_averager",
+    "make_stitcher",
+    "stitcher_factory",
+    "stitcher_names",
+]

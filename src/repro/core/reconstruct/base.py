@@ -1,0 +1,199 @@
+"""Strategy interfaces for timeline reconstruction (paper §3.2).
+
+Reconstruction has two orthogonal decisions baked into the paper's
+pipeline — how overlapping frames are *stitched* onto one scale, and
+how repeated fetch rounds are *merged* before re-detection.  This
+package makes each a strategy:
+
+* :class:`Stitcher` — incremental by design: ``feed(frame)`` extends
+  the series with a bounded tail recompute (only the new frame's
+  overlap is touched), ``finalize()`` returns the timeline plus a
+  :class:`~repro.core.stitching.StitchReport`.  The incremental
+  contract is what lets a future *streaming* SIFT stitch frames as the
+  crawl delivers them instead of holding a round in memory.
+* :class:`Averager` — owns the fetch-average-detect convergence loop
+  and the policy for merging sample rounds (flat running means,
+  variance-weighted, …).
+
+Concrete backends register under short names in
+:mod:`repro.core.reconstruct.registry`; configuration layers refer to
+them by name (``SiftConfig(stitcher=..., averager=...)``, the CLI's
+``--stitcher``/``--averager``), and checkpoints record the names so a
+resume cannot silently mix outputs of different backends.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any, ClassVar
+
+import numpy as np
+
+from repro.core.averaging import (
+    AveragingConfig,
+    AveragingResult,
+    FrameFetcher,
+    MissingFrame,
+)
+from repro.core.detection import DetectionConfig, detect_spikes
+from repro.core.spikes import SpikeSet
+from repro.errors import CollectionError, ConvergenceError
+
+if TYPE_CHECKING:
+    from repro.core.series import HourlyTimeline
+    from repro.core.stitching import StitchReport
+    from repro.trends.records import TimeFrameResponse
+
+
+class Stitcher(abc.ABC):
+    """Incremental frame-to-timeline reconstruction.
+
+    One instance stitches one (term, geo) series: frames arrive in
+    start order through :meth:`feed`, each extending the series in a
+    bounded tail recompute, and :meth:`finalize` materializes the
+    current timeline without consuming the instance — feeding more
+    frames after a finalize is legal, so a streaming caller can
+    snapshot mid-crawl.
+    """
+
+    #: Registry name recorded in checkpoints and telemetry.
+    name: ClassVar[str] = "?"
+
+    @abc.abstractmethod
+    def feed(self, frame: TimeFrameResponse) -> None:
+        """Extend the series with the next frame (sorted by start)."""
+
+    @abc.abstractmethod
+    def finalize(
+        self, renormalize: bool = True
+    ) -> tuple[HourlyTimeline, StitchReport]:
+        """Current stitched timeline plus diagnostics (non-destructive)."""
+
+    def params(self) -> dict[str, Any]:
+        """Backend parameters worth recording next to the name."""
+        return {}
+
+
+#: A zero-argument constructor of fresh :class:`Stitcher` instances;
+#: the averaging loop stitches once per round, each from a clean slate.
+StitcherFactory = Callable[[], Stitcher]
+
+
+class FrameAccumulator(abc.ABC):
+    """Per-geography state merging sample rounds frame-by-frame."""
+
+    @abc.abstractmethod
+    def fold(self, entries: list) -> None:
+        """Merge one round of frame entries (``MissingFrame`` tolerated)."""
+
+    @abc.abstractmethod
+    def to_responses(self) -> list[TimeFrameResponse]:
+        """Current merged frames, re-indexed onto the 0..100 contract."""
+
+
+class Averager(abc.ABC):
+    """The fetch-round convergence loop plus a round-merging policy.
+
+    Subclasses provide the accumulator that merges sample rounds
+    (:meth:`make_accumulator`); the loop itself — fetch, fold, stitch,
+    detect, compare spike sets — lives here so every backend shares
+    identical convergence semantics and differs *only* in how rounds
+    are merged.
+    """
+
+    #: Registry name recorded in checkpoints and telemetry.
+    name: ClassVar[str] = "?"
+
+    def params(self) -> dict[str, Any]:
+        """Backend parameters worth recording next to the name."""
+        return {}
+
+    @abc.abstractmethod
+    def make_accumulator(self, entries: list) -> FrameAccumulator:
+        """A fresh accumulator sized for one round's frame list."""
+
+    def average(
+        self,
+        fetch_round: FrameFetcher,
+        config: AveragingConfig | None = None,
+        detection: DetectionConfig | None = None,
+        stitcher_factory: StitcherFactory | None = None,
+    ) -> AveragingResult:
+        """Run the fetch-average-detect loop until the spike set stabilizes.
+
+        ``fetch_round(k)`` must return the full ordered list of weekly
+        frame responses for sample round *k*; the loop folds each round
+        into the backend's accumulator, stitches the merged frames with
+        a fresh stitcher from *stitcher_factory* (default: the
+        overlap-ratio backend), detects spikes, and stops once
+        consecutive rounds' spike sets match.
+        """
+        if stitcher_factory is None:
+            # Deferred: stitchers.py imports this module for Stitcher.
+            from repro.core.reconstruct.stitchers import OverlapRatioStitcher
+
+            stitcher_factory = OverlapRatioStitcher
+        config = config or AveragingConfig()
+        running: FrameAccumulator | None = None
+        previous_spikes: SpikeSet | None = None
+        history: list[float] = []
+        missing: list[MissingFrame] = []
+        result: AveragingResult | None = None
+        for round_index in range(config.max_rounds):
+            entries = fetch_round(round_index)
+            if not entries:
+                raise ConvergenceError("fetch_round returned no frames")
+            dropped = [
+                entry for entry in entries if isinstance(entry, MissingFrame)
+            ]
+            if len(dropped) > config.max_missing_fraction * len(entries):
+                raise CollectionError(
+                    f"round {round_index} lost {len(dropped)}/{len(entries)} "
+                    f"frames; exceeds max_missing_fraction="
+                    f"{config.max_missing_fraction}"
+                )
+            missing.extend(dropped)
+            if running is None:
+                running = self.make_accumulator(entries)
+            running.fold(entries)
+            averaged_responses = running.to_responses()
+            stitcher = stitcher_factory()
+            for response in averaged_responses:
+                stitcher.feed(response)
+            timeline, report = stitcher.finalize()
+            if config.quantize:
+                timeline = timeline.with_values(np.round(timeline.values))
+            spikes = SpikeSet(detect_spikes(timeline, detection))
+            converged = False
+            if previous_spikes is not None:
+                similarity = spikes.weighted_match_similarity(
+                    previous_spikes, config.tolerance_hours
+                )
+                history.append(similarity)
+                converged = (
+                    round_index + 1 >= config.min_rounds
+                    and similarity >= config.similarity_threshold
+                )
+            previous_spikes = spikes
+            result = AveragingResult(
+                timeline=timeline,
+                spikes=spikes,
+                rounds_used=round_index + 1,
+                converged=converged,
+                similarity_history=tuple(history),
+                stitch_report=report,
+                responses=tuple(averaged_responses),
+                missing_frames=tuple(missing),
+                stitcher=stitcher.name,
+                averager=self.name,
+            )
+            if converged:
+                return result
+        if config.strict:
+            raise ConvergenceError(
+                f"spike set did not converge within {config.max_rounds} rounds "
+                f"(similarities: {history})"
+            )
+        assert result is not None  # max_rounds >= 1 guarantees one iteration
+        return result

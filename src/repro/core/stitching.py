@@ -37,16 +37,54 @@ class StitchReport:
     frames: int
     carried_ratios: int  # overlaps where the ratio had to be carried forward
     ratios: tuple[float, ...]  # scale applied to each appended frame
+    #: Indices into ``ratios`` that are *not* fresh estimates: silent
+    #: overlaps that fell back to the neutral ratio, and contained
+    #: frames that repeated the last trusted ratio.  These mark where
+    #: the calibration chain lost trust.
+    carried_positions: tuple[int, ...] = ()
 
     @property
     def ratio_spread(self) -> float:
-        """Max/min applied ratio — a coarse calibration-drift indicator."""
+        """Max/min freshly-estimated ratio — a calibration-drift indicator.
+
+        Carried positions are excluded: a carried ratio repeats a stale
+        (or neutral) value, so counting it would mask real drift — a
+        chain whose every estimate is 4.0 but with one silent-overlap
+        1.0 fallback would report a spurious spread of 4.
+        """
         if not self.ratios:
             return 1.0
-        positive = [ratio for ratio in self.ratios if ratio > 0]
+        carried = set(self.carried_positions)
+        positive = [
+            ratio
+            for position, ratio in enumerate(self.ratios)
+            if ratio > 0 and position not in carried
+        ]
         if not positive:
             return 1.0
         return max(positive) / min(positive)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (checkpoint metadata, ``/api/runtime``)."""
+        return {
+            "frames": self.frames,
+            "carried_ratios": self.carried_ratios,
+            "ratios": list(self.ratios),
+            "carried_positions": list(self.carried_positions),
+            "ratio_spread": self.ratio_spread,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StitchReport":
+        """Rebuild a report persisted with :meth:`to_dict`."""
+        return cls(
+            frames=int(payload.get("frames", 0)),
+            carried_ratios=int(payload.get("carried_ratios", 0)),
+            ratios=tuple(float(ratio) for ratio in payload.get("ratios", ())),
+            carried_positions=tuple(
+                int(position) for position in payload.get("carried_positions", ())
+            ),
+        )
 
 
 #: Additive smoothing on overlap sums: bounds the ratio noise injected
@@ -100,55 +138,23 @@ def stitch_frames(
     Frames must be sorted by start time, pairwise overlapping, and all
     for the same (term, geo).  Returns the stitched (and by default
     globally renormalized) timeline plus stitching diagnostics.
+
+    This is the batch form of the default backend — a thin wrapper
+    feeding every frame through a fresh
+    :class:`repro.core.reconstruct.OverlapRatioStitcher`.  Alternate
+    backends are selected through the strategy registry
+    (:mod:`repro.core.reconstruct`), not here.
     """
+    # Deferred: the stitchers module imports this one for StitchReport
+    # and estimate_ratio.
+    from repro.core.reconstruct.stitchers import OverlapRatioStitcher
+
     if not responses:
         raise StitchingError("no frames to stitch")
-    first = responses[0]
-    term = first.request.term
-    geo = first.request.geo
-    for response in responses[1:]:
-        if response.request.term != term or response.request.geo != geo:
-            raise StitchingError(
-                "cannot stitch frames of different terms or geographies"
-            )
-    series = responses[0].values.astype(np.float64)
-    origin = first.window.start
-    ratios: list[float] = []
-    carried = 0
-    last_ratio = 1.0
-    for previous, current in zip(responses, responses[1:]):
-        offset = hour_index(origin, current.window.start)
-        if offset < 0 or offset > series.size:
-            raise StitchingError(
-                f"frame starting {current.window.start} is not contiguous "
-                f"with the series built so far"
-            )
-        overlap = series.size - offset
-        if overlap <= 0:
-            raise StitchingError(
-                f"frames {previous.window.start} and {current.window.start} "
-                f"do not overlap"
-            )
-        if overlap >= current.values.size:
-            # Frame fully contained in what we already have; skip it.
-            ratios.append(last_ratio)
-            continue
-        current_values = current.values.astype(np.float64)
-        ratio = estimate_ratio(series[offset:], current_values[:overlap])
-        if ratio is None:
-            ratio = 1.0  # both renditions silent: neutral scale
-            carried += 1
-        else:
-            last_ratio = ratio
-        ratios.append(ratio)
-        series = np.concatenate([series, current_values[overlap:] * ratio])
-    timeline = HourlyTimeline(term=term, geo=geo, start=origin, values=series)
-    if renormalize:
-        timeline = timeline.renormalized()
-    report = StitchReport(
-        frames=len(responses), carried_ratios=carried, ratios=tuple(ratios)
-    )
-    return timeline, report
+    stitcher = OverlapRatioStitcher()
+    for response in responses:
+        stitcher.feed(response)
+    return stitcher.finalize(renormalize=renormalize)
 
 
 def naive_concatenation(

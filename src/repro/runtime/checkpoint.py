@@ -9,9 +9,15 @@ one transaction as the geography completes — and a resuming study
 serves those geographies straight from the database.
 
 The checkpoint is keyed by (term, geo) and stamped with the study
-window and the averaging diagnostics in the series row's metadata; a
-stored result is only honored when the requested window matches, so a
-database file can never leak a stale study into a different one.
+window, the averaging diagnostics, and the reconstruction backend
+(stitcher/averager registry names plus the stitch report) in the
+series row's metadata.  A stored result is only honored when the
+requested window matches — a database file can never leak a stale
+study into a different one — and a *backend* mismatch refuses loudly
+(:class:`repro.errors.CheckpointMismatchError`): silently mixing
+timelines produced under different calibration semantics would corrupt
+the study, whereas a window mismatch just means the geography
+re-analyzes.
 """
 
 from __future__ import annotations
@@ -19,9 +25,11 @@ from __future__ import annotations
 from repro.collection.database import CollectionDatabase
 from repro.core.averaging import AveragingResult
 from repro.core.pipeline import StateResult, StudyCheckpoint
+from repro.core.reconstruct import DEFAULT_AVERAGER, DEFAULT_STITCHER
 from repro.core.series import HourlyTimeline
 from repro.core.spikes import SpikeSet
 from repro.core.stitching import StitchReport
+from repro.errors import CheckpointMismatchError
 from repro.timeutil import TimeWindow
 
 _EMPTY_STITCH = StitchReport(frames=0, carried_ratios=0, ratios=())
@@ -30,9 +38,19 @@ _EMPTY_STITCH = StitchReport(frames=0, carried_ratios=0, ratios=())
 class DatabaseCheckpoint(StudyCheckpoint):
     """Persists per-geography study results in a collection database."""
 
-    def __init__(self, database: CollectionDatabase, term: str) -> None:
+    def __init__(
+        self,
+        database: CollectionDatabase,
+        term: str,
+        stitcher: str = DEFAULT_STITCHER,
+        averager: str = DEFAULT_AVERAGER,
+    ) -> None:
         self.database = database
         self.term = term
+        #: Backend this study runs with; stored results built by any
+        #: other backend are refused on load.
+        self.stitcher = stitcher
+        self.averager = averager
 
     def save_state(self, result: StateResult, window: TimeWindow) -> None:
         averaging = result.averaging
@@ -42,6 +60,9 @@ class DatabaseCheckpoint(StudyCheckpoint):
             "rounds_used": averaging.rounds_used,
             "converged": averaging.converged,
             "similarity_history": list(averaging.similarity_history),
+            "stitcher": averaging.stitcher,
+            "averager": averaging.averager,
+            "stitch_report": averaging.stitch_report.to_dict(),
         }
         self.database.store_checkpoint(
             self.term,
@@ -61,20 +82,39 @@ class DatabaseCheckpoint(StudyCheckpoint):
             or meta.get("window_end") != window.end.isoformat()
         ):
             return None
+        # Checkpoints written before backends existed are default-backend.
+        stored_stitcher = meta.get("stitcher", DEFAULT_STITCHER)
+        stored_averager = meta.get("averager", DEFAULT_AVERAGER)
+        if stored_stitcher != self.stitcher or stored_averager != self.averager:
+            raise CheckpointMismatchError(
+                f"checkpoint for {geo!r} was built with "
+                f"stitcher={stored_stitcher!r}/averager={stored_averager!r} "
+                f"but this study is configured with "
+                f"stitcher={self.stitcher!r}/averager={self.averager!r}; "
+                f"rerun with the stored backend or use a fresh database"
+            )
         series = self.database.load_series(self.term, geo)
         if series is None:
             return None
         start, values = series
         timeline = HourlyTimeline(term=self.term, geo=geo, start=start, values=values)
         spikes = SpikeSet(self.database.load_spikes(term=self.term, geo=geo))
+        report_meta = meta.get("stitch_report")
+        report = (
+            StitchReport.from_dict(report_meta)
+            if report_meta is not None
+            else _EMPTY_STITCH
+        )
         averaging = AveragingResult(
             timeline=timeline,
             spikes=spikes,
             rounds_used=int(meta.get("rounds_used", 0)),
             converged=bool(meta.get("converged", False)),
             similarity_history=tuple(meta.get("similarity_history", ())),
-            stitch_report=_EMPTY_STITCH,
+            stitch_report=report,
             responses=(),
+            stitcher=stored_stitcher,
+            averager=stored_averager,
         )
         return StateResult(
             geo=geo, timeline=timeline, spikes=spikes, averaging=averaging

@@ -68,6 +68,12 @@ class RuntimeConfig:
     #: the scheduler under pressure (see the collection tests).
     requests_per_second: float = 50.0
     burst: int = 500
+    #: Fraction of the search database the simulated Trends service
+    #: samples per request (the service default mirrors the real
+    #: service's behaviour).  Lower values mean noisier renditions —
+    #: the reconstruction-quality benchmark's "noisy sampling" profile
+    #: stresses the averaging backends through this knob.
+    sample_rate: float = 0.03
     sift: SiftConfig = dataclasses.field(default_factory=SiftConfig)
     start: datetime = STUDY_START
     end: datetime = STUDY_END
@@ -113,10 +119,11 @@ class StudyRuntime:
         self.service = TrendsService(
             self.population,
             TrendsConfig(
+                sample_rate=config.sample_rate,
                 rate_limit=RateLimitConfig(
                     burst=config.burst,
                     refill_per_second=config.requests_per_second,
-                )
+                ),
             ),
             clock=self.clock,
         )
@@ -145,7 +152,12 @@ class StudyRuntime:
         )
         self.executor: StudyExecutor = make_executor(config.max_workers)
         self.checkpoint: DatabaseCheckpoint | None = (
-            DatabaseCheckpoint(self.database, term=config.sift.term)
+            DatabaseCheckpoint(
+                self.database,
+                term=config.sift.term,
+                stitcher=config.sift.stitcher,
+                averager=config.sift.averager,
+            )
             if config.checkpoint
             else None
         )
@@ -171,6 +183,7 @@ class StudyRuntime:
         end: datetime | None = None,
         requests_per_second: float = 50.0,
         burst: int = 500,
+        sample_rate: float = 0.03,
         progress: ProgressListener | None = None,
         scenario: Scenario | None = None,
         population: SearchPopulation | None = None,
@@ -194,6 +207,7 @@ class StudyRuntime:
                 fetcher_count=fetcher_count,
                 requests_per_second=requests_per_second,
                 burst=burst,
+                sample_rate=sample_rate,
                 sift=sift or SiftConfig(),
                 start=start or STUDY_START,
                 end=end or STUDY_END,

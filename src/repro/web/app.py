@@ -567,8 +567,30 @@ class SiftWebApp:
             "events": events,
             "crawl": crawl,
             "faults": faults,
+            "reconstruction": self._reconstruction(),
             "serving": self.serving_stats().to_dict(),
         }
+
+    def _reconstruction(self) -> dict:
+        """Active reconstruction backend plus per-geo stitch diagnostics.
+
+        The backend names ride on every :class:`AveragingResult` (and
+        survive checkpoint resume), so the payload reflects what built
+        the snapshot, not what the server happens to be configured with.
+        """
+        stitcher = averager = None
+        per_geo = {}
+        for geo in sorted(self.study.states):
+            averaging = self.study.states[geo].averaging
+            stitcher, averager = averaging.stitcher, averaging.averager
+            report = averaging.stitch_report
+            per_geo[geo] = {
+                "frames": report.frames,
+                "carried_ratios": report.carried_ratios,
+                "carried_positions": list(report.carried_positions),
+                "ratio_spread": round(report.ratio_spread, 4),
+            }
+        return {"stitcher": stitcher, "averager": averager, "per_geo": per_geo}
 
     def _index_html(self, geo: str) -> str:
         rows = [

@@ -29,7 +29,7 @@ from repro.core.progress import (
     StudyStarted,
     text_listener,
 )
-from repro.errors import ConfigurationError, DatabaseError
+from repro.errors import CheckpointMismatchError, ConfigurationError, DatabaseError
 from repro.runtime import (
     SerialExecutor,
     StudyRuntime,
@@ -339,6 +339,97 @@ class TestResume:
         second = build_runtime(sift=self.config)
         study = second.run_study(geos=("US-WY",))
         assert study.resumed_geos == ()
+
+
+class TestCheckpointBackends:
+    """Resume refuses a reconstruction-backend mismatch (DESIGN.md §9).
+
+    A window mismatch re-analyzes silently; a backend mismatch raises,
+    because mixing timelines stitched under different calibration
+    semantics would silently corrupt the study.
+    """
+
+    config = SiftConfig(annotate=False)
+
+    def test_mismatched_stitcher_is_refused(self, tmp_path):
+        db_path = str(tmp_path / "study.db")
+        build_runtime(database=db_path, sift=self.config).run_study(geos=("US-WY",))
+
+        other = build_runtime(
+            database=db_path,
+            sift=SiftConfig(annotate=False, stitcher="calibrated"),
+        )
+        with pytest.raises(CheckpointMismatchError, match="overlap_ratio"):
+            other.run_study(geos=("US-WY",))
+
+    def test_mismatched_averager_is_refused(self, tmp_path):
+        db_path = str(tmp_path / "study.db")
+        build_runtime(
+            database=db_path,
+            sift=SiftConfig(annotate=False, averager="noise_aware"),
+        ).run_study(geos=("US-WY",))
+
+        other = build_runtime(database=db_path, sift=self.config)
+        with pytest.raises(CheckpointMismatchError, match="noise_aware"):
+            other.run_study(geos=("US-WY",))
+
+    def test_matching_alternate_backend_resumes(self, tmp_path):
+        db_path = str(tmp_path / "study.db")
+        alternate = SiftConfig(
+            annotate=False, stitcher="calibrated", averager="noise_aware"
+        )
+        build_runtime(database=db_path, sift=alternate).run_study(geos=("US-WY",))
+
+        rerun = build_runtime(database=db_path, sift=alternate)
+        study = rerun.run_study(geos=("US-WY",))
+        assert study.resumed_geos == ("US-WY",)
+        assert rerun.report().fetched == 0
+        restored = study.states["US-WY"].averaging
+        assert restored.stitcher == "calibrated"
+        assert restored.averager == "noise_aware"
+
+    def test_stitch_report_roundtrips_through_checkpoint(self, tmp_path):
+        db_path = str(tmp_path / "study.db")
+        first = build_runtime(database=db_path, sift=self.config)
+        fresh = first.run_study(geos=("US-WY",))
+        saved = fresh.states["US-WY"].averaging.stitch_report
+
+        rerun = build_runtime(database=db_path, sift=self.config)
+        resumed = rerun.run_study(geos=("US-WY",))
+        restored = resumed.states["US-WY"].averaging.stitch_report
+        assert restored == saved
+        assert restored.ratio_spread == saved.ratio_spread
+
+    def test_legacy_checkpoint_without_backend_keys_is_default(self, tmp_path):
+        """Checkpoints written before backends existed load as the
+        default backend — and are refused by any alternate."""
+        db_path = str(tmp_path / "study.db")
+        runtime = build_runtime(database=db_path, sift=self.config)
+        runtime.run_study(geos=("US-WY",))
+        # Strip the backend keys, simulating a pre-backend database.
+        meta = runtime.database.load_series_meta(self.config.term, "US-WY")
+        for key in ("stitcher", "averager", "stitch_report"):
+            meta.pop(key, None)
+        spikes = runtime.database.load_spikes(term=self.config.term, geo="US-WY")
+        start, values = runtime.database.load_series(self.config.term, "US-WY")
+        runtime.database.store_checkpoint(
+            self.config.term, "US-WY", start, values, meta, list(spikes)
+        )
+        runtime.close()
+
+        default_rerun = build_runtime(database=db_path, sift=self.config)
+        study = default_rerun.run_study(geos=("US-WY",))
+        assert study.resumed_geos == ("US-WY",)
+        restored = study.states["US-WY"].averaging
+        assert (restored.stitcher, restored.averager) == ("overlap_ratio", "mean")
+        assert restored.stitch_report.frames == 0  # no report recorded
+
+        alternate = build_runtime(
+            database=db_path,
+            sift=SiftConfig(annotate=False, averager="noise_aware"),
+        )
+        with pytest.raises(CheckpointMismatchError):
+            alternate.run_study(geos=("US-WY",))
 
 
 class TestRisingCache:

@@ -128,6 +128,21 @@ class TestRouting:
         assert status == 400
         assert "bogus" in json.loads(body)["error"]
 
+    def test_runtime_reports_reconstruction_backend(self, app, mini_study):
+        status, _, body = app.handle_path("/api/runtime")
+        assert status == 200
+        reconstruction = json.loads(body)["reconstruction"]
+        assert reconstruction["stitcher"] == "overlap_ratio"
+        assert reconstruction["averager"] == "mean"
+        per_geo = reconstruction["per_geo"]
+        assert set(per_geo) == set(mini_study.states)
+        for geo, summary in per_geo.items():
+            report = mini_study.states[geo].averaging.stitch_report
+            assert summary["frames"] == report.frames >= 1
+            assert summary["carried_ratios"] == report.carried_ratios
+            assert summary["carried_positions"] == list(report.carried_positions)
+            assert summary["ratio_spread"] >= 1.0
+
 
 class TestEncoding:
     def test_compact_by_default(self, app):
