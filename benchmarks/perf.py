@@ -96,6 +96,7 @@ def write_bench(
     *,
     as_baseline: bool = False,
     extra: dict[str, Any] | None = None,
+    workload_shape: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Merge *metrics* into ``BENCH_<name>.json`` and return the payload.
 
@@ -103,6 +104,13 @@ def write_bench(
     pre-change numbers a PR measures before optimizing); otherwise they
     become ``current`` and per-metric speedups against the stored
     baseline are recomputed.
+
+    ``workload_shape`` records what was measured (e.g. ``{"geos": 51,
+    "weeks": 104, "terms": 1}``) alongside the slot it belongs to.
+    When the baseline and current shapes are both recorded and differ,
+    the speedup section is **omitted** with an explanatory note — a
+    12-geo baseline against a 51-geo current is not a speedup, and a
+    silent ratio would read like one.
     """
     payload = read_bench(name) or {"benchmark": name}
     payload["updated_utc"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
@@ -111,10 +119,29 @@ def write_bench(
         payload.update(extra)
     if as_baseline:
         payload["baseline"] = metrics
+        if workload_shape is not None:
+            payload["baseline_shape"] = workload_shape
     else:
         payload["current"] = metrics
+        if workload_shape is not None:
+            payload["current_shape"] = workload_shape
         baseline = payload.get("baseline")
-        if baseline:
+        baseline_shape = payload.get("baseline_shape")
+        current_shape = payload.get("current_shape")
+        shapes_differ = (
+            baseline_shape is not None
+            and current_shape is not None
+            and baseline_shape != current_shape
+        )
+        if baseline and shapes_differ:
+            payload.pop("speedup", None)
+            payload["speedup_note"] = (
+                "baseline and current were measured on different workload "
+                f"shapes ({baseline_shape} vs {current_shape}); "
+                "per-metric speedups omitted"
+            )
+        elif baseline:
+            payload.pop("speedup_note", None)
             # Rates improve upward, durations (``*_s``) downward; report
             # both as "how many times faster".
             payload["speedup"] = {

@@ -10,12 +10,16 @@ Commands mirror the system's stages:
   ``--no-preload``);
 * ``report``   — regenerate the paper's headline numbers.
 
-Every pipeline command accepts the runtime knobs: ``--workers`` for
-parallel per-geography analysis, ``--db`` for a durable database that
+Every pipeline command accepts the runtime knobs: ``--workers`` and
+``--executor {auto,serial,thread,process}`` for parallel per-geography
+analysis (process = geography-sharded worker processes; results are
+byte-identical across executors), ``--db`` for a durable database that
 checkpoints finished geographies (rerunning after an interrupt resumes
-instead of recrawling), ``--progress`` to stream the structured
-progress events as they happen, and ``--chaos PROFILE``/``--chaos-seed``
-to inject deterministic faults into the simulated Trends service (see
+instead of recrawling), ``--store DIR`` for the memory-mapped columnar
+store (``serve --from-store`` then serves a finished study from it
+without crawling), ``--progress`` to stream the structured progress
+events as they happen, and ``--chaos PROFILE``/``--chaos-seed`` to
+inject deterministic faults into the simulated Trends service (see
 DESIGN.md §7) — the fault summary prints after the run.
 """
 
@@ -43,7 +47,7 @@ from repro.core.reconstruct import (
     averager_names,
     stitcher_names,
 )
-from repro.runtime import ALL_GEOS, StudyRuntime
+from repro.runtime import ALL_GEOS, EXECUTOR_KINDS, StudyRuntime
 from repro.trends.faults import PROFILES
 from repro.world.scenarios import Scenario, ScenarioConfig
 
@@ -63,13 +67,31 @@ def _add_runtime(parser: argparse.ArgumentParser) -> None:
         "--workers",
         type=int,
         default=1,
-        help="threads analyzing geographies concurrently (default 1)",
+        help="workers analyzing geographies concurrently (default 1)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="auto",
+        help="where those workers run: serial, a thread pool, or "
+        "geography-sharded worker processes; auto picks serial for one "
+        "worker and threads otherwise (results are byte-identical "
+        "either way; default auto)",
     )
     parser.add_argument(
         "--db",
         default=":memory:",
         help="sqlite path for the collection database; a file path "
         "checkpoints finished geographies so reruns resume",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="columnar store directory: per-geography checkpoints land "
+        "there as memory-mapped .npy columns (instead of the sqlite "
+        "tables) and `serve --from-store` serves a finished study "
+        "from it without crawling",
     )
     parser.add_argument(
         "--progress",
@@ -121,7 +143,9 @@ def _runtime(args: argparse.Namespace) -> StudyRuntime:
         background_scale=args.scale,
         seed=args.seed,
         max_workers=getattr(args, "workers", 1),
+        executor=getattr(args, "executor", "auto"),
         database=getattr(args, "db", ":memory:"),
+        store=getattr(args, "store", None),
         sift=_sift_config(args),
         progress=progress,
         faults=getattr(args, "chaos", None),
@@ -218,28 +242,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for listener in listeners:
             listener(event)
 
-    runtime = StudyRuntime.build(
-        background_scale=args.scale,
-        seed=args.seed,
-        max_workers=args.workers,
-        database=args.db,
-        sift=_sift_config(args),
-        progress=progress,
-        faults=args.chaos,
-        fault_seed=args.chaos_seed,
-    )
-    geos = tuple(args.geos) if args.geos else ALL_GEOS
-    study = runtime.run_study(geos=geos)
-    server, _thread = runtime.serve_web(
-        study,
-        host=args.host,
-        port=args.port,
-        progress_log=log,
-        cache_size=args.cache_size,
-        caching=not args.no_cache,
-        preload=not args.no_preload,
-        progress=progress,
-    )
+    if args.from_store:
+        if not args.store:
+            print("serve --from-store requires --store DIR", file=sys.stderr)
+            return 2
+        from repro.store import ColumnarStore
+        from repro.web import serve
+
+        store = ColumnarStore(
+            args.store, stitcher=args.stitcher, averager=args.averager
+        )
+        # Serve the checkpointed study straight off the memory-mapped
+        # columns: no scenario build, no crawl.
+        study = store.load_study()
+        server, _thread = serve(
+            study,
+            host=args.host,
+            port=args.port,
+            progress_log=log,
+            execution={"store": args.store, "from_store": True},
+            cache_size=args.cache_size,
+            caching=not args.no_cache,
+            preload=not args.no_preload,
+            progress=progress,
+        )
+    else:
+        runtime = StudyRuntime.build(
+            background_scale=args.scale,
+            seed=args.seed,
+            max_workers=args.workers,
+            executor=args.executor,
+            database=args.db,
+            store=args.store,
+            sift=_sift_config(args),
+            progress=progress,
+            faults=args.chaos,
+            fault_seed=args.chaos_seed,
+        )
+        geos = tuple(args.geos) if args.geos else ALL_GEOS
+        study = runtime.run_study(geos=geos)
+        server, _thread = runtime.serve_web(
+            study,
+            host=args.host,
+            port=args.port,
+            progress_log=log,
+            cache_size=args.cache_size,
+            caching=not args.no_cache,
+            preload=not args.no_preload,
+            progress=progress,
+        )
     host, port = server.server_address[:2]
     cache = "off" if args.no_cache else f"{args.cache_size} entries"
     print(f"serving SIFT on http://{host}:{port}/ "
@@ -303,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-preload",
         action="store_true",
         help="skip pre-encoding the hot payloads at startup",
+    )
+    serve_cmd.add_argument(
+        "--from-store",
+        action="store_true",
+        help="serve a finished study straight from the columnar store "
+        "given by --store (memory-mapped, no crawl)",
     )
     serve_cmd.set_defaults(handler=_cmd_serve)
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import os
 import sqlite3
 import threading
 from collections.abc import Iterator
@@ -360,6 +361,43 @@ class CollectionDatabase:
         with self._connect() as conn:
             (count,) = conn.execute("SELECT COUNT(*) FROM spikes").fetchone()
         return int(count)
+
+    # -- shard partitions --------------------------------------------------------
+
+    def merge_partition(self, path: str) -> None:
+        """Merge a shard partition database (see :mod:`repro.runtime.shard`)
+        into this one, in one transaction.
+
+        Rows are copied in primary-key order — partitions shard by
+        geography, so the copy is conflict-free and the merged tables
+        are byte-for-byte what a serial run would have written,
+        whatever order the shards finished in.
+        """
+        if not os.path.exists(path):
+            return  # a shard that resumed everything writes nothing
+        try:
+            with self._connect() as conn:
+                conn.execute("ATTACH DATABASE ? AS shard", (path,))
+                try:
+                    conn.execute(
+                        "INSERT OR REPLACE INTO frames SELECT * FROM shard.frames "
+                        "ORDER BY term, geo, start, end, sample_round"
+                    )
+                    conn.execute(
+                        "INSERT OR REPLACE INTO series SELECT * FROM shard.series "
+                        "ORDER BY term, geo"
+                    )
+                    conn.execute(
+                        "INSERT OR REPLACE INTO spikes SELECT * FROM shard.spikes "
+                        "ORDER BY term, geo, peak"
+                    )
+                    conn.commit()
+                finally:
+                    conn.execute("DETACH DATABASE shard")
+        except sqlite3.Error as error:
+            raise DatabaseError(
+                f"failed to merge shard partition {path!r}: {error}"
+            ) from error
 
     # -- checkpoints -------------------------------------------------------------
 

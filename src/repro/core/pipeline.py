@@ -56,8 +56,10 @@ from repro.core.progress import (
     GeoStarted,
     ProgressEvent,
     ProgressListener,
+    ShardStats,
     StudyFinished,
     StudyStarted,
+    peak_rss_kb,
 )
 from repro.core.series import HourlyTimeline
 from repro.core.spikes import Spike, SpikeSet
@@ -305,27 +307,42 @@ class Sift:
         result, _ = self._analyze_or_resume(geo, window, index=0, total=1)
         return result
 
+    def _resume_from_checkpoint(
+        self, geo: str, window: TimeWindow, index: int, total: int
+    ) -> StateResult | None:
+        """A checkpointed result for *geo* (with progress events), or None.
+
+        Shared by the inline per-geography stage and the sharded driver
+        (:mod:`repro.runtime.shard`), which resumes in the parent before
+        dispatching work to worker processes.
+        """
+        if self.checkpoint is None:
+            return None
+        restored = self.checkpoint.load_state(geo, window)
+        if restored is None:
+            return None
+        self._emit(CheckpointHit(geo=geo, spike_count=len(restored.spikes)))
+        self._emit(
+            GeoFinished(
+                geo=geo,
+                index=index,
+                total=total,
+                spike_count=len(restored.spikes),
+                rounds_used=restored.averaging.rounds_used,
+                converged=restored.averaging.converged,
+                from_checkpoint=True,
+                elapsed_seconds=0.0,
+            )
+        )
+        return restored
+
     def _analyze_or_resume(
         self, geo: str, window: TimeWindow, index: int, total: int
     ) -> tuple[StateResult, bool]:
         """One geography's result, from the checkpoint when possible."""
-        if self.checkpoint is not None:
-            restored = self.checkpoint.load_state(geo, window)
-            if restored is not None:
-                self._emit(CheckpointHit(geo=geo, spike_count=len(restored.spikes)))
-                self._emit(
-                    GeoFinished(
-                        geo=geo,
-                        index=index,
-                        total=total,
-                        spike_count=len(restored.spikes),
-                        rounds_used=restored.averaging.rounds_used,
-                        converged=restored.averaging.converged,
-                        from_checkpoint=True,
-                        elapsed_seconds=0.0,
-                    )
-                )
-                return restored, True
+        restored = self._resume_from_checkpoint(geo, window, index, total)
+        if restored is not None:
+            return restored, True
         self._emit(GeoStarted(geo=geo, index=index, total=total))
         started = time.perf_counter()
         averaging = self.build_timeline(geo, window)
@@ -395,10 +412,31 @@ class Sift:
             index, geo = indexed
             return self._analyze_or_resume(geo, window, index=index, total=total)
 
+        stage_started = time.perf_counter()
+        sharded = getattr(self.executor, "shards_study", False)
         if self.executor is None:
             outcomes = [analyze_one(pair) for pair in enumerate(geos)]
+        elif sharded:
+            # A process executor drives the whole stage itself: parent
+            # resume, shard dispatch, progress forwarding, partition
+            # merge (see repro.runtime.shard).  Workers emit their own
+            # ShardStats from inside each process.
+            outcomes = self.executor.run_sharded_study(self, geos, window)
         else:
             outcomes = self.executor.map(analyze_one, list(enumerate(geos)))
+        if not sharded:
+            # In-process execution is one "shard": report its wall-clock
+            # and peak RSS so every executor exposes a memory profile.
+            self._emit(
+                ShardStats(
+                    shard=0,
+                    executor=getattr(self.executor, "kind", "serial"),
+                    worker_count=getattr(self.executor, "max_workers", 1),
+                    geo_count=total,
+                    elapsed_seconds=time.perf_counter() - stage_started,
+                    peak_rss_kb=peak_rss_kb(),
+                )
+            )
         states = {geo: result for geo, (result, _) in zip(geos, outcomes)}
         resumed = tuple(
             geo for geo, (_, from_checkpoint) in zip(geos, outcomes) if from_checkpoint

@@ -17,11 +17,28 @@ serialized), so listeners shared across runs should still be cheap.
 from __future__ import annotations
 
 import dataclasses
+import sys
 import threading
 from collections import deque
 from collections.abc import Callable
 
 from repro.timeutil import TimeWindow
+
+
+def peak_rss_kb() -> int:
+    """Peak resident-set size of the calling process, in KiB.
+
+    ``getrusage`` reports KiB on Linux and bytes on macOS; both are
+    normalized to KiB.  Returns 0 on platforms without ``resource``.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        peak //= 1024
+    return int(peak)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -185,6 +202,32 @@ class FaultStats(ProgressEvent):
             f"{sum(self.injected.values())} injected, "
             f"{self.retries} retries, breaker {self.breaker_opened} opens, "
             f"{self.dead_letters} dead-lettered"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ShardStats(ProgressEvent):
+    """Resource accounting for one execution shard of a study.
+
+    A process-sharded study emits one per worker process (its slice of
+    the geographies, wall-clock, and peak RSS as measured *inside* the
+    worker); serial and thread runs emit a single shard covering the
+    whole per-geography stage, so the memory profile of a workload is
+    observable under every executor.
+    """
+
+    shard: int
+    executor: str  # "serial" | "thread" | "process"
+    worker_count: int
+    geo_count: int
+    elapsed_seconds: float
+    peak_rss_kb: int
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.shard} [{self.executor}]: {self.geo_count} geos "
+            f"in {self.elapsed_seconds:.2f}s, peak RSS "
+            f"{self.peak_rss_kb / 1024:.0f} MiB"
         )
 
 

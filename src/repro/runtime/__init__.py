@@ -7,10 +7,13 @@ Everything about *how* a study runs — as opposed to *what* it computes
   factory that wires world, service, crawler, and pipeline together
   for the CLI, the web app, the benchmarks, and the examples;
 * :class:`StudyExecutor` (:class:`SerialExecutor`,
-  :class:`ThreadPoolStudyExecutor`) — per-geography parallelism with
-  deterministic ordering;
+  :class:`ThreadPoolStudyExecutor`,
+  :class:`ProcessPoolStudyExecutor`) — per-geography parallelism with
+  deterministic ordering, across threads or geography-sharded worker
+  processes;
 * :class:`DatabaseCheckpoint` — durable per-geography resume through
-  the collection database;
+  the collection database (the columnar alternative lives in
+  :mod:`repro.store`);
 * the structured progress events of :mod:`repro.core.progress`,
   re-exported for convenience.
 """
@@ -28,6 +31,7 @@ from repro.core.progress import (
     ProgressListener,
     ProgressLog,
     ServingStats,
+    ShardStats,
     SnapshotInstalled,
     StudyFinished,
     StudyStarted,
@@ -35,6 +39,8 @@ from repro.core.progress import (
 )
 from repro.runtime.checkpoint import DatabaseCheckpoint
 from repro.runtime.executor import (
+    EXECUTOR_KINDS,
+    ProcessPoolStudyExecutor,
     SerialExecutor,
     StudyExecutor,
     ThreadPoolStudyExecutor,
@@ -55,10 +61,12 @@ __all__ = [
     "CheckpointHit",
     "CrawlStats",
     "DatabaseCheckpoint",
+    "EXECUTOR_KINDS",
     "FaultStats",
     "FramesDropped",
     "GeoFinished",
     "GeoStarted",
+    "ProcessPoolStudyExecutor",
     "ProgressEvent",
     "ProgressListener",
     "ProgressLog",
@@ -67,6 +75,7 @@ __all__ = [
     "STUDY_START",
     "SerialExecutor",
     "ServingStats",
+    "ShardStats",
     "SnapshotInstalled",
     "StudyExecutor",
     "StudyFinished",

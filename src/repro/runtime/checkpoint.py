@@ -8,31 +8,34 @@ table, the detected spikes into the ``spikes`` table, both written in
 one transaction as the geography completes — and a resuming study
 serves those geographies straight from the database.
 
-The checkpoint is keyed by (term, geo) and stamped with the study
-window, the averaging diagnostics, and the reconstruction backend
-(stitcher/averager registry names plus the stitch report) in the
-series row's metadata.  A stored result is only honored when the
-requested window matches — a database file can never leak a stale
-study into a different one — and a *backend* mismatch refuses loudly
+The checkpoint is keyed by (term, geo) and stamped with the shared
+metadata record of :mod:`repro.store.meta`: the study window, the
+averaging diagnostics, and the reconstruction backend
+(stitcher/averager registry names plus the stitch report).  A stored
+result is only honored when the requested window matches — a database
+file can never leak a stale study into a different one — and a
+*backend* mismatch refuses loudly
 (:class:`repro.errors.CheckpointMismatchError`): silently mixing
 timelines produced under different calibration semantics would corrupt
 the study, whereas a window mismatch just means the geography
-re-analyzes.
+re-analyzes.  Because the metadata record is shared with
+:class:`repro.store.ColumnarStore`, checkpoints copy losslessly
+between the two formats and a study resumes from either.
 """
 
 from __future__ import annotations
 
 from repro.collection.database import CollectionDatabase
-from repro.core.averaging import AveragingResult
 from repro.core.pipeline import StateResult, StudyCheckpoint
 from repro.core.reconstruct import DEFAULT_AVERAGER, DEFAULT_STITCHER
-from repro.core.series import HourlyTimeline
 from repro.core.spikes import SpikeSet
-from repro.core.stitching import StitchReport
-from repro.errors import CheckpointMismatchError
+from repro.store.meta import (
+    require_backend,
+    restore_state,
+    state_meta,
+    window_matches,
+)
 from repro.timeutil import TimeWindow
-
-_EMPTY_STITCH = StitchReport(frames=0, carried_ratios=0, ratios=())
 
 
 class DatabaseCheckpoint(StudyCheckpoint):
@@ -53,23 +56,12 @@ class DatabaseCheckpoint(StudyCheckpoint):
         self.averager = averager
 
     def save_state(self, result: StateResult, window: TimeWindow) -> None:
-        averaging = result.averaging
-        meta = {
-            "window_start": window.start.isoformat(),
-            "window_end": window.end.isoformat(),
-            "rounds_used": averaging.rounds_used,
-            "converged": averaging.converged,
-            "similarity_history": list(averaging.similarity_history),
-            "stitcher": averaging.stitcher,
-            "averager": averaging.averager,
-            "stitch_report": averaging.stitch_report.to_dict(),
-        }
         self.database.store_checkpoint(
             self.term,
             result.geo,
             result.timeline.start,
             result.timeline.values,
-            meta,
+            state_meta(result, window),
             list(result.spikes),
         )
 
@@ -77,47 +69,26 @@ class DatabaseCheckpoint(StudyCheckpoint):
         meta = self.database.load_series_meta(self.term, geo)
         if meta is None:
             return None
-        if (
-            meta.get("window_start") != window.start.isoformat()
-            or meta.get("window_end") != window.end.isoformat()
-        ):
+        if not window_matches(meta, window):
             return None
         # Checkpoints written before backends existed are default-backend.
-        stored_stitcher = meta.get("stitcher", DEFAULT_STITCHER)
-        stored_averager = meta.get("averager", DEFAULT_AVERAGER)
-        if stored_stitcher != self.stitcher or stored_averager != self.averager:
-            raise CheckpointMismatchError(
-                f"checkpoint for {geo!r} was built with "
-                f"stitcher={stored_stitcher!r}/averager={stored_averager!r} "
-                f"but this study is configured with "
-                f"stitcher={self.stitcher!r}/averager={self.averager!r}; "
-                f"rerun with the stored backend or use a fresh database"
-            )
+        stitcher, averager = require_backend(
+            meta, geo, self.stitcher, self.averager,
+            DEFAULT_STITCHER, DEFAULT_AVERAGER,
+        )
         series = self.database.load_series(self.term, geo)
         if series is None:
             return None
         start, values = series
-        timeline = HourlyTimeline(term=self.term, geo=geo, start=start, values=values)
-        spikes = SpikeSet(self.database.load_spikes(term=self.term, geo=geo))
-        report_meta = meta.get("stitch_report")
-        report = (
-            StitchReport.from_dict(report_meta)
-            if report_meta is not None
-            else _EMPTY_STITCH
-        )
-        averaging = AveragingResult(
-            timeline=timeline,
-            spikes=spikes,
-            rounds_used=int(meta.get("rounds_used", 0)),
-            converged=bool(meta.get("converged", False)),
-            similarity_history=tuple(meta.get("similarity_history", ())),
-            stitch_report=report,
-            responses=(),
-            stitcher=stored_stitcher,
-            averager=stored_averager,
-        )
-        return StateResult(
-            geo=geo, timeline=timeline, spikes=spikes, averaging=averaging
+        return restore_state(
+            term=self.term,
+            geo=geo,
+            start=start,
+            values=values,
+            meta=meta,
+            spikes=SpikeSet(self.database.load_spikes(term=self.term, geo=geo)),
+            stitcher=stitcher,
+            averager=averager,
         )
 
     def save_annotated(self, spikes: SpikeSet) -> None:

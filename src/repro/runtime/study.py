@@ -30,11 +30,18 @@ from types import TracebackType
 
 from repro.collection.database import CollectionDatabase
 from repro.collection.scheduler import CollectionManager, CrawlReport
-from repro.core.pipeline import Sift, SiftConfig, StateResult, StudyResult
+from repro.core.pipeline import (
+    Sift,
+    SiftConfig,
+    StateResult,
+    StudyCheckpoint,
+    StudyResult,
+)
 from repro.core.progress import ProgressListener
 from repro.errors import ConfigurationError
 from repro.runtime.checkpoint import DatabaseCheckpoint
 from repro.runtime.executor import StudyExecutor, make_executor
+from repro.store import ColumnarStore
 from repro.timeutil import TimeWindow, utc
 from repro.trends.faults import (
     PROFILES,
@@ -77,10 +84,20 @@ class RuntimeConfig:
     sift: SiftConfig = dataclasses.field(default_factory=SiftConfig)
     start: datetime = STUDY_START
     end: datetime = STUDY_END
-    #: Threads analyzing geographies concurrently (1 = serial study).
+    #: Workers analyzing geographies concurrently (1 = serial study).
     max_workers: int = 1
+    #: Where those workers run: ``"auto"`` (serial for one worker, a
+    #: thread pool otherwise), ``"serial"``, ``"thread"``, or
+    #: ``"process"`` (geography-sharded worker processes).  Results are
+    #: byte-identical across kinds and worker counts for a fixed seed.
+    executor: str = "auto"
     #: ``":memory:"`` or a sqlite file path (enables durable resume).
     database: str = ":memory:"
+    #: Optional columnar store directory (:class:`repro.store.ColumnarStore`).
+    #: When set, per-geography checkpoints land there (memory-mapped
+    #: ``.npy`` columns + manifest) instead of the sqlite tables, and
+    #: the serving layer can load the finished study zero-copy.
+    store: str | None = None
     #: Persist per-geography results and resume completed geographies.
     checkpoint: bool = True
     #: Chaos: a profile name from :data:`repro.trends.faults.PROFILES`
@@ -150,17 +167,40 @@ class StudyRuntime:
             database=self.database,
             clock=self.clock,
         )
-        self.executor: StudyExecutor = make_executor(config.max_workers)
-        self.checkpoint: DatabaseCheckpoint | None = (
-            DatabaseCheckpoint(
-                self.database,
+        self.executor: StudyExecutor = make_executor(
+            config.max_workers, config.executor
+        )
+        self.store: ColumnarStore | None = (
+            ColumnarStore(
+                config.store,
                 term=config.sift.term,
                 stitcher=config.sift.stitcher,
                 averager=config.sift.averager,
             )
-            if config.checkpoint
+            if config.store is not None
             else None
         )
+        if config.checkpoint:
+            # The columnar store, when configured, is the checkpoint
+            # backend; the sqlite tables otherwise.
+            self.checkpoint: StudyCheckpoint | None = (
+                self.store
+                if self.store is not None
+                else DatabaseCheckpoint(
+                    self.database,
+                    term=config.sift.term,
+                    stitcher=config.sift.stitcher,
+                    averager=config.sift.averager,
+                )
+            )
+        else:
+            self.checkpoint = None
+        if self.executor.shards_study:
+            # Process executors rebuild workers from the config and
+            # merge shard partitions into these parent stores.
+            self.executor.configure(
+                config, database=self.database, store=self.store
+            )
         self.sift = Sift(
             self.manager,
             config.sift,
@@ -176,7 +216,9 @@ class StudyRuntime:
         seed: int = 20221025,
         fetcher_count: int = 4,
         max_workers: int = 1,
+        executor: str = "auto",
         database: str = ":memory:",
+        store: str | None = None,
         checkpoint: bool = True,
         sift: SiftConfig | None = None,
         start: datetime | None = None,
@@ -212,7 +254,9 @@ class StudyRuntime:
                 start=start or STUDY_START,
                 end=end or STUDY_END,
                 max_workers=max_workers,
+                executor=executor,
                 database=database,
+                store=store,
                 checkpoint=checkpoint,
                 faults=faults,
                 fault_seed=fault_seed,
@@ -228,24 +272,69 @@ class StudyRuntime:
     def window(self) -> TimeWindow:
         return TimeWindow(self.config.start, self.config.end)
 
+    @property
+    def executor_kind(self) -> str:
+        """The resolved executor kind (``"auto"`` never leaks out)."""
+        return self.executor.kind
+
+    def execution_info(self) -> dict:
+        """The execution policy, as ``/api/runtime`` reports it."""
+        return {
+            "executor": self.executor.kind,
+            "max_workers": self.executor.max_workers,
+            "database": self.config.database,
+            "store": self.config.store,
+            "checkpoint": self.config.checkpoint,
+        }
+
     def run_study(
         self,
         geos: tuple[str, ...] | list[str] | None = None,
         window: TimeWindow | None = None,
     ) -> StudyResult:
         """Run the full SIFT study (defaults: all geos, full window)."""
-        return self.sift.run_study(
+        study = self.sift.run_study(
             tuple(geos) if geos is not None else ALL_GEOS,
             window or self.window,
         )
+        if self.store is not None:
+            # Stamp study-wide results so the store alone can serve the
+            # finished study (QueryIndex.from_store) with the original
+            # fingerprint.
+            self.store.record_summary(study)
+        return study
 
     def analyze_state(self, geo: str, window: TimeWindow | None = None) -> StateResult:
         """Single-geography pipeline run over the study window."""
         return self.sift.analyze_state(geo, window or self.window)
 
     def report(self) -> CrawlReport:
-        """Lifetime crawl accounting for this runtime's collection layer."""
-        return self.manager.report()
+        """Lifetime crawl accounting for this runtime's collection layer.
+
+        Under the process executor the crawl happens inside worker
+        processes, invisible to the parent's collection layer; their
+        forwarded per-shard :class:`~repro.core.progress.CrawlStats`
+        are folded in so the report covers the whole study regardless
+        of executor.  ``elapsed_seconds`` sums per-process crawl time
+        (shards overlap in wall-clock), and ``per_fetcher`` stays
+        parent-side — worker fleets are private to their processes.
+        """
+        report = self.manager.report()
+        worker_crawl = getattr(self.executor, "worker_crawl", None)
+        if not worker_crawl:
+            return report
+        return dataclasses.replace(
+            report,
+            requested=report.requested + sum(s.requested for s in worker_crawl),
+            fetched=report.fetched + sum(s.fetched for s in worker_crawl),
+            served_from_cache=report.served_from_cache
+            + sum(s.served_from_cache for s in worker_crawl),
+            retries=report.retries + sum(s.retries for s in worker_crawl),
+            elapsed_seconds=report.elapsed_seconds
+            + sum(s.elapsed_seconds for s in worker_crawl),
+            dead_lettered=report.dead_lettered
+            + sum(s.dead_lettered for s in worker_crawl),
+        )
 
     def serve_web(
         self,
@@ -270,6 +359,7 @@ class StudyRuntime:
             progress_log=progress_log,
             crawl_report=self.report(),
             fault_report=self.fault_report(),
+            execution=self.execution_info(),
             **options,
         )
 

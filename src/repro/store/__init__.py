@@ -1,0 +1,31 @@
+"""Persistence formats for study results.
+
+``repro.store`` deliberately imports only :mod:`repro.core` — the
+runtime layer builds on the store, never the reverse — so both the
+sqlite checkpoint (:class:`repro.runtime.DatabaseCheckpoint`) and the
+columnar store here can share one checkpoint-metadata contract
+(:mod:`repro.store.meta`) without an import cycle.
+"""
+
+from repro.store.columnar import FORMAT, MANIFEST, SERIES_DIR, ColumnarStore
+from repro.store.meta import (
+    require_backend,
+    restore_state,
+    spikes_from_dicts,
+    spikes_to_dicts,
+    state_meta,
+    window_matches,
+)
+
+__all__ = [
+    "FORMAT",
+    "MANIFEST",
+    "SERIES_DIR",
+    "ColumnarStore",
+    "require_backend",
+    "restore_state",
+    "spikes_from_dicts",
+    "spikes_to_dicts",
+    "state_meta",
+    "window_matches",
+]

@@ -1,0 +1,120 @@
+"""Checkpoint metadata shared by every study-result persistence format.
+
+Both persistence backends — the sqlite ``series``/``spikes`` tables
+(:class:`repro.runtime.DatabaseCheckpoint`) and the partitioned
+columnar store (:class:`repro.store.ColumnarStore`) — stamp a stored
+per-geography result with the same metadata record: the study window,
+the averaging diagnostics, and the reconstruction backend that built
+it.  Keeping the build/parse logic here (and only here) is what makes
+the formats interoperable: a checkpoint can be copied between formats
+byte-for-byte and a resume behaves identically whichever store serves
+it — a window mismatch re-analyzes, a backend mismatch refuses loudly.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+
+from repro.core.averaging import AveragingResult
+from repro.core.pipeline import StateResult
+from repro.core.series import HourlyTimeline
+from repro.core.spikes import Spike, SpikeSet
+from repro.core.stitching import StitchReport
+from repro.errors import CheckpointMismatchError
+from repro.timeutil import TimeWindow
+
+_EMPTY_STITCH = StitchReport(frames=0, carried_ratios=0, ratios=())
+
+
+def state_meta(result: StateResult, window: TimeWindow) -> dict:
+    """The JSON-safe metadata stamped on a stored per-geography result."""
+    averaging = result.averaging
+    return {
+        "window_start": window.start.isoformat(),
+        "window_end": window.end.isoformat(),
+        "rounds_used": averaging.rounds_used,
+        "converged": averaging.converged,
+        "similarity_history": list(averaging.similarity_history),
+        "stitcher": averaging.stitcher,
+        "averager": averaging.averager,
+        "stitch_report": averaging.stitch_report.to_dict(),
+    }
+
+
+def window_matches(meta: dict, window: TimeWindow) -> bool:
+    """Whether a stored result belongs to *window* (else: re-analyze)."""
+    return (
+        meta.get("window_start") == window.start.isoformat()
+        and meta.get("window_end") == window.end.isoformat()
+    )
+
+
+def require_backend(
+    meta: dict,
+    geo: str,
+    stitcher: str,
+    averager: str,
+    default_stitcher: str,
+    default_averager: str,
+) -> tuple[str, str]:
+    """The stored backend pair, refusing a mismatch loudly.
+
+    Checkpoints written before backends existed load as the defaults;
+    anything else must match the resuming study's configuration —
+    silently mixing timelines produced under different calibration
+    semantics would corrupt the study.
+    """
+    stored_stitcher = meta.get("stitcher", default_stitcher)
+    stored_averager = meta.get("averager", default_averager)
+    if stored_stitcher != stitcher or stored_averager != averager:
+        raise CheckpointMismatchError(
+            f"checkpoint for {geo!r} was built with "
+            f"stitcher={stored_stitcher!r}/averager={stored_averager!r} "
+            f"but this study is configured with "
+            f"stitcher={stitcher!r}/averager={averager!r}; "
+            f"rerun with the stored backend or use a fresh database"
+        )
+    return stored_stitcher, stored_averager
+
+
+def restore_state(
+    term: str,
+    geo: str,
+    start: datetime,
+    values: np.ndarray,
+    meta: dict,
+    spikes: SpikeSet,
+    stitcher: str,
+    averager: str,
+) -> StateResult:
+    """Rebuild a :class:`StateResult` from its stored pieces."""
+    timeline = HourlyTimeline(term=term, geo=geo, start=start, values=values)
+    report_meta = meta.get("stitch_report")
+    report = (
+        StitchReport.from_dict(report_meta)
+        if report_meta is not None
+        else _EMPTY_STITCH
+    )
+    averaging = AveragingResult(
+        timeline=timeline,
+        spikes=spikes,
+        rounds_used=int(meta.get("rounds_used", 0)),
+        converged=bool(meta.get("converged", False)),
+        similarity_history=tuple(meta.get("similarity_history", ())),
+        stitch_report=report,
+        responses=(),
+        stitcher=stitcher,
+        averager=averager,
+    )
+    return StateResult(geo=geo, timeline=timeline, spikes=spikes, averaging=averaging)
+
+
+def spikes_to_dicts(spikes) -> list[dict]:
+    """JSON rows for a spike collection (manifest storage)."""
+    return [spike.to_dict() for spike in spikes]
+
+
+def spikes_from_dicts(rows: list[dict]) -> SpikeSet:
+    return SpikeSet([Spike.from_dict(row) for row in rows])

@@ -54,6 +54,7 @@ from repro.core.progress import (
     ProgressListener,
     ProgressLog,
     ServingStats,
+    ShardStats,
     SnapshotInstalled,
 )
 from repro.errors import ReproError
@@ -236,6 +237,7 @@ class SiftWebApp:
         progress_log: ProgressLog | None = None,
         crawl_report: CrawlReport | None = None,
         fault_report: FaultReport | None = None,
+        execution: dict | None = None,
         *,
         cache_size: int = 512,
         caching: bool = True,
@@ -246,6 +248,9 @@ class SiftWebApp:
         self.progress_log = progress_log
         self.crawl_report = crawl_report
         self.fault_report = fault_report
+        #: Execution policy of the run that produced the study (executor
+        #: kind, worker count, stores) as reported by ``/api/runtime``.
+        self.execution = execution
         self._caching = caching
         self._preload = preload
         self._progress = progress
@@ -568,8 +573,28 @@ class SiftWebApp:
             "crawl": crawl,
             "faults": faults,
             "reconstruction": self._reconstruction(),
+            "execution": self._execution(),
             "serving": self.serving_stats().to_dict(),
         }
+
+    def _execution(self) -> dict | None:
+        """Execution policy plus per-shard wall-clock / peak-RSS rows.
+
+        The shard rows come from the :class:`ShardStats` events every
+        executor emits (worker processes forward theirs through the
+        shard queue), so even a serial run reports its memory profile.
+        """
+        shards = []
+        if self.progress_log is not None:
+            shards = [
+                event.to_dict()
+                for event in self.progress_log.of_type(ShardStats)
+            ]
+        if self.execution is None and not shards:
+            return None
+        payload = dict(self.execution) if self.execution is not None else {}
+        payload["shards"] = shards
+        return payload
 
     def _reconstruction(self) -> dict:
         """Active reconstruction backend plus per-geo stitch diagnostics.
@@ -665,6 +690,7 @@ def serve(
     progress_log: ProgressLog | None = None,
     crawl_report: CrawlReport | None = None,
     fault_report: FaultReport | None = None,
+    execution: dict | None = None,
     *,
     cache_size: int = 512,
     caching: bool = True,
@@ -682,6 +708,7 @@ def serve(
         progress_log=progress_log,
         crawl_report=crawl_report,
         fault_report=fault_report,
+        execution=execution,
         cache_size=cache_size,
         caching=caching,
         preload=preload,

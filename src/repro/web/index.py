@@ -11,8 +11,9 @@ the query-shaped artifacts once per snapshot:
 
 * per-geo value columns with prefix sums (window sums, means and
   non-zero counts in O(1)) and block maxima (window peaks in O(n/B));
-* display-rounded value lists, so a timeline response body is a plain
-  list slice instead of a numpy-to-python conversion loop;
+* vectorized display rounding (one ``np.round`` per response window
+  instead of a per-value Python ``round`` loop), with the rounded
+  payloads held by the response cache;
 * spike tables in peak order with a duration-sorted permutation: a
   ``min_hours`` filter is one ``searchsorted`` plus an index gather;
 * outage rows pre-rendered to JSON-safe dicts with a footprint-sorted
@@ -25,6 +26,12 @@ the query-shaped artifacts once per snapshot:
 Filters are canonicalized to *cut positions*: ``min_hours=7`` and
 ``min_hours=9`` selecting the same spikes map to the same cut, so the
 response cache collapses equivalent queries into one entry.
+
+The index never copies a timeline it is given: a column keeps a
+reference to the study's value array (already contiguous float64), so
+a study loaded from the columnar store (:meth:`QueryIndex.from_store`)
+serves straight off the memory-mapped ``.npy`` files — the derived
+prefix/block artifacts are small, and the raw series pages in lazily.
 """
 
 from __future__ import annotations
@@ -54,7 +61,6 @@ class GeoColumn:
         "term",
         "start",
         "hours",
-        "rounded",
         "_values",
         "_prefix",
         "_nonzero",
@@ -65,19 +71,31 @@ class GeoColumn:
         self.geo = timeline.geo
         self.term = timeline.term
         self.start = timeline.start
-        values = np.ascontiguousarray(timeline.values, dtype=np.float64)
+        values = timeline.values
+        if values.dtype != np.float64 or not values.flags["C_CONTIGUOUS"]:
+            values = np.ascontiguousarray(values, dtype=np.float64)
+        # Zero-copy for the common case: study timelines (and the
+        # columnar store's memory-mapped columns) are already
+        # contiguous float64, so the column aliases them directly.
         self._values = values
         self.hours = int(values.size)
-        # The display list is what a timeline response serves; rounding
-        # once per snapshot replaces the old per-request round loop.
-        self.rounded = [round(float(value), 3) for value in values]
         self._prefix = np.concatenate(([0.0], np.cumsum(values, dtype=np.float64)))
         self._nonzero = np.concatenate(
             ([0], np.cumsum(values > 0, dtype=np.int64))
         )
-        pad = (-self.hours) % _BLOCK
-        padded = np.pad(values, (0, pad), constant_values=0.0) if pad else values
-        self._block_max = padded.reshape(-1, _BLOCK).max(axis=1)
+        # Block maxima without materializing a padded copy of the
+        # series: full blocks reduce through a reshaped view, the
+        # ragged tail separately.
+        full = self.hours // _BLOCK
+        tail = self.hours - full * _BLOCK
+        block_max = np.zeros(full + (1 if tail else 0), dtype=np.float64)
+        if full:
+            block_max[:full] = (
+                values[: full * _BLOCK].reshape(full, _BLOCK).max(axis=1)
+            )
+        if tail:
+            block_max[full] = values[full * _BLOCK :].max()
+        self._block_max = block_max
 
     def locate(self, window: TimeWindow) -> tuple[int, int]:
         """(lo, hi) hour offsets of *window*; raises for out-of-range."""
@@ -117,6 +135,16 @@ class GeoColumn:
         if last > first + 1:
             peak = max(peak, float(self._block_max[first + 1 : last].max()))
         return peak
+
+    def rounded_slice(self, lo: int, hi: int) -> list[float]:
+        """Display-rounded values for one response window.
+
+        Vectorized and computed per request window (then held by the
+        response cache) instead of materializing a rounded copy of the
+        whole study up front — the big-study index would otherwise pay
+        a Python-object list per geography before serving anything.
+        """
+        return np.round(self._values[lo:hi], 3).tolist()
 
 
 class SpikeTable:
@@ -208,6 +236,17 @@ class QueryIndex:
         }
         self.outages = OutageTable(study.outages)
 
+    @classmethod
+    def from_store(cls, store) -> "QueryIndex":
+        """Index a study straight from a columnar store.
+
+        The store's columns stay memory-mapped end to end: the loaded
+        timelines alias the ``.npy`` files and :class:`GeoColumn` never
+        copies them, so serving a big study costs the derived artifacts
+        only — raw series pages fault in on demand.
+        """
+        return cls(store.load_study())
+
     # -- lookups -------------------------------------------------------------
 
     def column(self, geo: str) -> GeoColumn:
@@ -234,7 +273,7 @@ class QueryIndex:
             "mean": round(column.window_mean(lo, hi), 3),
             "peak": round(column.window_peak(lo, hi), 3),
             "nonzero_hours": column.window_nonzero(lo, hi),
-            "values": column.rounded[lo:hi],
+            "values": column.rounded_slice(lo, hi),
         }
 
     def spikes_payload(self, geo: str, cut: int) -> dict:

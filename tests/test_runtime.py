@@ -31,6 +31,7 @@ from repro.core.progress import (
 )
 from repro.errors import CheckpointMismatchError, ConfigurationError, DatabaseError
 from repro.runtime import (
+    ProcessPoolStudyExecutor,
     SerialExecutor,
     StudyRuntime,
     ThreadPoolStudyExecutor,
@@ -67,6 +68,33 @@ class TestExecutors:
     def test_thread_pool_rejects_nonpositive(self):
         with pytest.raises(ConfigurationError):
             ThreadPoolStudyExecutor(0)
+
+    def test_negative_workers_raise_everywhere(self):
+        # make_executor used to silently fall back to serial for
+        # negative counts while the pool constructors raised.
+        for kind in ("auto", "serial", "thread", "process"):
+            with pytest.raises(ConfigurationError):
+                make_executor(-3, kind)
+        with pytest.raises(ConfigurationError):
+            ThreadPoolStudyExecutor(-3)
+        with pytest.raises(ConfigurationError):
+            ProcessPoolStudyExecutor(-3)
+
+    def test_explicit_kinds_map_to_executors(self):
+        assert isinstance(make_executor(4, "serial"), SerialExecutor)
+        assert isinstance(make_executor(4, "thread"), ThreadPoolStudyExecutor)
+        assert isinstance(make_executor(4, "process"), ProcessPoolStudyExecutor)
+        assert make_executor(4, "process").max_workers == 4
+        with pytest.raises(ConfigurationError):
+            make_executor(4, "fibers")
+
+    def test_unbound_process_executor_refuses_to_shard(self):
+        executor = ProcessPoolStudyExecutor(2)
+        assert executor.shards_study
+        with pytest.raises(ConfigurationError, match="not bound"):
+            executor.run_sharded_study(
+                None, ("US-TX",), TimeWindow(WINDOW_START, WINDOW_END)
+            )
 
     def test_map_preserves_input_order(self):
         barrier = threading.Barrier(4)

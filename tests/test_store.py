@@ -1,0 +1,197 @@
+"""Tests for the partitioned columnar series store.
+
+The store is the second study-checkpoint format (the sqlite tables are
+the first); the contract is exact interop: checkpoints roundtrip
+between formats byte-for-byte, resume behaves identically from either,
+and the serving layer loads a stored study **zero-copy** through
+memory-mapped ``.npy`` columns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.collection import CollectionDatabase
+from repro.core import SiftConfig
+from repro.errors import CheckpointMismatchError, DatabaseError
+from repro.runtime import StudyRuntime
+from repro.store import MANIFEST, ColumnarStore
+from repro.timeutil import TimeWindow, utc
+
+from tests.conftest import MINI_GEOS, WINDOW_END, WINDOW_START
+
+WINDOW = TimeWindow(WINDOW_START, WINDOW_END)
+NO_ANNOTATE = SiftConfig(annotate=False)
+
+
+def build_runtime(**kwargs) -> StudyRuntime:
+    kwargs.setdefault("background_scale", 0.3)
+    kwargs.setdefault("start", WINDOW_START)
+    kwargs.setdefault("end", WINDOW_END)
+    return StudyRuntime.build(**kwargs)
+
+
+@pytest.fixture
+def store_dir(tmp_path) -> str:
+    return str(tmp_path / "store")
+
+
+class TestCheckpointRoundtrip:
+    def test_save_load_roundtrip(self, store_dir, tx_result):
+        store = ColumnarStore(store_dir)
+        store.save_state(tx_result, WINDOW)
+        loaded = store.load_state("US-TX", WINDOW)
+        assert loaded is not None
+        assert np.array_equal(loaded.timeline.values, tx_result.timeline.values)
+        assert [s.to_dict() for s in loaded.spikes] == [
+            s.to_dict() for s in tx_result.spikes
+        ]
+        assert loaded.averaging.rounds_used == tx_result.averaging.rounds_used
+        assert (
+            loaded.averaging.stitch_report.to_dict()
+            == tx_result.averaging.stitch_report.to_dict()
+        )
+
+    def test_loaded_series_is_memory_mapped(self, store_dir, tx_result):
+        store = ColumnarStore(store_dir)
+        store.save_state(tx_result, WINDOW)
+        loaded = store.load_state("US-TX", WINDOW)
+        assert isinstance(loaded.timeline.values, np.memmap)
+
+    def test_window_mismatch_returns_none(self, store_dir, tx_result):
+        store = ColumnarStore(store_dir)
+        store.save_state(tx_result, WINDOW)
+        other = TimeWindow(utc(2020, 1, 1), utc(2020, 3, 1))
+        assert store.load_state("US-TX", other) is None
+        assert store.completed_geos(other) == ()
+        assert store.completed_geos(WINDOW) == ("US-TX",)
+
+    def test_backend_mismatch_is_refused(self, store_dir, tx_result):
+        ColumnarStore(store_dir).save_state(tx_result, WINDOW)
+        mismatched = ColumnarStore(store_dir, stitcher="calibrated")
+        with pytest.raises(CheckpointMismatchError, match="stitcher"):
+            mismatched.load_state("US-TX", WINDOW)
+
+    def test_unknown_geo_is_none(self, store_dir):
+        assert ColumnarStore(store_dir).load_state("US-XX", WINDOW) is None
+
+    def test_foreign_manifest_is_refused(self, store_dir):
+        store = ColumnarStore(store_dir)
+        with open(os.path.join(store_dir, MANIFEST), "w") as handle:
+            json.dump({"format": "something-else/9"}, handle)
+        with pytest.raises(DatabaseError, match="manifest"):
+            store.load_state("US-TX", WINDOW)
+
+
+class TestSqliteInterop:
+    def test_columnar_and_sqlite_roundtrip_byte_identical(self, tmp_path):
+        db_path = str(tmp_path / "study.sqlite3")
+        runtime = build_runtime(database=db_path, sift=NO_ANNOTATE)
+        fresh = runtime.run_study(geos=MINI_GEOS)
+
+        store = ColumnarStore(str(tmp_path / "store"))
+        imported = store.import_database(runtime.database)
+        assert set(imported) == set(MINI_GEOS)
+        runtime.close()
+
+        exported_path = str(tmp_path / "exported.sqlite3")
+        exported_db = CollectionDatabase(exported_path)
+        store.export_database(exported_db)
+        exported_db.close()
+
+        resumed = build_runtime(database=exported_path, sift=NO_ANNOTATE)
+        study = resumed.run_study(geos=MINI_GEOS)
+        assert resumed.report().requested == 0
+        for geo in MINI_GEOS:
+            assert (
+                study.states[geo].timeline.values.tobytes()
+                == fresh.states[geo].timeline.values.tobytes()
+            )
+        resumed.close()
+
+    def test_resume_from_columnar_store_is_zero_refetch(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        first = build_runtime(store=store_dir, sift=NO_ANNOTATE)
+        first.run_study(geos=MINI_GEOS)
+        assert first.report().requested > 0
+        first.close()
+
+        second = build_runtime(
+            store=store_dir, max_workers=2, executor="process",
+            sift=NO_ANNOTATE,
+        )
+        study = second.run_study(geos=MINI_GEOS)
+        assert second.report().requested == 0
+        assert study.resumed_geos == MINI_GEOS
+        second.close()
+
+
+class TestStudyPersistence:
+    def test_store_serves_the_study_with_original_fingerprint(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        runtime = build_runtime(
+            store=store_dir, max_workers=2, executor="process"
+        )
+        study = runtime.run_study(geos=MINI_GEOS)
+        runtime.close()
+
+        loaded = ColumnarStore(store_dir).load_study()
+        assert loaded.fingerprint() == study.fingerprint()
+        assert loaded.heavy_hitters == study.heavy_hitters
+        assert loaded.suggestion_stats == study.suggestion_stats
+        assert [o.label for o in loaded.outages] == [
+            o.label for o in study.outages
+        ]
+
+    def test_save_annotated_overwrites_manifest_spikes(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        runtime = build_runtime(store=store_dir)  # annotation on
+        study = runtime.run_study(geos=("US-TX",))
+        runtime.close()
+        loaded = ColumnarStore(store_dir).load_state("US-TX", WINDOW)
+        annotated = [s.to_dict() for s in study.spikes.in_state("US-TX")]
+        assert [s.to_dict() for s in loaded.spikes] == annotated
+
+    def test_empty_store_refuses_to_load_a_study(self, tmp_path):
+        with pytest.raises(DatabaseError, match="no geographies"):
+            ColumnarStore(str(tmp_path / "empty")).load_study()
+
+
+class TestZeroCopyServing:
+    def test_query_index_from_store_serves_identical_payloads(self, tmp_path):
+        from repro.web.index import QueryIndex
+
+        store_dir = str(tmp_path / "store")
+        runtime = build_runtime(
+            store=store_dir, max_workers=2, executor="process"
+        )
+        study = runtime.run_study(geos=MINI_GEOS)
+        runtime.close()
+
+        live = QueryIndex(study)
+        stored = QueryIndex.from_store(ColumnarStore(store_dir))
+        assert stored.fingerprint == live.fingerprint
+        for geo in MINI_GEOS:
+            hours = live.column(geo).hours
+            assert stored.timeline_payload(geo, 0, hours) == (
+                live.timeline_payload(geo, 0, hours)
+            )
+            cut = live.spike_table(geo).cut(1)
+            assert stored.spikes_payload(geo, cut) == live.spikes_payload(geo, cut)
+        assert stored.summary_payload() == live.summary_payload()
+
+    def test_from_store_columns_alias_the_mmap(self, tmp_path):
+        from repro.web.index import QueryIndex
+
+        store_dir = str(tmp_path / "store")
+        runtime = build_runtime(store=store_dir, sift=NO_ANNOTATE)
+        runtime.run_study(geos=("US-TX",))
+        runtime.close()
+
+        index = QueryIndex.from_store(ColumnarStore(store_dir))
+        # GeoColumn must not have copied the memory-mapped series.
+        assert isinstance(index.column("US-TX")._values, np.memmap)
