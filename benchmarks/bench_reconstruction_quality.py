@@ -38,7 +38,7 @@ import argparse
 import itertools
 import sys
 
-from repro.analysis.validation import validate_study
+from repro.analysis.scoring import score_spikes
 from repro.core.averaging import AveragingConfig
 from repro.core.pipeline import SiftConfig
 from repro.core.reconstruct import (
@@ -113,15 +113,15 @@ def run_backend(
         sift=config,
     ) as runtime:
         study = runtime.run_study(geos=geos)
-        report = validate_study(study.spikes, runtime.scenario)
+        quality = score_spikes(study.spikes, runtime.scenario)
         rounds = [study.states[geo].averaging.rounds_used for geo in geos]
         converged = [study.states[geo].averaging.converged for geo in geos]
     return {
-        "precision": round(report.precision, 4),
-        "recall5": round(report.recall_above_intensity(5.0), 4),
+        "precision": round(quality.precision, 4),
+        "recall5": round(quality.recall_strong, 4),
         "mean_rounds": round(sum(rounds) / len(rounds), 4),
         "converged_share": round(sum(converged) / len(converged), 4),
-        "spikes": report.total_spikes,
+        "spikes": quality.total_spikes,
     }
 
 

@@ -27,6 +27,15 @@ from repro.analysis.impact import (
     yearly_counts,
 )
 from repro.analysis.export import export_study
+from repro.analysis.scoring import (
+    GroupedOutageQuality,
+    ScenarioScore,
+    SpikeQuality,
+    detection_delays,
+    score_grouped_outages,
+    score_spikes,
+    score_study,
+)
 from repro.analysis.validation import ImpactMatch, ValidationReport, validate_study
 from repro.analysis.reporting import (
     paper_vs_measured,
@@ -64,8 +73,15 @@ __all__ = [
     "state_cdf",
     "top_power_outages_by_state",
     "yearly_counts",
+    "GroupedOutageQuality",
     "ImpactMatch",
+    "ScenarioScore",
+    "SpikeQuality",
     "ValidationReport",
+    "detection_delays",
+    "score_grouped_outages",
+    "score_spikes",
+    "score_study",
     "validate_study",
     "export_study",
 ]

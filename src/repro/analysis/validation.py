@@ -110,9 +110,18 @@ class ValidationReport:
 
 
 def validate_study(
-    spikes: SpikeSet, scenario: Scenario, min_intensity: float = 0.0
+    spikes: SpikeSet,
+    scenario: Scenario,
+    min_intensity: float = 0.0,
+    *,
+    states: frozenset[str] | None = None,
 ) -> ValidationReport:
-    """Match every ground-truth impact against the detected spikes."""
+    """Match every ground-truth impact against the detected spikes.
+
+    With *states*, only impacts on those state codes count — the filter
+    partial studies (and the scenario-pack benchmark) need so impacts in
+    geographies the study never fetched are not scored as misses.
+    """
     spikes_by_state: dict[str, list[Spike]] = {}
     for spike in spikes:
         spikes_by_state.setdefault(spike.state, []).append(spike)
@@ -122,6 +131,8 @@ def validate_study(
     for event in scenario.events:
         for impact in event.impacts:
             if impact.intensity < min_intensity:
+                continue
+            if states is not None and impact.state not in states:
                 continue
             window = TimeWindow(
                 impact.onset - _MATCH_SLACK,

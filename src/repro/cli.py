@@ -8,7 +8,11 @@ Commands mirror the system's stages:
 * ``serve``    — run a study and expose the web interface (the
   response-cache knobs: ``--cache-size``, ``--no-cache``,
   ``--no-preload``);
-* ``report``   — regenerate the paper's headline numbers.
+* ``report``   — regenerate the paper's headline numbers;
+* ``scenarios`` — the foundry (DESIGN.md §11): ``generate`` compiles
+  scenario-pack families (or a spec JSON) into ground-truth worlds,
+  ``score`` runs them through the pipeline and prints per-family
+  detection quality.
 
 Every pipeline command accepts the runtime knobs: ``--workers`` and
 ``--executor {auto,serial,thread,process}`` for parallel per-geography
@@ -49,6 +53,12 @@ from repro.core.reconstruct import (
 )
 from repro.runtime import ALL_GEOS, EXECUTOR_KINDS, StudyRuntime
 from repro.trends.faults import PROFILES
+from repro.world.foundry import (
+    PACK_SEED,
+    ScenarioSpec,
+    scenario_pack,
+    score_pack_family,
+)
 from repro.world.scenarios import Scenario, ScenarioConfig
 
 
@@ -302,6 +312,86 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _selected_specs(args: argparse.Namespace) -> dict[str, ScenarioSpec]:
+    """The specs a ``scenarios`` action operates on, keyed by name."""
+    if args.spec:
+        import json
+
+        with open(args.spec, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        # Accept both a bare spec and an archived fuzzer fixture.
+        spec = ScenarioSpec.from_dict(payload.get("spec", payload))
+        return {spec.name: spec}
+    pack = scenario_pack(smoke=args.smoke)
+    if not args.families:
+        return pack
+    unknown = [name for name in args.families if name not in pack]
+    if unknown:
+        raise SystemExit(
+            f"unknown families: {', '.join(unknown)} "
+            f"(pack has: {', '.join(pack)})"
+        )
+    return {name: pack[name] for name in args.families}
+
+
+def _cmd_scenarios_generate(args: argparse.Namespace) -> int:
+    specs = _selected_specs(args)
+    if args.as_json:
+        import json
+
+        print(json.dumps(
+            {name: spec.to_dict() for name, spec in specs.items()},
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    for name, spec in specs.items():
+        scenario = spec.compile(args.seed)
+        window = spec.window
+        print(f"{name}: {len(scenario.events)} events, "
+              f"{scenario.total_impacts} impacts over {window.hours} h, "
+              f"geos={','.join(spec.geos)}")
+        rows = [
+            (
+                event.event_id,
+                event.start.strftime("%Y-%m-%d %H:%M"),
+                event.cause.value,
+                ",".join(sorted(event.states)),
+            )
+            for event in scenario.events
+        ]
+        print(render_table(("event", "start (UTC)", "cause", "states"), rows))
+    return 0
+
+
+def _cmd_scenarios_score(args: argparse.Namespace) -> int:
+    specs = _selected_specs(args)
+    rows = []
+    for name, spec in specs.items():
+        score = score_pack_family(
+            spec, args.seed, stitcher=args.stitcher, averager=args.averager
+        )
+        spikes, outages = score.spikes, score.outages
+        rows.append((
+            name,
+            f"{spikes.precision:.3f}",
+            f"{spikes.recall:.3f}",
+            f"{spikes.recall_strong:.3f}",
+            f"{spikes.mean_detection_delay_hours:.2f}",
+            f"{outages.f1:.3f}",
+            spikes.total_spikes,
+            spikes.total_impacts,
+        ))
+    print(render_table(
+        ("family", "precision", "recall", "recall>=5", "delay (h)",
+         "grouped f1", "spikes", "impacts"),
+        rows,
+        title=f"Scenario-pack detection quality "
+        f"({args.stitcher}/{args.averager}, seed {args.seed})",
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -362,6 +452,60 @@ def build_parser() -> argparse.ArgumentParser:
         "given by --store (memory-mapped, no crawl)",
     )
     serve_cmd.set_defaults(handler=_cmd_serve)
+
+    scenarios = commands.add_parser(
+        "scenarios", help="generate and score foundry scenario worlds"
+    )
+    actions = scenarios.add_subparsers(dest="action", required=True)
+
+    def _add_selection(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "families",
+            nargs="*",
+            help="scenario-pack family names (default: the whole pack)",
+        )
+        sub.add_argument(
+            "--spec",
+            default=None,
+            metavar="FILE",
+            help="operate on a ScenarioSpec JSON file (or an archived "
+            "fuzzer fixture) instead of pack families",
+        )
+        sub.add_argument(
+            "--seed",
+            type=int,
+            default=PACK_SEED,
+            help=f"world seed (default {PACK_SEED}, the frozen pack seed)",
+        )
+        sub.add_argument(
+            "--smoke",
+            action="store_true",
+            help="the reduced-scale pack the CI smoke job runs",
+        )
+
+    generate = actions.add_parser(
+        "generate", help="compile specs into ground-truth worlds"
+    )
+    _add_selection(generate)
+    generate.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the selected specs as JSON instead of event tables",
+    )
+    generate.set_defaults(handler=_cmd_scenarios_generate)
+
+    score = actions.add_parser(
+        "score", help="run generated worlds through the pipeline and score"
+    )
+    _add_selection(score)
+    score.add_argument(
+        "--stitcher", choices=stitcher_names(), default=DEFAULT_STITCHER
+    )
+    score.add_argument(
+        "--averager", choices=averager_names(), default=DEFAULT_AVERAGER
+    )
+    score.set_defaults(handler=_cmd_scenarios_score)
 
     return parser
 

@@ -21,7 +21,14 @@ from repro.world.catalog import (
 from repro.world.events import Cause, NewsRecord, OutageEvent, StateImpact
 from repro.world.population import SearchPopulation
 from repro.world.scenarios import Scenario, ScenarioConfig, headline_events
-from repro.world.states import ALL_CODES, STATES, State, get_state
+from repro.world.states import (
+    ALL_CODES,
+    STATES,
+    WORLD_CODES,
+    WORLD_REGIONS,
+    State,
+    get_state,
+)
 
 __all__ = [
     "ALL_CODES",
@@ -42,6 +49,8 @@ __all__ = [
     "STATES",
     "Term",
     "TERMS",
+    "WORLD_CODES",
+    "WORLD_REGIONS",
     "get_state",
     "get_term",
     "headline_events",

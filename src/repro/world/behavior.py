@@ -233,6 +233,10 @@ def term_baseline_per_hour(term_name: str, state_code: str) -> float:
     """Busy-hour baseline volume for a term in a state (before diurnal)."""
     term = get_term(term_name)
     state = get_state(state_code)
+    if not term.at_home(state.code):
+        # Geo-homed topics (the foundry's non-US ISPs) have exactly zero
+        # organic volume elsewhere, so the US world is bit-unchanged.
+        return 0.0
     per_million = _CATEGORY_BASE_PER_MILLION[term.category]
     flattening = (state.population / _BASELINE_PIVOT) ** _BASELINE_FLATTENING
     return per_million * flattening * state.population / 1_000_000.0

@@ -41,10 +41,19 @@ class Term:
     name: str  # canonical topic name, e.g. "Verizon"
     category: Category
     variants: tuple[str, ...] = ()  # raw queries mapping to this topic
+    #: Geography codes where the topic has organic baseline volume.
+    #: Empty means everywhere (all the paper's US terms); non-empty
+    #: restricts the baseline to those geographies, which is how the
+    #: foundry's non-US ISPs stay invisible in every US study.
+    home_geos: tuple[str, ...] = ()
 
     def all_phrasings(self) -> tuple[str, ...]:
         """Canonical name first, then every raw variant."""
         return (self.name, *self.variants)
+
+    def at_home(self, state_code: str) -> bool:
+        """Whether the topic has organic volume in *state_code*."""
+        return not self.home_geos or state_code in self.home_geos
 
 
 def _isp(name: str, *variants: str) -> Term:
@@ -65,6 +74,10 @@ def _cause(name: str, *variants: str) -> Term:
 
 def _noise(name: str, *variants: str) -> Term:
     return Term(name, Category.NOISE, variants)
+
+
+def _world_isp(name: str, home: tuple[str, ...], *variants: str) -> Term:
+    return Term(name, Category.ISP, variants, home_geos=home)
 
 
 #: The topic SIFT tracks, i.e. the paper's ``<Internet outage>``.
@@ -131,6 +144,19 @@ TERMS: tuple[Term, ...] = (
     _noise("News", "news", "breaking news"),
     _noise("Speed test", "speed test", "internet speed test"),
     _noise("Router", "router reset", "restart router", "modem lights"),
+    # --- non-US providers (scenario-foundry geographies) ---------------------
+    # Appended strictly at the END of the catalog: population tensors and
+    # the rising-candidate binomial fill both iterate in TERMS order, so
+    # appending keeps every existing seeded draw bit-identical, and the
+    # ``home_geos`` baseline gate keeps these rows at exactly zero volume
+    # in all 51 US geographies.
+    _world_isp("BT", ("GB",), "bt outage", "bt broadband down", "bt internet down"),
+    _world_isp("Vodafone", ("GB",), "vodafone outage", "vodafone down", "is vodafone down"),
+    _world_isp("Orange", ("FR",), "orange outage", "panne orange", "orange internet down"),
+    _world_isp("NTT Docomo", ("JP",), "docomo outage", "docomo down", "ntt communications outage"),
+    _world_isp("Telstra", ("AU",), "telstra outage", "telstra down", "is telstra down"),
+    _world_isp("Vivo", ("BR",), "vivo outage", "vivo down", "vivo sem internet"),
+    _world_isp("Dialog Axiata", ("LK",), "dialog outage", "dialog down", "dialog internet down"),
 )
 
 _BY_NAME = {term.name: term for term in TERMS}

@@ -1,0 +1,85 @@
+"""Scenario foundry: a generative DSL over the ground-truth world.
+
+Three layers (DESIGN.md §11):
+
+* :mod:`.spec` — the declarative DSL: :class:`ScenarioSpec` compiles
+  deterministically into the existing :class:`~repro.world.scenarios.Scenario`
+  ground truth, so generated worlds run through the unmodified pipeline;
+* :mod:`.families` — composable event-family generators (cascading CDN
+  waves, BGP-leak partial reachability, brownouts, correlated
+  power+network events, non-US diurnal structure, DST-spanning windows,
+  ...);
+* :mod:`.fuzzer` / :mod:`.pack` — the adversarial search for worlds
+  where detection silently loses ground truth, and the frozen scenario
+  pack the ``scenarios`` benchmark scores per family.
+"""
+
+from repro.world.foundry.families import (
+    BgpLeak,
+    CascadingCdnFailure,
+    CorrelatedPowerNetwork,
+    DstSpanning,
+    ExplicitOutage,
+    FlappingRecurrence,
+    NightTrough,
+    OffshoreDiurnal,
+    SharpOutage,
+    SlowBrownout,
+)
+from repro.world.foundry.fuzzer import (
+    EVAL_SEED,
+    FuzzFinding,
+    ScenarioFixture,
+    archive_finding,
+    detection_outcomes,
+    hunt,
+    load_fixture,
+    load_fixtures,
+    replay_fixture,
+    silent_losses,
+)
+from repro.world.foundry.pack import (
+    PACK_SEED,
+    run_family_study,
+    scenario_pack,
+    score_pack_family,
+)
+from repro.world.foundry.spec import (
+    FAMILY_KINDS,
+    EventFamily,
+    ScenarioSpec,
+    dst_transitions,
+    family_from_dict,
+)
+
+__all__ = [
+    "BgpLeak",
+    "CascadingCdnFailure",
+    "CorrelatedPowerNetwork",
+    "DstSpanning",
+    "EVAL_SEED",
+    "EventFamily",
+    "ExplicitOutage",
+    "FAMILY_KINDS",
+    "FlappingRecurrence",
+    "FuzzFinding",
+    "NightTrough",
+    "OffshoreDiurnal",
+    "PACK_SEED",
+    "ScenarioFixture",
+    "ScenarioSpec",
+    "SharpOutage",
+    "SlowBrownout",
+    "archive_finding",
+    "detection_outcomes",
+    "dst_transitions",
+    "family_from_dict",
+    "hunt",
+    "load_fixture",
+    "load_fixtures",
+    "replay_fixture",
+    "run_family_study",
+    "scenario_pack",
+    "score_pack_family",
+    "silent_losses",
+]

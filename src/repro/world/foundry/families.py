@@ -1,0 +1,535 @@
+"""Event-family generators: the vocabulary of the scenario DSL.
+
+Each family is a frozen dataclass of plain scalars and ``(lo, hi)``
+ranges, registered by ``kind`` (see :class:`~.spec.EventFamily`).  A
+family expands into concrete :class:`~repro.world.events.OutageEvent`
+ground truth using only the substream it is handed, so a spec's worlds
+are reproducible draw-for-draw.
+
+The families deliberately stress *different* detector weaknesses:
+
+* ``cascading_cdn`` — multi-region waves with lagged secondary onsets;
+* ``bgp_leak`` — wide footprint but mostly *partial* (weak) reachability;
+* ``slow_brownout`` — long, low-intensity interest that barely rises;
+* ``sharp_outage`` — short, violent spikes (the easy case, as control);
+* ``correlated_power_network`` — a power event dragging a provider
+  event behind it in the same state (annotation confusion);
+* ``offshore_diurnal`` — non-US geographies with shifted timezone and
+  diurnal structure, including a half-hour-offset zone;
+* ``night_trough`` — onsets at local 01:00–04:00 where the response
+  floor, not the diurnal curve, carries the signal;
+* ``flapping`` — a burst train of 1-hour spikes from one provider;
+* ``dst_spanning`` — interest windows crossing a DST transition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import timedelta
+from typing import ClassVar
+
+import numpy as np
+
+from repro.timeutil import TimeWindow
+from repro.world.events import Cause, OutageEvent, StateImpact
+from repro.world.foundry.spec import (
+    _TAIL_MARGIN_HOURS,
+    EventFamily,
+    draw_float,
+    draw_int,
+    draw_local_onset,
+    draw_onset,
+    dst_transitions,
+    pick_codes,
+)
+from repro.world.states import get_state
+
+_CDN_TERMS = ("Fastly", "Cloudflare", "Akamai", "AWS")
+_ISP_TERMS = ("Xfinity", "Spectrum", "Comcast", "AT&T", "Verizon", "CenturyLink")
+
+#: The non-US provider topic(s) users in each foundry geography reach
+#: for (catalog terms with matching ``home_geos``).
+_REGION_TERMS: dict[str, tuple[str, ...]] = {
+    "GB": ("BT", "Vodafone"),
+    "FR": ("Orange",),
+    "JP": ("NTT Docomo",),
+    "AU": ("Telstra",),
+    "BR": ("Vivo",),
+    "LK": ("Dialog Axiata",),
+}
+
+
+def _provider_terms(rng: np.random.Generator, code: str) -> tuple[str, ...]:
+    """The provider topic an outage in *code* surfaces."""
+    regional = _REGION_TERMS.get(get_state(code).code)
+    pool = regional if regional else _ISP_TERMS
+    return (pool[int(rng.integers(len(pool)))],)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CascadingCdnFailure(EventFamily):
+    """A CDN failure sweeping across regions in lagged waves."""
+
+    kind: ClassVar[str] = "cascading_cdn"
+
+    occurrences: int = 1
+    waves: tuple[int, int] = (2, 3)
+    states_per_wave: tuple[int, int] = (2, 4)
+    wave_gap_hours: tuple[int, int] = (1, 3)
+    duration_hours: tuple[int, int] = (3, 5)
+    intensity: tuple[float, float] = (7.0, 13.0)
+
+    def generate(self, rng, window, codes, prefix):
+        events = []
+        for serial in range(self.occurrences):
+            term = _CDN_TERMS[int(rng.integers(len(_CDN_TERMS)))]
+            waves = draw_int(rng, self.waves)
+            gap = draw_int(rng, self.wave_gap_hours)
+            duration = draw_int(rng, self.duration_hours)
+            peak = draw_float(rng, self.intensity)
+            margin = duration + waves * gap + _TAIL_MARGIN_HOURS
+            start = draw_onset(rng, window, margin)
+            pool = list(pick_codes(rng, codes, waves * self.states_per_wave[1]))
+            impacts = []
+            for wave in range(waves):
+                want = draw_int(rng, self.states_per_wave)
+                decay = 0.75**wave
+                for _ in range(want):
+                    if not pool:
+                        break
+                    code = pool.pop(0)
+                    impacts.append(
+                        StateImpact(
+                            state=code,
+                            start=start,
+                            interest_hours=max(1, round(duration * decay)),
+                            intensity=max(1.2, peak * decay),
+                            lag_hours=wave * gap,
+                        )
+                    )
+            events.append(
+                OutageEvent(
+                    event_id=f"{prefix}-{serial:03d}",
+                    name=f"cascading {term} CDN failure",
+                    cause=Cause.CLOUD,
+                    impacts=tuple(impacts),
+                    terms=(term,),
+                )
+            )
+        return events
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BgpLeak(EventFamily):
+    """BGP-leak-style partial reachability: wide but mostly weak."""
+
+    kind: ClassVar[str] = "bgp_leak"
+
+    occurrences: int = 1
+    footprint: tuple[int, int] = (6, 12)
+    severe_share: float = 0.35
+    duration_hours: tuple[int, int] = (1, 3)
+    severe_intensity: tuple[float, float] = (7.0, 12.0)
+    partial_intensity: tuple[float, float] = (1.8, 3.2)
+
+    def generate(self, rng, window, codes, prefix):
+        events = []
+        for serial in range(self.occurrences):
+            term = _ISP_TERMS[int(rng.integers(len(_ISP_TERMS)))]
+            duration = draw_int(rng, self.duration_hours)
+            start = draw_onset(rng, window, duration + 2 + _TAIL_MARGIN_HOURS)
+            chosen = pick_codes(rng, codes, draw_int(rng, self.footprint))
+            severe_count = max(1, round(len(chosen) * self.severe_share))
+            impacts = []
+            for rank, code in enumerate(chosen):
+                severe = rank < severe_count
+                impacts.append(
+                    StateImpact(
+                        state=code,
+                        start=start,
+                        interest_hours=duration if severe else max(1, duration - 1),
+                        intensity=draw_float(
+                            rng,
+                            self.severe_intensity if severe else self.partial_intensity,
+                        ),
+                        lag_hours=0 if severe else int(rng.integers(0, 2)),
+                    )
+                )
+            events.append(
+                OutageEvent(
+                    event_id=f"{prefix}-{serial:03d}",
+                    name=f"{term} route leak (partial reachability)",
+                    cause=Cause.ISP,
+                    impacts=tuple(impacts),
+                    terms=(term,),
+                )
+            )
+        return events
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SlowBrownout(EventFamily):
+    """Long, low-grade degradation: interest rises slowly and stays low."""
+
+    kind: ClassVar[str] = "slow_brownout"
+
+    occurrences: int = 1
+    duration_hours: tuple[int, int] = (12, 28)
+    intensity: tuple[float, float] = (2.2, 4.0)
+
+    def generate(self, rng, window, codes, prefix):
+        events = []
+        for serial in range(self.occurrences):
+            code = pick_codes(rng, codes, 1)[0]
+            duration = draw_int(rng, self.duration_hours)
+            start = draw_onset(rng, window, duration + _TAIL_MARGIN_HOURS)
+            events.append(
+                OutageEvent(
+                    event_id=f"{prefix}-{serial:03d}",
+                    name="slow brownout",
+                    cause=Cause.ISP,
+                    impacts=(
+                        StateImpact(
+                            state=code,
+                            start=start,
+                            interest_hours=duration,
+                            intensity=draw_float(rng, self.intensity),
+                        ),
+                    ),
+                    terms=_provider_terms(rng, code),
+                )
+            )
+        return events
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SharpOutage(EventFamily):
+    """Short, violent outage: the detector's easy case, kept as control."""
+
+    kind: ClassVar[str] = "sharp_outage"
+
+    occurrences: int = 1
+    footprint: tuple[int, int] = (1, 2)
+    duration_hours: tuple[int, int] = (1, 2)
+    intensity: tuple[float, float] = (12.0, 26.0)
+
+    def generate(self, rng, window, codes, prefix):
+        events = []
+        for serial in range(self.occurrences):
+            duration = draw_int(rng, self.duration_hours)
+            start = draw_onset(rng, window, duration + _TAIL_MARGIN_HOURS)
+            chosen = pick_codes(rng, codes, draw_int(rng, self.footprint))
+            intensity = draw_float(rng, self.intensity)
+            events.append(
+                OutageEvent(
+                    event_id=f"{prefix}-{serial:03d}",
+                    name="sharp outage",
+                    cause=Cause.ISP,
+                    impacts=tuple(
+                        StateImpact(
+                            state=code,
+                            start=start,
+                            interest_hours=duration,
+                            intensity=intensity if rank == 0 else intensity * 0.7,
+                        )
+                        for rank, code in enumerate(chosen)
+                    ),
+                    terms=_provider_terms(rng, chosen[0]),
+                )
+            )
+        return events
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CorrelatedPowerNetwork(EventFamily):
+    """A power event dragging a provider outage behind it, same state."""
+
+    kind: ClassVar[str] = "correlated_power_network"
+
+    occurrences: int = 1
+    power_duration_hours: tuple[int, int] = (6, 14)
+    power_intensity: tuple[float, float] = (7.0, 16.0)
+    network_gap_hours: tuple[int, int] = (1, 3)
+    network_intensity: tuple[float, float] = (4.0, 9.0)
+
+    def generate(self, rng, window, codes, prefix):
+        events = []
+        for serial in range(self.occurrences):
+            code = pick_codes(rng, codes, 1)[0]
+            power_hours = draw_int(rng, self.power_duration_hours)
+            gap = draw_int(rng, self.network_gap_hours)
+            network_hours = max(2, round(power_hours * 0.6))
+            margin = power_hours + gap + network_hours + _TAIL_MARGIN_HOURS
+            start = draw_onset(rng, window, margin)
+            events.append(
+                OutageEvent(
+                    event_id=f"{prefix}-{serial:03d}-pw",
+                    name="storm power outage",
+                    cause=Cause.POWER_WEATHER,
+                    impacts=(
+                        StateImpact(
+                            state=code,
+                            start=start,
+                            interest_hours=power_hours,
+                            intensity=draw_float(rng, self.power_intensity),
+                        ),
+                    ),
+                    terms=("Power outage", "Electric power", "Thunderstorm"),
+                )
+            )
+            events.append(
+                OutageEvent(
+                    event_id=f"{prefix}-{serial:03d}-net",
+                    name="provider outage following power loss",
+                    cause=Cause.ISP,
+                    impacts=(
+                        StateImpact(
+                            state=code,
+                            start=start + timedelta(hours=gap),
+                            interest_hours=network_hours,
+                            intensity=draw_float(rng, self.network_intensity),
+                        ),
+                    ),
+                    terms=_provider_terms(rng, code),
+                )
+            )
+        return events
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class OffshoreDiurnal(EventFamily):
+    """Non-US geography outages pinned to the *local* evening peak."""
+
+    kind: ClassVar[str] = "offshore_diurnal"
+
+    occurrences: int = 1
+    local_hour: tuple[int, int] = (18, 22)
+    duration_hours: tuple[int, int] = (2, 6)
+    intensity: tuple[float, float] = (6.0, 12.0)
+
+    def generate(self, rng, window, codes, prefix):
+        events = []
+        for serial in range(self.occurrences):
+            code = pick_codes(rng, codes, 1)[0]
+            duration = draw_int(rng, self.duration_hours)
+            start = draw_local_onset(
+                rng, window, code, self.local_hour, duration + _TAIL_MARGIN_HOURS
+            )
+            events.append(
+                OutageEvent(
+                    event_id=f"{prefix}-{serial:03d}",
+                    name=f"{get_state(code).name} evening provider outage",
+                    cause=Cause.ISP,
+                    impacts=(
+                        StateImpact(
+                            state=code,
+                            start=start,
+                            interest_hours=duration,
+                            intensity=draw_float(rng, self.intensity),
+                        ),
+                    ),
+                    terms=_provider_terms(rng, code),
+                )
+            )
+        return events
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NightTrough(EventFamily):
+    """Outages starting in the dead of local night (01:00–04:00)."""
+
+    kind: ClassVar[str] = "night_trough"
+
+    occurrences: int = 1
+    local_hour: tuple[int, int] = (1, 4)
+    duration_hours: tuple[int, int] = (2, 4)
+    intensity: tuple[float, float] = (5.0, 9.0)
+
+    def generate(self, rng, window, codes, prefix):
+        events = []
+        for serial in range(self.occurrences):
+            code = pick_codes(rng, codes, 1)[0]
+            duration = draw_int(rng, self.duration_hours)
+            start = draw_local_onset(
+                rng, window, code, self.local_hour, duration + _TAIL_MARGIN_HOURS
+            )
+            events.append(
+                OutageEvent(
+                    event_id=f"{prefix}-{serial:03d}",
+                    name="overnight grid failure",
+                    cause=Cause.POWER_GRID,
+                    impacts=(
+                        StateImpact(
+                            state=code,
+                            start=start,
+                            interest_hours=duration,
+                            intensity=draw_float(rng, self.intensity),
+                        ),
+                    ),
+                    terms=("Power outage", "Electric power"),
+                )
+            )
+        return events
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FlappingRecurrence(EventFamily):
+    """A train of short repeated spikes from one flapping provider."""
+
+    kind: ClassVar[str] = "flapping"
+
+    occurrences: int = 1
+    bursts: tuple[int, int] = (3, 5)
+    burst_gap_hours: tuple[int, int] = (3, 6)
+    intensity: tuple[float, float] = (7.0, 12.0)
+
+    def generate(self, rng, window, codes, prefix):
+        events = []
+        for serial in range(self.occurrences):
+            code = pick_codes(rng, codes, 1)[0]
+            terms = _provider_terms(rng, code)
+            bursts = draw_int(rng, self.bursts)
+            gap = draw_int(rng, self.burst_gap_hours)
+            margin = bursts * (gap + 1) + _TAIL_MARGIN_HOURS
+            start = draw_onset(rng, window, margin)
+            for burst in range(bursts):
+                events.append(
+                    OutageEvent(
+                        event_id=f"{prefix}-{serial:03d}-b{burst}",
+                        name="flapping provider outage",
+                        cause=Cause.ISP,
+                        impacts=(
+                            StateImpact(
+                                state=code,
+                                start=start + timedelta(hours=burst * gap),
+                                interest_hours=1,
+                                intensity=draw_float(rng, self.intensity),
+                            ),
+                        ),
+                        terms=terms,
+                    )
+                )
+        return events
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ExplicitOutage(EventFamily):
+    """One fully explicit event — the fuzzer's shrink-friendly probe.
+
+    Every parameter is a literal (no RNG draws at all), so hypothesis
+    can shrink a failing world coordinate by coordinate and the archived
+    fixture reads as plain numbers.  The event lands on the spec's first
+    focus geography; ``echo_gap_hours >= 0`` adds a second, overlapping
+    half-duration echo event (the event-overlap case from the fuzzer's
+    strategy), and out-of-window coordinates clamp inward so every
+    generated spec is a valid world.
+    """
+
+    kind: ClassVar[str] = "explicit"
+
+    day_offset: int = 1
+    hour: int = 12
+    duration_hours: int = 2
+    intensity: float = 8.0
+    lag_hours: int = 0
+    echo_gap_hours: int = -1
+
+    def generate(self, rng, window, codes, prefix):
+        code = codes[0]
+        offset = 24 * max(0, self.day_offset) + min(23, max(0, self.hour))
+        latest = max(
+            0, window.hours - self.duration_hours - self.lag_hours - 1
+        )
+        start = window.start + timedelta(hours=min(offset, latest))
+        events = [
+            OutageEvent(
+                event_id=f"{prefix}-probe",
+                name="explicit probe outage",
+                cause=Cause.ISP,
+                impacts=(
+                    StateImpact(
+                        state=code,
+                        start=start,
+                        interest_hours=self.duration_hours,
+                        intensity=self.intensity,
+                        lag_hours=self.lag_hours,
+                    ),
+                ),
+                terms=_provider_terms(rng, code),
+            )
+        ]
+        if self.echo_gap_hours >= 0:
+            echo_hours = max(1, self.duration_hours // 2)
+            echo_start = min(
+                start + timedelta(hours=self.echo_gap_hours),
+                window.end - timedelta(hours=echo_hours + 1),
+            )
+            events.append(
+                OutageEvent(
+                    event_id=f"{prefix}-echo",
+                    name="overlapping echo outage",
+                    cause=Cause.ISP,
+                    impacts=(
+                        StateImpact(
+                            state=code,
+                            start=max(echo_start, window.start),
+                            interest_hours=echo_hours,
+                            intensity=max(1.2, self.intensity * 0.6),
+                        ),
+                    ),
+                    terms=_provider_terms(rng, code),
+                )
+            )
+        return events
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DstSpanning(EventFamily):
+    """Interest windows straddling a daylight-saving transition."""
+
+    kind: ClassVar[str] = "dst_spanning"
+
+    occurrences: int = 1
+    lead_hours: tuple[int, int] = (1, 3)
+    duration_hours: tuple[int, int] = (5, 9)
+    intensity: tuple[float, float] = (6.0, 12.0)
+
+    def generate(self, rng, window, codes, prefix):
+        events = []
+        for serial in range(self.occurrences):
+            code = pick_codes(rng, codes, 1)[0]
+            duration = draw_int(rng, self.duration_hours)
+            lead = draw_int(rng, self.lead_hours)
+            transitions = dst_transitions(code, window)
+            if transitions:
+                pivot = transitions[int(rng.integers(len(transitions)))]
+                start = pivot - timedelta(hours=lead)
+                if start < window.start:
+                    start = window.start
+                latest = window.end - timedelta(
+                    hours=duration + _TAIL_MARGIN_HOURS + 1
+                )
+                if start > latest >= window.start:
+                    start = latest
+            else:
+                # No transition in the window (or a fixed-offset zone):
+                # degrade to a plain placed event so the family still
+                # contributes ground truth for any spec window.
+                start = draw_onset(rng, window, duration + _TAIL_MARGIN_HOURS)
+            events.append(
+                OutageEvent(
+                    event_id=f"{prefix}-{serial:03d}",
+                    name="power outage across a DST transition",
+                    cause=Cause.POWER_WEATHER,
+                    impacts=(
+                        StateImpact(
+                            state=code,
+                            start=start,
+                            interest_hours=duration,
+                            intensity=draw_float(rng, self.intensity),
+                        ),
+                    ),
+                    terms=("Power outage", "Winter storm"),
+                )
+            )
+        return events

@@ -1,0 +1,297 @@
+"""Adversarial scenario fuzzer: hunt worlds where detection goes quiet.
+
+The fuzzer composes a hypothesis strategy over the DSL — generated
+window bounds (including DST-spanning placements), onset wall-clock
+hours, durations, intensities, lags, and overlapping event pairs — and
+asks one question per example: *does the pipeline silently lose a
+ground-truth impact that should be unambiguously detectable?*
+
+``hunt()`` drives :func:`hypothesis.find`, so a hit comes back already
+shrunk to a minimal reproducing :class:`~.spec.ScenarioSpec`.
+``archive_finding`` freezes the shrunk spec plus the full per-impact
+detection outcome as a JSON fixture under ``tests/fixtures/scenarios/``,
+and ``replay_fixture`` reruns the archived world through the live
+pipeline — the regression suite asserts outcome parity, so every
+counterexample the fuzzer ever found stays a permanent guard.
+
+Everything is deterministic: the pipeline seed is pinned per fixture,
+and ``hunt(seed=N)`` reproduces the same search.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from datetime import timedelta
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.timeutil import utc
+from repro.world.foundry.families import ExplicitOutage
+from repro.world.foundry.spec import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import StudyResult
+
+#: Archived fixtures carry this tag; bump on layout changes.
+FIXTURE_FORMAT = "sift-scenario-fixture/1"
+
+#: Pipeline seed every probe world runs at (pinned so archived
+#: expectations replay bit-identically).
+EVAL_SEED = 1309
+
+#: An impact at or above this intensity losing its spike counts as a
+#: *silent* loss — well past the privacy threshold and the detector's
+#: prominence floor, so "too faint" is not an excuse.
+SILENT_LOSS_INTENSITY = 6.0
+
+#: Probe geographies: two tiny US states (low baselines, where the
+#: privacy threshold bites hardest), one huge one, a non-US geography,
+#: and the half-hour-offset zone.
+PROBE_GEOS = ("US-WY", "US-VT", "US-TX", "GB", "LK")
+
+#: Fuzz windows are anchored in early 2021 so longer draws straddle the
+#: 2021-03-14 US DST transition.
+WINDOW_EPOCH = utc(2021, 2, 1)
+
+
+def probe_specs():
+    """Strategy over small single-geo probe worlds (one per example)."""
+    import hypothesis.strategies as st
+
+    @st.composite
+    def _specs(draw) -> ScenarioSpec:
+        geo = draw(st.sampled_from(PROBE_GEOS))
+        start_day = draw(st.integers(min_value=0, max_value=28))
+        window_days = draw(st.integers(min_value=7, max_value=21))
+        day_offset = draw(st.integers(min_value=1, max_value=window_days - 2))
+        hour = draw(st.integers(min_value=0, max_value=23))
+        duration = draw(st.integers(min_value=1, max_value=8))
+        intensity = draw(
+            st.floats(
+                min_value=SILENT_LOSS_INTENSITY,
+                max_value=14.0,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        )
+        lag = draw(st.integers(min_value=0, max_value=2))
+        echo_gap = draw(
+            st.one_of(st.just(-1), st.integers(min_value=0, max_value=6))
+        )
+        start = WINDOW_EPOCH + timedelta(days=start_day)
+        return ScenarioSpec(
+            name="fuzz-probe",
+            start=start,
+            end=start + timedelta(days=window_days),
+            geos=(geo,),
+            families=(
+                ExplicitOutage(
+                    day_offset=day_offset,
+                    hour=hour,
+                    duration_hours=duration,
+                    intensity=round(float(intensity), 2),
+                    lag_hours=lag,
+                    echo_gap_hours=echo_gap,
+                ),
+            ),
+        )
+
+    return _specs()
+
+
+def run_probe(spec: ScenarioSpec, seed: int = EVAL_SEED) -> "StudyResult":
+    """One fast pipeline run over a probe world (single geo, 2 rounds)."""
+    from repro.core.averaging import AveragingConfig
+    from repro.core.pipeline import SiftConfig
+    from repro.runtime.study import StudyRuntime
+
+    sift = SiftConfig(
+        annotate=False,
+        averaging=AveragingConfig(min_rounds=1, max_rounds=2),
+    )
+    with StudyRuntime.build(
+        seed=seed,
+        scenario=spec.compile(seed),
+        sift=sift,
+        checkpoint=False,
+    ) as runtime:
+        return runtime.run_study(geos=spec.geos)
+
+
+def detection_outcomes(
+    spec: ScenarioSpec, seed: int = EVAL_SEED
+) -> tuple[dict[str, Any], ...]:
+    """Per-impact ground-truth outcome of one probe run, sorted stably."""
+    from repro.analysis.validation import validate_study
+
+    study = run_probe(spec, seed)
+    scenario = spec.compile(seed)
+    report = validate_study(
+        study.spikes, scenario, states=frozenset(spec.codes)
+    )
+    outcomes = [
+        {
+            "event_id": match.event.event_id,
+            "state": match.impact.state,
+            "onset": match.impact.onset.isoformat(),
+            "interest_hours": match.impact.interest_hours,
+            "intensity": round(match.impact.intensity, 4),
+            "detected": match.detected,
+        }
+        for match in report.matches
+    ]
+    outcomes.sort(key=lambda item: (item["event_id"], item["state"]))
+    return tuple(outcomes)
+
+
+def silent_losses(
+    spec: ScenarioSpec,
+    seed: int = EVAL_SEED,
+    min_intensity: float = SILENT_LOSS_INTENSITY,
+) -> tuple[dict[str, Any], ...]:
+    """The strong impacts this world's run loses without a trace."""
+    return tuple(
+        outcome
+        for outcome in detection_outcomes(spec, seed)
+        if not outcome["detected"] and outcome["intensity"] >= min_intensity
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzFinding:
+    """A shrunk counterexample: the minimal world that loses a spike."""
+
+    spec: ScenarioSpec
+    seed: int
+    min_intensity: float
+    outcomes: tuple[dict[str, Any], ...]
+
+    @property
+    def losses(self) -> tuple[dict[str, Any], ...]:
+        return tuple(
+            o
+            for o in self.outcomes
+            if not o["detected"] and o["intensity"] >= self.min_intensity
+        )
+
+
+def hunt(
+    *,
+    seed: int = 0,
+    max_examples: int = 60,
+    min_intensity: float = SILENT_LOSS_INTENSITY,
+) -> FuzzFinding | None:
+    """Search for a world with a silent loss; return it shrunk, or None.
+
+    Reuses hypothesis's example generation *and* shrinking: ``find``
+    hands back the minimal spec satisfying the predicate, which is what
+    makes archived fixtures readable.
+    """
+    import hypothesis
+    from hypothesis.errors import NoSuchExample
+
+    settings = hypothesis.settings(
+        max_examples=max_examples,
+        deadline=None,
+        database=None,
+        derandomize=False,
+    )
+    try:
+        spec = hypothesis.find(
+            probe_specs(),
+            lambda candidate: bool(
+                silent_losses(candidate, EVAL_SEED, min_intensity)
+            ),
+            settings=settings,
+            random=random.Random(seed),
+        )
+    except NoSuchExample:
+        return None
+    return FuzzFinding(
+        spec=spec,
+        seed=EVAL_SEED,
+        min_intensity=min_intensity,
+        outcomes=detection_outcomes(spec, EVAL_SEED),
+    )
+
+
+# --------------------------------------------------------------------------
+# Fixture archive: shrunk counterexamples as permanent regression guards.
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioFixture:
+    """One archived world with its recorded detection outcome."""
+
+    path: Path
+    spec: ScenarioSpec
+    seed: int
+    min_intensity: float
+    expected: tuple[dict[str, Any], ...]
+
+
+def _fixture_payload(finding: FuzzFinding) -> dict[str, Any]:
+    return {
+        "format": FIXTURE_FORMAT,
+        "spec": finding.spec.to_dict(),
+        "seed": finding.seed,
+        "min_intensity": finding.min_intensity,
+        "expected": list(finding.outcomes),
+    }
+
+
+def archive_finding(finding: FuzzFinding, directory: Path) -> Path:
+    """Freeze *finding* as a JSON fixture; returns the written path.
+
+    The filename embeds a content hash of ``(spec, seed)``, so archiving
+    the same shrunk world twice is idempotent and distinct worlds never
+    collide.
+    """
+    payload = _fixture_payload(finding)
+    key = json.dumps(
+        {"spec": payload["spec"], "seed": payload["seed"]}, sort_keys=True
+    )
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:10]
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"silent-loss-{digest}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_fixture(path: Path) -> ScenarioFixture:
+    payload = json.loads(path.read_text())
+    if payload.get("format") != FIXTURE_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported fixture format {payload.get('format')!r}"
+        )
+    return ScenarioFixture(
+        path=path,
+        spec=ScenarioSpec.from_dict(payload["spec"]),
+        seed=int(payload["seed"]),
+        min_intensity=float(payload.get("min_intensity", SILENT_LOSS_INTENSITY)),
+        expected=tuple(payload["expected"]),
+    )
+
+
+def load_fixtures(directory: Path) -> tuple[ScenarioFixture, ...]:
+    if not directory.is_dir():
+        return ()
+    return tuple(
+        load_fixture(path) for path in sorted(directory.glob("*.json"))
+    )
+
+
+def replay_fixture(
+    fixture: ScenarioFixture,
+) -> tuple[tuple[dict[str, Any], ...], tuple[dict[str, Any], ...]]:
+    """Rerun an archived world; returns ``(expected, actual)`` outcomes.
+
+    Parity (expected == actual) is the regression contract: if a change
+    *improves* detection on an archived world, regenerate the fixture
+    deliberately (see tests/test_scenario_regressions.py) instead of
+    letting the improvement pass silently.
+    """
+    return fixture.expected, detection_outcomes(fixture.spec, fixture.seed)

@@ -1,0 +1,298 @@
+"""Declarative scenario DSL: specs that compile into ground-truth worlds.
+
+A :class:`ScenarioSpec` is a small, JSON-serializable description of a
+*world to generate*: a study window, a set of focus geographies, and a
+tuple of composable event-family generators (:mod:`.families`).  Calling
+:meth:`ScenarioSpec.compile` with a seed deterministically expands the
+spec into the existing :class:`~repro.world.scenarios.Scenario` /
+:class:`~repro.world.events.OutageEvent` ground-truth types, so every
+generated world runs through the *unmodified* pipeline — the foundry
+adds worlds, never code paths.
+
+Determinism contract: ``spec.compile(seed)`` is a pure function.  Each
+family draws from its own ``np.random.default_rng([salt, seed, index])``
+substream, families never share generator state, and the final event
+list is sorted by ``(start, event_id)`` exactly like the calibrated
+scenario builder — so two compiles of the same ``(spec, seed)`` produce
+byte-identical worlds (and byte-identical study fingerprints).
+
+Serialization: :meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict`
+round-trip specs through plain JSON types.  Event families register
+themselves by ``kind`` in :data:`FAMILY_KINDS` (via
+``EventFamily.__init_subclass__``), which is what lets the fuzzer
+archive a shrunk failing spec as a fixture and the regression suite
+rebuild it years later.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from datetime import datetime, timedelta
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.timeutil import TimeWindow, ensure_grid, hour_index
+from repro.world.events import OutageEvent
+from repro.world.scenarios import Scenario, ScenarioConfig
+from repro.world.states import CODES_BY_POPULATION, get_state
+
+#: Root salt of every foundry RNG substream; families never collide
+#: with the background generator (which seeds ``default_rng(seed)``).
+_FOUNDRY_SALT = 0xF0DD
+
+#: Interest tails persist ~3 h past the modeled window (behavior.py);
+#: generators keep this margin so events resolve inside the study.
+_TAIL_MARGIN_HOURS = 3
+
+#: Event families register themselves here, keyed by ``kind``.
+FAMILY_KINDS: dict[str, type["EventFamily"]] = {}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class EventFamily:
+    """Base class for one composable generator of ground-truth events.
+
+    Subclasses are frozen dataclasses whose fields are all plain JSON
+    scalars or ``(lo, hi)`` range tuples, declare a unique ``kind``
+    class variable, and implement :meth:`generate`.  Field values are
+    the *grammar* of the DSL — a spec is data, not code.
+    """
+
+    kind: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        # No super() chain-up: ``dataclass(slots=True)`` rebuilds each
+        # subclass, which both breaks zero-arg super's class cell and
+        # re-runs this hook for the rebuilt class — so registration
+        # must be idempotent per class *name* (the slotted rebuild wins)
+        # while still rejecting two different families sharing a kind.
+        if kwargs:  # pragma: no cover - object.__init_subclass__ contract
+            raise TypeError(f"unexpected class kwargs: {sorted(kwargs)}")
+        if not cls.kind:
+            raise TypeError(f"{cls.__name__} must declare a non-empty kind")
+        existing = FAMILY_KINDS.get(cls.kind)
+        if existing is not None and existing.__name__ != cls.__name__:
+            raise TypeError(f"duplicate family kind {cls.kind!r}")
+        FAMILY_KINDS[cls.kind] = cls
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        window: TimeWindow,
+        codes: tuple[str, ...],
+        prefix: str,
+    ) -> list[OutageEvent]:
+        """Expand this family into concrete events inside *window*.
+
+        ``codes`` are the spec's focus geographies as bare registry
+        codes; ``prefix`` namespaces event ids so multiple families in
+        one spec never collide.
+        """
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            payload[field.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+
+def family_from_dict(payload: dict[str, Any]) -> EventFamily:
+    """Rebuild a registered family from its :meth:`EventFamily.to_dict`."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    cls = FAMILY_KINDS.get(kind)
+    if cls is None:
+        raise ConfigurationError(f"unknown event-family kind: {kind!r}")
+    field_names = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ConfigurationError(
+            f"family {kind!r} does not accept: {sorted(unknown)}"
+        )
+    coerced = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in data.items()
+    }
+    return cls(**coerced)
+
+
+# --------------------------------------------------------------------------
+# Shared draw helpers for family generators.
+# --------------------------------------------------------------------------
+
+def draw_int(rng: np.random.Generator, bounds: tuple[int, int]) -> int:
+    """Uniform integer in the inclusive ``(lo, hi)`` range."""
+    lo, hi = int(bounds[0]), int(bounds[1])
+    if hi < lo:
+        lo, hi = hi, lo
+    return int(rng.integers(lo, hi + 1))
+
+
+def draw_float(rng: np.random.Generator, bounds: tuple[float, float]) -> float:
+    """Uniform float in the ``(lo, hi)`` range."""
+    lo, hi = float(bounds[0]), float(bounds[1])
+    if hi < lo:
+        lo, hi = hi, lo
+    return float(lo + (hi - lo) * rng.random())
+
+
+def draw_onset(
+    rng: np.random.Generator, window: TimeWindow, margin_hours: int
+) -> datetime:
+    """A grid-aligned start leaving *margin_hours* of room before the end.
+
+    Everything the foundry places on the timeline is ``window.start``
+    plus a whole number of hours, which is what keeps every generated
+    impact on the UTC hour grid by construction — including in
+    half-hour-offset zones like Asia/Colombo.
+    """
+    latest = max(0, window.hours - margin_hours - 1)
+    return window.start + timedelta(hours=int(rng.integers(0, latest + 1)))
+
+
+def draw_local_onset(
+    rng: np.random.Generator,
+    window: TimeWindow,
+    state_code: str,
+    local_hours: tuple[int, int],
+    margin_hours: int,
+) -> datetime:
+    """A grid-aligned start whose *local* wall-clock hour is in range.
+
+    Picks a day uniformly, then scans that day's UTC grid hours for one
+    whose local hour (in the geography's zone) falls inside
+    ``local_hours``.  The scan works for any UTC offset — in a +05:30
+    zone every grid hour reads ``X:30`` locally, and ``.hour`` still
+    yields ``X`` — so the returned datetime is always on the grid.
+    """
+    tz = get_state(state_code).tzinfo
+    lo, hi = int(local_hours[0]), int(local_hours[1])
+    latest = max(0, window.hours - margin_hours - 1)
+    day = int(rng.integers(0, max(1, latest // 24)))
+    base = window.start + timedelta(hours=24 * day)
+    fallback = min(base, window.start + timedelta(hours=latest))
+    for offset in range(48):
+        candidate = base + timedelta(hours=offset)
+        if hour_index(window.start, candidate) > latest:
+            break
+        if lo <= candidate.astimezone(tz).hour <= hi:
+            return candidate
+    return fallback
+
+
+def dst_transitions(state_code: str, window: TimeWindow) -> tuple[datetime, ...]:
+    """Grid hours at which the geography's UTC offset changes in *window*."""
+    tz = get_state(state_code).tzinfo
+    transitions: list[datetime] = []
+    previous = window.start.astimezone(tz).utcoffset()
+    for hour in range(1, window.hours):
+        moment = window.start + timedelta(hours=hour)
+        offset = moment.astimezone(tz).utcoffset()
+        if offset != previous:
+            transitions.append(moment)
+            previous = offset
+    return tuple(transitions)
+
+
+def pick_codes(
+    rng: np.random.Generator, codes: tuple[str, ...], count: int
+) -> tuple[str, ...]:
+    """*count* distinct codes, drawn without replacement."""
+    count = min(count, len(codes))
+    order = rng.permutation(len(codes))
+    return tuple(codes[int(i)] for i in order[:count])
+
+
+# --------------------------------------------------------------------------
+# The spec itself.
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """One declarative world: window + focus geographies + families."""
+
+    name: str
+    start: datetime
+    end: datetime
+    geos: tuple[str, ...]
+    families: tuple[EventFamily, ...] = ()
+    background_scale: float = 0.0
+    include_headline_events: bool = False
+
+    def __post_init__(self) -> None:
+        ensure_grid(self.start)
+        ensure_grid(self.end)
+        if self.end <= self.start:
+            raise ConfigurationError(f"spec {self.name!r}: end must follow start")
+        if not self.geos:
+            raise ConfigurationError(f"spec {self.name!r} lists no geographies")
+        for geo in self.geos:
+            get_state(geo)  # raises UnknownGeoError on bad codes
+        if not self.families and self.background_scale == 0.0:
+            raise ConfigurationError(
+                f"spec {self.name!r} generates nothing: no families and "
+                "no background process"
+            )
+
+    @property
+    def window(self) -> TimeWindow:
+        return TimeWindow(self.start, self.end)
+
+    @property
+    def codes(self) -> tuple[str, ...]:
+        """Focus geographies as bare registry codes (``TX``, ``GB``)."""
+        return tuple(get_state(geo).code for geo in self.geos)
+
+    def compile(self, seed: int) -> Scenario:
+        """Deterministically expand this spec into a ground-truth world."""
+        config = ScenarioConfig(
+            start=self.start,
+            end=self.end,
+            seed=seed,
+            background_scale=self.background_scale,
+            include_headline_events=self.include_headline_events,
+        )
+        events = list(Scenario.build(config).events)
+        codes = self.codes
+        for index, family in enumerate(self.families):
+            rng = np.random.default_rng([_FOUNDRY_SALT, seed, index])
+            prefix = f"fy{index:02d}-{family.kind}"
+            events.extend(family.generate(rng, self.window, codes, prefix))
+        events.sort(key=lambda event: (event.start, event.event_id))
+        return Scenario(config, tuple(events))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start.isoformat(),
+            "end": self.end.isoformat(),
+            "geos": list(self.geos),
+            "families": [family.to_dict() for family in self.families],
+            "background_scale": self.background_scale,
+            "include_headline_events": self.include_headline_events,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ScenarioSpec":
+        return cls(
+            name=payload["name"],
+            start=datetime.fromisoformat(payload["start"]),
+            end=datetime.fromisoformat(payload["end"]),
+            geos=tuple(payload["geos"]),
+            families=tuple(
+                family_from_dict(item) for item in payload.get("families", ())
+            ),
+            background_scale=float(payload.get("background_scale", 0.0)),
+            include_headline_events=bool(
+                payload.get("include_headline_events", False)
+            ),
+        )
+
+
+def default_us_codes(count: int = 16) -> tuple[str, ...]:
+    """The most populous US codes — the fallback focus pool."""
+    return CODES_BY_POPULATION[:count]

@@ -21,17 +21,20 @@ from repro.errors import UnknownGeoError
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class State:
-    """One US state (or DC) as a Trends geography."""
+    """One Trends geography: a US state/DC or a whole non-US country."""
 
-    code: str  # two-letter postal code, e.g. "TX"
+    code: str  # two-letter postal code, e.g. "TX" (or ISO country, "GB")
     name: str  # full name, e.g. "Texas"
     population: int  # 2020 census, rounded to thousands
     tz_name: str  # dominant IANA timezone
+    country: str = "US"  # ISO country the geography belongs to
 
     @property
     def geo(self) -> str:
-        """Google-Trends-style geography code, e.g. ``US-TX``."""
-        return f"US-{self.code}"
+        """Google-Trends-style geography code, e.g. ``US-TX`` or ``GB``."""
+        if self.country == "US":
+            return f"US-{self.code}"
+        return self.code
 
     @property
     def tzinfo(self) -> ZoneInfo:
@@ -101,8 +104,27 @@ STATES: tuple[State, ...] = (
     State("WY", "Wyoming", 577_000, _MOUNTAIN),
 )
 
-_BY_CODE = {state.code: state for state in STATES}
-_BY_GEO = {state.geo: state for state in STATES}
+#: Whole-country Trends geographies used by the scenario foundry's
+#: non-US families.  They live *outside* :data:`STATES` on purpose: the
+#: paper's study universe (ALL_CODES, population weights, headline
+#: events) stays the 51 US geographies, and the US-only registry views
+#: below are untouched, so nothing in the calibrated world shifts.
+#: Codes are ISO-3166 alpha-2 chosen not to collide with US postal
+#: codes (so no DE/IN/PR).  ``LK`` (UTC+05:30) deliberately exercises a
+#: half-hour-offset zone in the diurnal and hour-grid machinery.
+WORLD_REGIONS: tuple[State, ...] = (
+    State("AU", "Australia", 25_688_000, "Australia/Sydney", country="AU"),
+    State("BR", "Brazil", 213_196_000, "America/Sao_Paulo", country="BR"),
+    State("FR", "France", 67_571_000, "Europe/Paris", country="FR"),
+    State("GB", "United Kingdom", 67_081_000, "Europe/London", country="GB"),
+    State("JP", "Japan", 126_146_000, "Asia/Tokyo", country="JP"),
+    State("LK", "Sri Lanka", 21_919_000, "Asia/Colombo", country="LK"),
+)
+
+WORLD_CODES: tuple[str, ...] = tuple(region.code for region in WORLD_REGIONS)
+
+_BY_CODE = {state.code: state for state in (*STATES, *WORLD_REGIONS)}
+_BY_GEO = {state.geo: state for state in (*STATES, *WORLD_REGIONS)}
 
 #: Codes ordered by descending population — used by the scenario
 #: generator's state-weight model and by ranking plots.

@@ -26,6 +26,26 @@ class TestParser:
         args = build_parser().parse_args(["study", "US-TX", "US-CA"])
         assert args.geos == ["US-TX", "US-CA"]
 
+    def test_scenarios_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+    def test_scenarios_generate_defaults(self):
+        from repro.world.foundry import PACK_SEED
+
+        args = build_parser().parse_args(["scenarios", "generate"])
+        assert args.command == "scenarios"
+        assert args.seed == PACK_SEED
+        assert args.families == []
+        assert not args.smoke
+
+    def test_scenarios_score_accepts_backends(self):
+        args = build_parser().parse_args(
+            ["scenarios", "score", "sharp_outage", "--averager", "noise_aware"]
+        )
+        assert args.families == ["sharp_outage"]
+        assert args.averager == "noise_aware"
+
 
 class TestCommands:
     def test_simulate_prints_summary(self, capsys):
@@ -55,3 +75,41 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "Table 1" in output
+
+    def test_scenarios_generate_lists_events(self, capsys):
+        code = main(["scenarios", "generate", "sharp_outage", "--smoke"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sharp_outage" in output
+        assert "event" in output
+
+    def test_scenarios_generate_json(self, capsys):
+        import json
+
+        code = main(["scenarios", "generate", "flapping", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flapping"]["families"][0]["kind"] == "flapping"
+
+    def test_scenarios_generate_rejects_unknown_family(self, capsys):
+        with pytest.raises(SystemExit, match="unknown families"):
+            main(["scenarios", "generate", "nope"])
+
+    def test_scenarios_score_prints_quality_table(self, capsys):
+        code = main(["scenarios", "score", "sharp_outage", "--smoke"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "recall>=5" in output
+        assert "sharp_outage" in output
+
+    def test_scenarios_score_from_fixture_spec(self, capsys):
+        import pathlib
+
+        fixture = sorted(
+            (pathlib.Path(__file__).parent / "fixtures" / "scenarios").glob(
+                "*.json"
+            )
+        )[0]
+        code = main(["scenarios", "score", "--spec", str(fixture)])
+        assert code == 0
+        assert "fuzz-probe" in capsys.readouterr().out

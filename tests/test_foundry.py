@@ -1,0 +1,288 @@
+"""Tests for the scenario foundry: DSL, families, pack, and grid safety."""
+
+from datetime import timedelta
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.timeutil import ensure_grid, utc
+from repro.world.behavior import term_baseline_per_hour
+from repro.world.foundry import (
+    FAMILY_KINDS,
+    DstSpanning,
+    EventFamily,
+    ExplicitOutage,
+    ScenarioSpec,
+    SharpOutage,
+    dst_transitions,
+    family_from_dict,
+    scenario_pack,
+)
+from repro.world.foundry.spec import draw_local_onset, draw_onset
+from repro.world.scenarios import Scenario, ScenarioConfig
+from repro.world.states import STATES, WORLD_REGIONS, get_state
+
+import numpy as np
+
+START = utc(2021, 3, 1)
+END = utc(2021, 3, 20)
+
+
+def simple_spec(**overrides) -> ScenarioSpec:
+    fields = {
+        "name": "lab",
+        "start": START,
+        "end": END,
+        "geos": ("US-TX", "US-CA"),
+        "families": (SharpOutage(occurrences=2),),
+    }
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestFamilyRegistry:
+    def test_every_shipped_family_registers(self):
+        expected = {
+            "cascading_cdn", "bgp_leak", "slow_brownout", "sharp_outage",
+            "correlated_power_network", "offshore_diurnal", "night_trough",
+            "flapping", "explicit", "dst_spanning",
+        }
+        assert expected <= set(FAMILY_KINDS)
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(TypeError, match="duplicate family kind"):
+            class Impostor(EventFamily):  # noqa: F841
+                kind = "sharp_outage"
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(TypeError, match="non-empty kind"):
+            class Nameless(EventFamily):  # noqa: F841
+                pass
+
+    def test_family_round_trip(self):
+        family = SharpOutage(occurrences=3, intensity=(14.0, 18.0))
+        rebuilt = family_from_dict(family.to_dict())
+        assert rebuilt == family
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown event-family"):
+            family_from_dict({"kind": "nope"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            family_from_dict({"kind": "sharp_outage", "bogus": 1})
+
+
+class TestScenarioSpec:
+    def test_rejects_backwards_window(self):
+        with pytest.raises(ConfigurationError, match="end must follow"):
+            simple_spec(start=END, end=START)
+
+    def test_rejects_empty_geos(self):
+        with pytest.raises(ConfigurationError, match="no geographies"):
+            simple_spec(geos=())
+
+    def test_rejects_world_that_generates_nothing(self):
+        with pytest.raises(ConfigurationError, match="generates nothing"):
+            simple_spec(families=(), background_scale=0.0)
+
+    def test_codes_strip_us_prefix_and_keep_world_codes(self):
+        spec = simple_spec(geos=("US-TX", "GB"))
+        assert spec.codes == ("TX", "GB")
+
+    def test_compile_is_deterministic(self):
+        spec = simple_spec()
+        first = spec.compile(99)
+        second = spec.compile(99)
+        assert first.events == second.events
+
+    def test_different_seeds_differ(self):
+        spec = simple_spec()
+        assert spec.compile(1).events != spec.compile(2).events
+
+    def test_serialization_round_trip_compiles_identically(self):
+        spec = simple_spec(geos=("US-TX", "GB", "LK"))
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.compile(7).events == spec.compile(7).events
+
+    def test_events_sorted_and_namespaced(self):
+        spec = simple_spec(
+            families=(SharpOutage(occurrences=2), SharpOutage(occurrences=2))
+        )
+        scenario = spec.compile(5)
+        starts = [event.start for event in scenario.events]
+        assert starts == sorted(starts)
+        prefixes = {event.event_id.split("-")[0] for event in scenario.events}
+        assert prefixes == {"fy00", "fy01"}
+
+    def test_generated_world_is_byte_reproducible(self):
+        """(spec, seed) pins the full study output, not just the events."""
+        from repro.world.foundry.fuzzer import run_probe
+
+        spec = ScenarioSpec(
+            name="repro-check",
+            start=START,
+            end=START + timedelta(days=7),
+            geos=("US-WY",),
+            families=(
+                ExplicitOutage(
+                    day_offset=2, hour=14, duration_hours=3, intensity=9.0
+                ),
+            ),
+        )
+        assert run_probe(spec, 42).fingerprint() == run_probe(spec, 42).fingerprint()
+
+
+class TestScenarioPack:
+    def test_pack_has_enough_families(self):
+        pack = scenario_pack()
+        assert len(pack) >= 8
+        assert set(scenario_pack(smoke=True)) == set(pack)
+
+    def test_smoke_pack_is_smaller(self):
+        full = scenario_pack()
+        smoke = scenario_pack(smoke=True)
+        for name in full:
+            assert smoke[name].window.hours <= full[name].window.hours
+
+    def test_every_family_produces_impacts(self):
+        for name, spec in scenario_pack(smoke=True).items():
+            scenario = spec.compile(11)
+            assert scenario.total_impacts > 0, name
+
+    def test_all_pack_impacts_are_grid_aligned(self):
+        for name, spec in scenario_pack().items():
+            scenario = spec.compile(3)
+            window = spec.window
+            for event in scenario.events:
+                for impact in event.impacts:
+                    ensure_grid(impact.onset)
+                    assert window.start <= impact.onset < window.end, name
+
+    def test_offshore_family_uses_world_geos(self):
+        spec = scenario_pack()["offshore_diurnal"]
+        codes = set(spec.codes)
+        assert codes & {region.code for region in WORLD_REGIONS}
+
+
+class TestWorldRegions:
+    def test_world_codes_do_not_collide_with_states(self):
+        state_codes = {state.code for state in STATES}
+        assert not state_codes & {region.code for region in WORLD_REGIONS}
+
+    def test_world_geo_is_bare_code(self):
+        assert get_state("GB").geo == "GB"
+        assert get_state("US-TX").geo == "US-TX"
+
+    def test_homed_terms_are_silent_in_us(self):
+        # The home_geos gate is what keeps the US world bit-identical.
+        assert term_baseline_per_hour("BT", "TX") == 0.0
+        assert term_baseline_per_hour("BT", "GB") > 0.0
+
+    def test_us_terms_reach_world_regions(self):
+        assert term_baseline_per_hour("Internet outage", "JP") > 0.0
+
+
+class TestDstHelpers:
+    def test_finds_2021_spring_forward(self):
+        window = simple_spec().window  # spans 2021-03-14
+        transitions = dst_transitions("TX", window)
+        assert utc(2021, 3, 14, 8) in transitions  # 2am CST -> 3am CDT
+
+    def test_fixed_offset_zone_has_none(self):
+        assert dst_transitions("JP", simple_spec().window) == ()
+
+    def test_dst_spanning_family_straddles_transition(self):
+        spec = ScenarioSpec(
+            name="dst",
+            start=START,
+            end=END,
+            geos=("US-TX",),
+            families=(DstSpanning(lead_hours=(4, 8), duration_hours=(10, 14)),),
+        )
+        scenario = spec.compile(13)
+        (event,) = scenario.events
+        pivot = utc(2021, 3, 14, 8)
+        assert event.start <= pivot <= event.end
+
+
+class TestGridProperties:
+    """Satellite: off-grid windows must be impossible by construction."""
+
+    @given(
+        scale=st.floats(
+            min_value=0.0, max_value=1e-5, allow_nan=False, allow_infinity=False
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tiny_background_scale_stays_on_grid(self, scale, seed):
+        scenario = Scenario.build(
+            ScenarioConfig(
+                start=START,
+                end=START + timedelta(days=10),
+                seed=seed,
+                background_scale=scale,
+                include_headline_events=False,
+            )
+        )
+        for event in scenario.events:
+            for impact in event.impacts:
+                ensure_grid(impact.onset)
+
+    @given(
+        code=st.sampled_from(("TX", "NY", "CA", "GB", "LK", "AU")),
+        lead=st.integers(min_value=0, max_value=12),
+        duration=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_dst_transition_starts_stay_on_grid(self, code, lead, duration, seed):
+        geo = get_state(code).geo
+        spec = ScenarioSpec(
+            name="dst-prop",
+            start=utc(2021, 3, 1),
+            end=utc(2021, 4, 5),  # spans US *and* EU/AU transitions
+            geos=(geo,),
+            families=(
+                DstSpanning(
+                    lead_hours=(lead, lead), duration_hours=(duration, duration)
+                ),
+            ),
+        )
+        scenario = spec.compile(seed)
+        for event in scenario.events:
+            ensure_grid(event.start)
+            for impact in event.impacts:
+                ensure_grid(impact.onset)
+                assert spec.start <= impact.onset < spec.end
+
+    @given(
+        code=st.sampled_from(("TX", "GB", "LK")),
+        lo=st.integers(min_value=0, max_value=22),
+        span=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_local_onsets_stay_on_grid_even_in_half_hour_zones(
+        self, code, lo, span, seed
+    ):
+        rng = np.random.default_rng(seed)
+        window = simple_spec().window
+        onset = draw_local_onset(
+            rng, window, code, (lo, min(23, lo + span)), margin_hours=3
+        )
+        ensure_grid(onset)
+        assert window.start <= onset < window.end
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_draw_onset_respects_margin(self, seed):
+        rng = np.random.default_rng(seed)
+        window = simple_spec().window
+        onset = draw_onset(rng, window, margin_hours=3)
+        ensure_grid(onset)
+        assert onset <= window.end - timedelta(hours=4)

@@ -1,0 +1,120 @@
+"""Tests for the adversarial scenario fuzzer and its fixture archive.
+
+The CI chaos matrix also runs this file with ``FUZZ_SEED`` varied, so
+the bounded ``hunt`` smoke below explores a different slice of the
+probe space per lane.
+"""
+
+import os
+from datetime import timedelta
+
+from hypothesis import given, settings
+
+from repro.timeutil import ensure_grid
+from repro.world.foundry import (
+    EVAL_SEED,
+    FuzzFinding,
+    archive_finding,
+    detection_outcomes,
+    hunt,
+    load_fixture,
+    load_fixtures,
+    replay_fixture,
+)
+from repro.world.foundry.fuzzer import SILENT_LOSS_INTENSITY, probe_specs
+
+FUZZ_SEED = int(os.environ.get("FUZZ_SEED", "0"))
+
+
+class TestProbeStrategy:
+    @given(spec=probe_specs())
+    @settings(max_examples=20, deadline=None, database=None)
+    def test_probe_specs_compile_to_valid_worlds(self, spec):
+        scenario = spec.compile(EVAL_SEED)
+        assert scenario.events, "a probe world must contain its outage"
+        intensities = []
+        for event in scenario.events:
+            for impact in event.impacts:
+                ensure_grid(impact.onset)
+                assert spec.start <= impact.onset < spec.end
+                intensities.append(impact.intensity)
+        # The primary probe outage is always strong enough that a miss
+        # counts as a silent loss (its echo may be weaker by design).
+        assert max(intensities) >= SILENT_LOSS_INTENSITY
+        assert spec.end - spec.start <= timedelta(days=21)
+
+    @given(spec=probe_specs())
+    @settings(max_examples=5, deadline=None, database=None)
+    def test_outcomes_are_deterministic(self, spec):
+        assert detection_outcomes(spec) == detection_outcomes(spec)
+
+
+class TestHunt:
+    def test_bounded_hunt_smoke(self):
+        """A short adversarial search must finish and stay coherent.
+
+        Finding a counterexample is not guaranteed at this budget; what
+        is guaranteed is that a hit comes back shrunk, evaluated, and
+        with the losses it claims.
+        """
+        finding = hunt(seed=FUZZ_SEED, max_examples=30)
+        if finding is None:
+            return
+        assert finding.losses, "a finding must carry its silent losses"
+        assert finding.seed == EVAL_SEED
+        for loss in finding.losses:
+            assert loss["detected"] is False
+            assert loss["intensity"] >= finding.min_intensity
+        # The shrunk spec must reproduce on a fresh evaluation.
+        assert detection_outcomes(finding.spec, finding.seed) == finding.outcomes
+
+    def test_known_seed_finds_and_reproduces(self):
+        """Seed 0 at a moderate budget reliably surfaces a loss."""
+        finding = hunt(seed=0, max_examples=150)
+        assert finding is not None
+        assert finding.losses
+
+
+class TestFixtureArchive:
+    def _finding(self) -> FuzzFinding:
+        fixtures = load_fixtures_dir()
+        fixture = fixtures[0]
+        return FuzzFinding(
+            spec=fixture.spec,
+            seed=fixture.seed,
+            min_intensity=fixture.min_intensity,
+            outcomes=fixture.expected,
+        )
+
+    def test_archive_round_trip(self, tmp_path):
+        finding = self._finding()
+        path = archive_finding(finding, tmp_path)
+        fixture = load_fixture(path)
+        assert fixture.spec == finding.spec
+        assert fixture.seed == finding.seed
+        assert fixture.expected == finding.outcomes
+
+    def test_archiving_is_idempotent(self, tmp_path):
+        finding = self._finding()
+        first = archive_finding(finding, tmp_path)
+        second = archive_finding(finding, tmp_path)
+        assert first == second
+        assert len(load_fixtures(tmp_path)) == 1
+
+    def test_replay_of_fresh_archive_is_parity(self, tmp_path):
+        finding = self._finding()
+        fixture = load_fixture(archive_finding(finding, tmp_path))
+        expected, actual = replay_fixture(fixture)
+        assert expected == actual
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_fixtures(tmp_path / "absent") == ()
+
+
+def load_fixtures_dir():
+    from pathlib import Path
+
+    directory = Path(__file__).parent / "fixtures" / "scenarios"
+    fixtures = load_fixtures(directory)
+    assert fixtures, "the committed fixture archive must not be empty"
+    return fixtures

@@ -1,0 +1,74 @@
+"""Replay every archived fuzzer counterexample through the live pipeline.
+
+Each fixture under ``tests/fixtures/scenarios/`` is a minimal world the
+fuzzer once shrunk out of a silent detection loss, frozen together with
+the full per-impact outcome it produced.  Parity — not improvement — is
+the contract: if a pipeline change alters any archived outcome (even
+for the better), regenerate the fixture deliberately with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from pathlib import Path
+    from repro.world.foundry import (
+        FuzzFinding, archive_finding, detection_outcomes, load_fixture,
+    )
+    for path in sorted(Path("tests/fixtures/scenarios").glob("*.json")):
+        f = load_fixture(path)
+        outcomes = detection_outcomes(f.spec, f.seed)
+        archive_finding(
+            FuzzFinding(f.spec, f.seed, f.min_intensity, outcomes),
+            path.parent,
+        )
+    EOF
+
+so the diff shows exactly which archived worlds changed behavior.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.world.foundry import load_fixtures, replay_fixture
+from repro.world.foundry.fuzzer import FIXTURE_FORMAT
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures" / "scenarios"
+FIXTURES = load_fixtures(FIXTURE_DIR)
+
+
+def test_archive_is_populated():
+    """The fuzzer's past finds are a permanent part of the suite."""
+    assert len(FIXTURES) >= 1
+
+
+@pytest.mark.parametrize(
+    "fixture", FIXTURES, ids=[fixture.path.stem for fixture in FIXTURES]
+)
+def test_archived_world_replays_to_parity(fixture):
+    expected, actual = replay_fixture(fixture)
+    assert actual == expected, (
+        f"{fixture.path.name}: detection outcomes diverged from the "
+        f"archived run (seed {fixture.seed}). If the change is an "
+        "intended improvement, regenerate the fixture (see module "
+        "docstring) so the diff records it."
+    )
+
+
+@pytest.mark.parametrize(
+    "fixture", FIXTURES, ids=[fixture.path.stem for fixture in FIXTURES]
+)
+def test_archived_fixture_documents_a_real_loss(fixture):
+    """Every fixture must still describe a silent loss, not noise."""
+    losses = [
+        outcome
+        for outcome in fixture.expected
+        if not outcome["detected"]
+        and outcome["intensity"] >= fixture.min_intensity
+    ]
+    assert losses, f"{fixture.path.name} archives no silent loss"
+
+
+def test_fixture_files_declare_the_current_format():
+    import json
+
+    for path in sorted(FIXTURE_DIR.glob("*.json")):
+        payload = json.loads(path.read_text())
+        assert payload["format"] == FIXTURE_FORMAT, path.name

@@ -1,0 +1,196 @@
+"""Tests for the shared detection-quality scoring module."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.analysis.scoring import (
+    GroupedOutageQuality,
+    detection_delays,
+    score_grouped_outages,
+    score_spikes,
+    score_study,
+)
+from repro.analysis.validation import validate_study
+from repro.core.area import Outage
+from repro.core.spikes import Spike, SpikeSet
+from repro.timeutil import utc
+from repro.world.events import Cause, OutageEvent, StateImpact
+from repro.world.scenarios import Scenario, ScenarioConfig
+
+
+def lab_scenario(events) -> Scenario:
+    config = ScenarioConfig(
+        start=utc(2021, 4, 1),
+        end=utc(2021, 5, 1),
+        background_scale=0.0,
+        include_headline_events=False,
+    )
+    return Scenario(config, tuple(events))
+
+
+def event(states=("TX",), hour=12, hours=5, intensity=10.0, event_id="lab-1"):
+    return OutageEvent(
+        event_id=event_id,
+        name="lab event",
+        cause=Cause.ISP,
+        impacts=tuple(
+            StateImpact(state, utc(2021, 4, 10, hour), hours, intensity)
+            for state in states
+        ),
+        terms=("Verizon",),
+    )
+
+
+def spike(state="TX", start_hour=12, duration=5, magnitude=50.0):
+    start = utc(2021, 4, 10, start_hour)
+    return Spike(
+        term="Internet outage",
+        geo=f"US-{state}",
+        start=start,
+        peak=start + timedelta(hours=min(1, duration - 1)),
+        end=start + timedelta(hours=duration - 1),
+        magnitude=magnitude,
+    )
+
+
+class TestDetectionDelays:
+    def test_late_spike_measures_positive_delay(self):
+        report = validate_study(
+            SpikeSet([spike(start_hour=14)]), lab_scenario([event(hour=12)])
+        )
+        assert detection_delays(report).tolist() == [2.0]
+
+    def test_early_spike_clips_to_zero(self):
+        # The walk can open a spike on the pre-onset shoulder; that is a
+        # zero-delay detection, not negative latency.
+        report = validate_study(
+            SpikeSet([spike(start_hour=11)]), lab_scenario([event(hour=12)])
+        )
+        assert detection_delays(report).tolist() == [0.0]
+
+    def test_missed_impacts_contribute_nothing(self):
+        report = validate_study(SpikeSet([]), lab_scenario([event()]))
+        assert detection_delays(report).size == 0
+
+
+class TestScoreSpikes:
+    def test_perfect_detection(self):
+        quality = score_spikes(SpikeSet([spike()]), lab_scenario([event()]))
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.recall_strong == 1.0
+        assert quality.mean_detection_delay_hours == 0.0
+        assert quality.total_spikes == 1
+        assert quality.total_impacts == 1
+
+    def test_strong_recall_ignores_weak_misses(self):
+        strong = event(intensity=20.0, event_id="lab-strong")
+        weak = event(states=("CA",), intensity=1.8, event_id="lab-weak")
+        quality = score_spikes(
+            SpikeSet([spike()]), lab_scenario([strong, weak])
+        )
+        assert quality.recall == pytest.approx(0.5)
+        assert quality.recall_strong == 1.0
+        assert quality.detected_strong == 1
+        assert quality.total_strong == 1
+
+    def test_no_strong_impacts_means_vacuous_strong_recall(self):
+        weak = event(intensity=1.8)
+        quality = score_spikes(SpikeSet([]), lab_scenario([weak]))
+        assert quality.recall_strong == 1.0
+        assert quality.total_strong == 0
+        assert quality.recall == 0.0
+
+    def test_states_filter_drops_unstudied_impacts(self):
+        two_states = event(states=("TX", "CA"))
+        quality = score_spikes(
+            SpikeSet([spike()]), lab_scenario([two_states]), states={"TX"}
+        )
+        assert quality.total_impacts == 1
+        assert quality.recall == 1.0
+
+    def test_duration_error_propagates(self):
+        quality = score_spikes(
+            SpikeSet([spike(duration=8)]), lab_scenario([event(hours=5)])
+        )
+        assert quality.mean_abs_duration_error_hours == pytest.approx(3.0)
+
+    def test_to_dict_rounds(self):
+        payload = score_spikes(
+            SpikeSet([spike()]), lab_scenario([event()])
+        ).to_dict()
+        assert payload["precision"] == 1.0
+        assert payload["total_spikes"] == 1
+
+
+def grouped(states, start_hour=12, magnitude=50.0):
+    return Outage(
+        spikes=tuple(
+            spike(state=state, start_hour=start_hour, magnitude=magnitude)
+            for state in states
+        )
+    )
+
+
+class TestScoreGroupedOutages:
+    def test_recovered_multistate_event(self):
+        truth = event(states=("TX", "CA", "NY"))
+        quality = score_grouped_outages(
+            [grouped(("TX", "CA", "NY"))], lab_scenario([truth])
+        )
+        assert quality == GroupedOutageQuality(
+            precision=1.0, recall=1.0, f1=1.0,
+            matched=1, truth_events=1, predicted_outages=1,
+        )
+
+    def test_small_footprints_do_not_count(self):
+        truth = event(states=("TX", "CA"))  # below the footprint bar
+        quality = score_grouped_outages(
+            [grouped(("TX", "CA"))], lab_scenario([truth]), min_footprint=3
+        )
+        assert quality.truth_events == 0
+        assert quality.predicted_outages == 0
+        assert quality.f1 == 1.0  # vacuously perfect
+
+    def test_spurious_group_hurts_precision(self):
+        truth = event(states=("TX", "CA", "NY"))
+        predictions = [
+            grouped(("TX", "CA", "NY")),
+            grouped(("WY", "VT", "ME"), start_hour=2),
+        ]
+        quality = score_grouped_outages(predictions, lab_scenario([truth]))
+        assert quality.precision == pytest.approx(0.5)
+        assert quality.recall == 1.0
+
+    def test_peak_outside_slack_does_not_match(self):
+        truth = event(states=("TX", "CA", "NY"), hour=1, hours=2)
+        late = grouped(("TX", "CA", "NY"), start_hour=20)
+        quality = score_grouped_outages([late], lab_scenario([truth]))
+        assert quality.matched == 0
+
+    def test_needs_two_shared_states(self):
+        truth = event(states=("TX", "CA", "NY"))
+        disjoint = grouped(("TX", "WY", "VT"))  # only one shared state
+        quality = score_grouped_outages([disjoint], lab_scenario([truth]))
+        assert quality.matched == 0
+
+    def test_states_filter_shrinks_truth_footprint(self):
+        truth = event(states=("TX", "CA", "NY", "FL"))
+        quality = score_grouped_outages(
+            [], lab_scenario([truth]), states={"TX", "CA"}
+        )
+        # Only two of the impacts were studied: below the footprint bar.
+        assert quality.truth_events == 0
+
+
+class TestScoreStudy:
+    def test_bundles_both_views_on_a_real_study(self, small_env, mini_study):
+        score = score_study(mini_study, small_env.scenario)
+        # The studied-states filter must confine the ground truth to the
+        # four mini geos; the pipeline recovers their strong impacts.
+        assert score.spikes.recall_strong > 0.8
+        assert 0.0 <= score.spikes.precision <= 1.0
+        payload = score.to_dict()
+        assert set(payload) == {"spikes", "outages"}
+        assert payload["spikes"]["total_impacts"] < small_env.scenario.total_impacts
