@@ -1,0 +1,333 @@
+"""Streaming perf bench: per-tick latency and end-to-end time-to-detect.
+
+The batch pipeline re-crawls, re-stitches and re-detects the whole
+study to incorporate one new week of data; the streaming daemon
+(DESIGN.md §12) pays only for the newest frame, a bounded tail
+re-stitch, and a delta snapshot install.  This bench measures both
+sides of that trade and writes them to ``BENCH_streaming.json``:
+
+* ``tick_latency_*_ms`` — wall-clock of one daemon tick (crawl the
+  newest frame for every geography, fold, feed, tail re-walk, delta
+  install into a live web app), sampled late in the stream where the
+  incremental advantage matters (>75% of the window ingested), plus
+  the crawl-free ``tick_process_*_ms`` variant;
+* ``rebuild_latency_*_ms`` — what the same update costs as a full
+  rebuild: a batch ``run_study`` over the identical prefix window plus
+  a whole-index ``install_study``.  The rebuild runs against the
+  daemon's own collection layer, so its crawl is **cache-hot** — the
+  comparison charges the rebuild nothing for refetching a hundred
+  weeks of history, which is the conservative direction;
+* ``speedup_incremental_vs_rebuild`` — the smallest rebuild/tick ratio
+  across the sampled late ticks (the committed floor: >=10x on the
+  paper-shape workload, >=3x for the CI smoke slice).  Both sides are
+  measured crawl-free: the cache-hot rebuild pays (almost) nothing to
+  fetch, so the incremental side's cold crawl of the newest frame —
+  a cost *any* strategy pays exactly once per new week — is
+  subtracted (``TickResult.fetch_seconds``) to keep the ratio about
+  processing, not about who fetched first;
+* ``time_to_detect_*_h`` — end-to-end detection lag in simulated
+  hours: from a ground-truth impact's onset to the end of the weekly
+  frame whose tick first *published* a matching spike.  This includes
+  the structural lag of weekly frames — it is the latency a live
+  operator would actually see;
+* ``final_fingerprint_*`` — the correctness bar: after the final tick
+  the streamed study must be byte-identical to the batch study.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py [--smoke]
+        [--as-baseline]   # record the pre-change numbers
+        [--check]         # fail when the speedup floor or the
+                          # fingerprint-identity bar is missed
+        [--write]         # persist a smoke run (CI artifact upload)
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+from repro.core.averaging import AveragingConfig
+from repro.core.pipeline import SiftConfig
+from repro.runtime import ALL_GEOS, StudyRuntime
+from repro.timeutil import utc
+from repro.web import SiftWebApp
+
+try:  # runnable both as a script and under the benchmarks package
+    from perf import read_bench, write_bench
+except ImportError:  # pragma: no cover
+    from benchmarks.perf import read_bench, write_bench
+
+BENCH_NAME = "streaming"
+
+#: The paper-shape workload: all 51 geographies over the full two-year
+#: study window (122 weekly ticks).  Low background scale keeps the
+#: bench measuring the pipeline, not event generation; annotation off
+#: because it is a global two-pass stage both sides defer to the end.
+FULL_START = utc(2020, 1, 1)
+FULL_END = utc(2022, 1, 1)
+FULL_SCALE = 0.05
+FULL_SEED = 20221025
+
+#: CI smoke slice: 4 timezone-diverse geographies, 6 weekly ticks, at
+#: the same sparse background scale as the full workload (a dense
+#: spike-every-hour world would make every tick re-render every spike
+#: table, which is not the regime the incremental path targets).
+SMOKE_GEOS = ("US-TX", "US-CA", "US-AZ", "US-NY")
+SMOKE_START = utc(2021, 1, 1)
+SMOKE_END = utc(2021, 2, 7)
+SMOKE_SCALE = 0.05
+SMOKE_SEED = 11
+
+#: Fixed fetch rounds per frame (streaming needs min_rounds ==
+#: max_rounds for byte-identity with batch; see repro.streaming).
+ROUNDS = 2
+
+#: Speedup floors --check enforces: the tentpole target on the
+#: paper-shape workload, a portable floor for the tiny CI slice.
+FULL_FLOOR = 10.0
+SMOKE_FLOOR = 3.0
+
+#: A published spike matches a ground-truth impact when its peak falls
+#: within this many hours of the impact's onset.
+MATCH_HORIZON_HOURS = 48.0
+
+
+def build_runtime(smoke: bool) -> StudyRuntime:
+    return StudyRuntime.build(
+        background_scale=SMOKE_SCALE if smoke else FULL_SCALE,
+        seed=SMOKE_SEED if smoke else FULL_SEED,
+        start=SMOKE_START if smoke else FULL_START,
+        end=SMOKE_END if smoke else FULL_END,
+        sift=SiftConfig(
+            annotate=False,
+            averaging=AveragingConfig(min_rounds=ROUNDS, max_rounds=ROUNDS),
+        ),
+        checkpoint=False,
+    )
+
+
+def rebuild_latency(runtime: StudyRuntime, geos, window, app: SiftWebApp) -> float:
+    """Seconds for the full-rebuild path over one prefix window.
+
+    Runs against *runtime*'s collection layer, which the daemon has
+    already crawled — the rebuild's fetches are all cache hits, so the
+    measured cost is pure pipeline + whole-index install (charging the
+    rebuild nothing for the refetch it would actually also pay).
+    """
+    started = time.perf_counter()
+    study = runtime.sift.run_study(geos, window)
+    app.install_study(study)
+    return time.perf_counter() - started
+
+
+def time_to_detect(runtime: StudyRuntime, geos, publications) -> dict:
+    """Detection lag from impact onset to spike publication, in sim-hours.
+
+    *publications* maps each tick to (frame end, published spikes).  An
+    impact counts as detected at the first tick that published a spike
+    in its geography peaking within :data:`MATCH_HORIZON_HOURS` of the
+    onset; the lag runs from onset to that tick's frame end — the
+    simulated moment the spike became visible to a watcher.
+    """
+    geo_set = set(geos)
+    delays: list[float] = []
+    total = 0
+    for event in runtime.scenario.events:
+        for impact in event.impacts:
+            geo = f"US-{impact.state}"
+            if geo not in geo_set:
+                continue
+            total += 1
+            best: float | None = None
+            for frame_end, spikes in publications:
+                if frame_end <= impact.start:
+                    continue
+                for spike in spikes:
+                    if spike.geo != geo:
+                        continue
+                    offset = (spike.peak - impact.start).total_seconds() / 3600.0
+                    if 0 <= offset <= MATCH_HORIZON_HOURS:
+                        best = (frame_end - impact.start).total_seconds() / 3600.0
+                        break
+                if best is not None:
+                    break
+            if best is not None:
+                delays.append(best)
+    if not delays:
+        return {"matched_impacts": 0, "total_impacts": total}
+    return {
+        "matched_impacts": len(delays),
+        "total_impacts": total,
+        "time_to_detect_mean_h": round(statistics.fmean(delays), 1),
+        "time_to_detect_median_h": round(statistics.median(delays), 1),
+    }
+
+
+def run_bench(smoke: bool) -> dict:
+    geos = SMOKE_GEOS if smoke else ALL_GEOS
+    runtime = build_runtime(smoke)
+    daemon = runtime.stream_daemon(geos)
+    total = daemon.total_ticks
+    # Rebuild comparisons sample the late stream (>75% ingested), where
+    # the incremental advantage is the claim under test.
+    late_start = (3 * total) // 4
+    sample_ticks = sorted({late_start, (late_start + total - 1) // 2, total - 1})
+    sample_ticks = [tick for tick in sample_ticks if late_start <= tick < total]
+
+    app: SiftWebApp | None = None
+    late_latencies: list[float] = []
+    late_process: list[float] = []
+    publications = []
+    speedups: dict[str, float] = {}
+    rebuild_ms: dict[str, float] = {}
+
+    while not daemon.done:
+        result = daemon.tick()
+        tick = result.tick
+        if app is None:
+            # First tick bootstraps the app; deltas install from then on.
+            app = SiftWebApp(daemon.snapshot_study())
+            daemon.app = app
+        process_s = result.elapsed_seconds - result.fetch_seconds
+        if tick >= late_start:
+            late_latencies.append(result.elapsed_seconds)
+            late_process.append(process_s)
+        publications.append((result.frame.end, result.published))
+        if tick in sample_ticks:
+            rebuild_s = rebuild_latency(
+                runtime, geos, daemon.prefix_window(tick), app
+            )
+            ingested = (tick + 1) / total
+            key = f"{round(100 * ingested)}pct"
+            rebuild_ms[key] = round(rebuild_s * 1000, 1)
+            speedups[key] = round(rebuild_s / process_s, 1)
+            print(
+                f"tick {tick + 1}/{total} ({key} ingested): incremental "
+                f"{result.elapsed_seconds * 1000:.1f} ms "
+                f"({process_s * 1000:.1f} ms crawl-free), rebuild "
+                f"{rebuild_s * 1000:.1f} ms -> {speedups[key]:.1f}x"
+            )
+
+    streamed = daemon.snapshot_study()
+    # The batch side of the correctness bar: a fresh runtime (same
+    # config, cold caches) over the full window.
+    batch = build_runtime(smoke).run_study(geos)
+    detect = time_to_detect(runtime, geos, publications)
+
+    metrics = {
+        "ticks": total,
+        "geo_count": len(geos),
+        "rounds": ROUNDS,
+        "tick_latency_p50_ms": round(
+            statistics.median(late_latencies) * 1000, 1
+        ),
+        "tick_latency_max_ms": round(max(late_latencies) * 1000, 1),
+        "tick_process_p50_ms": round(
+            statistics.median(late_process) * 1000, 1
+        ),
+        "rebuild_latency_ms": rebuild_ms,
+        "speedup_incremental_vs_rebuild": min(speedups.values()),
+        "speedup_by_ingested": speedups,
+        "final_fingerprint_streamed": streamed.fingerprint(),
+        "final_fingerprint_batch": batch.fingerprint(),
+        "fingerprints_match": streamed.fingerprint() == batch.fingerprint(),
+        "smoke": smoke,
+    }
+    metrics.update(detect)
+    return metrics
+
+
+def check_regression(metrics: dict) -> int:
+    """Enforce the floors; compare against committed results."""
+    exit_code = 0
+    if not metrics["fingerprints_match"]:
+        print(
+            f"check: FINGERPRINT MISMATCH streamed "
+            f"{metrics['final_fingerprint_streamed']} != batch "
+            f"{metrics['final_fingerprint_batch']}"
+        )
+        exit_code = 1
+    floor = SMOKE_FLOOR if metrics["smoke"] else FULL_FLOOR
+    speedup = metrics["speedup_incremental_vs_rebuild"]
+    verdict = "ok" if speedup >= floor else "REGRESSION"
+    print(
+        f"check: speedup_incremental_vs_rebuild {speedup:.1f}x, "
+        f"floor {floor:.1f}x -> {verdict}"
+    )
+    if speedup < floor:
+        exit_code = 1
+    committed = read_bench(BENCH_NAME)
+    if committed and "current" in committed and not metrics["smoke"]:
+        committed_speedup = committed["current"].get(
+            "speedup_incremental_vs_rebuild"
+        )
+        if committed_speedup:
+            print(
+                f"check: committed speedup {committed_speedup:.1f}x "
+                f"(informational)"
+            )
+    return exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI slice")
+    parser.add_argument(
+        "--as-baseline",
+        action="store_true",
+        help="record results as the pre-change baseline",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when the speedup floor or fingerprint identity is missed",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="persist results even for a smoke run (CI artifact upload)",
+    )
+    args = parser.parse_args(argv)
+
+    metrics = run_bench(smoke=args.smoke)
+    for key, value in metrics.items():
+        print(f"{key}: {value}")
+
+    exit_code = check_regression(metrics) if args.check else 0
+    if args.as_baseline or args.write or not args.smoke:
+        geos = SMOKE_GEOS if args.smoke else ALL_GEOS
+        start = SMOKE_START if args.smoke else FULL_START
+        end = SMOKE_END if args.smoke else FULL_END
+        weeks = int((end - start).total_seconds() // (7 * 24 * 3600))
+        write_bench(
+            BENCH_NAME,
+            metrics,
+            as_baseline=args.as_baseline,
+            workload_shape={
+                "geos": len(geos),
+                "weeks": weeks,
+                "terms": 1,
+                "rounds": ROUNDS,
+            },
+            extra={
+                "workload": {
+                    "start": start.isoformat(),
+                    "end": end.isoformat(),
+                    "background_scale": SMOKE_SCALE if args.smoke else FULL_SCALE,
+                    "geo_count": len(geos),
+                    "annotate": False,
+                    "rebuild_baseline": "batch run_study over the same "
+                    "prefix window + whole-index install_study, cache-hot "
+                    "crawl (conservative: charges the rebuild no refetch)",
+                },
+            },
+        )
+        print(f"wrote BENCH_{BENCH_NAME}.json")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,12 @@ Commands mirror the system's stages:
 * ``serve``    — run a study and expose the web interface (the
   response-cache knobs: ``--cache-size``, ``--no-cache``,
   ``--no-preload``);
+* ``watch``    — stream the study one weekly frame per tick
+  (DESIGN.md §12): each tick crawls only the newest frame, re-stitches
+  the dirty tail, and publishes spikes as they appear; ``--serve``
+  installs delta snapshots into a live web app with ``/api/stream``
+  events, ``--store`` makes an interrupted watch resume mid-stream
+  with zero refetch;
 * ``report``   — regenerate the paper's headline numbers;
 * ``scenarios`` — the foundry (DESIGN.md §11): ``generate`` compiles
   scenario-pack families (or a spec JSON) into ground-truth worlds,
@@ -312,6 +318,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.streaming import StreamConfig
+
+    runtime = _runtime(args)
+    geos = tuple(args.geos) if args.geos else ALL_GEOS
+    daemon = runtime.stream_daemon(
+        geos,
+        stream=StreamConfig(
+            rounds=args.rounds, checkpoint_every=args.checkpoint_every
+        ),
+    )
+    if daemon.ticks_done:
+        print(f"resumed mid-stream at tick {daemon.ticks_done}/"
+              f"{daemon.total_ticks} (zero refetch)")
+    server = None
+    remaining = args.ticks
+    if args.serve and not daemon.done:
+        from repro.web import SiftWebApp, serve_app
+
+        # The app needs a first snapshot to exist; the daemon installs
+        # deltas into it from the second tick on.
+        daemon.tick()
+        if remaining is not None:
+            remaining -= 1
+        daemon.app = SiftWebApp(
+            daemon.snapshot_study(),
+            crawl_report=runtime.report(),
+            fault_report=runtime.fault_report(),
+            execution=runtime.execution_info(),
+        )
+        server, _thread = serve_app(daemon.app, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(f"watching on http://{host}:{port}/ "
+              f"(live events: /api/stream?since=0)")
+    try:
+        while not daemon.done and (remaining is None or remaining > 0):
+            result = daemon.tick()
+            if remaining is not None:
+                remaining -= 1
+            line = (
+                f"tick {result.tick + 1}/{daemon.total_ticks} "
+                f"-> {result.frame.end.date()}: "
+                f"{len(result.published)} published, "
+                f"{result.spike_count} spikes total "
+                f"({result.elapsed_seconds * 1000:.0f} ms, "
+                f"fp {result.fingerprint})"
+            )
+            print(line)
+            for spike in result.published[:5]:
+                print(f"  spike [{spike.geo}] peak {spike.peak.isoformat()} "
+                      f"magnitude {spike.magnitude:.1f} "
+                      f"({spike.duration_hours}h)")
+            if args.tick and not daemon.done:
+                time.sleep(args.tick)
+    except KeyboardInterrupt:
+        print(f"interrupted at tick {daemon.ticks_done}/{daemon.total_ticks}"
+              + (" (stream checkpointed; rerun to resume)"
+                 if runtime.store is not None else ""))
+        if server is not None:
+            server.shutdown()
+        return 130
+    if daemon.done:
+        study = daemon.finalize()
+        print(f"stream complete: {study.spike_count} spikes, "
+              f"{len(study.outages)} outages, fp {study.fingerprint()}")
+    else:
+        print(f"paused at tick {daemon.ticks_done}/{daemon.total_ticks}"
+              + (" (stream checkpointed; rerun to resume)"
+                 if runtime.store is not None else ""))
+    if server is not None:
+        if args.ticks is None:
+            print("serving final study; Ctrl-C to stop")
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+        server.shutdown()
+    return 0
+
+
 def _selected_specs(args: argparse.Namespace) -> dict[str, ScenarioSpec]:
     """The specs a ``scenarios`` action operates on, keyed by name."""
     if args.spec:
@@ -452,6 +540,50 @@ def build_parser() -> argparse.ArgumentParser:
         "given by --store (memory-mapped, no crawl)",
     )
     serve_cmd.set_defaults(handler=_cmd_serve)
+
+    watch = commands.add_parser(
+        "watch", help="stream the study tick-by-tick (one weekly frame each)"
+    )
+    _add_scale(watch)
+    _add_runtime(watch)
+    watch.add_argument("geos", nargs="*", help="geographies (default: all 51)")
+    watch.add_argument(
+        "--tick",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="pace: sleep this long between ticks (default 0, run flat out)",
+    )
+    watch.add_argument(
+        "--ticks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N ticks this invocation (with --store, a later "
+        "run resumes mid-stream with zero refetch)",
+    )
+    watch.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="fetch rounds per frame (fixed per tick; default 2)",
+    )
+    watch.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="TICKS",
+        help="stream-checkpoint cadence into --store (default every tick)",
+    )
+    watch.add_argument(
+        "--serve",
+        action="store_true",
+        help="expose the study over HTTP while it streams; each tick "
+        "installs a delta snapshot and /api/stream emits live events",
+    )
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=8080)
+    watch.set_defaults(handler=_cmd_watch)
 
     scenarios = commands.add_parser(
         "scenarios", help="generate and score foundry scenario worlds"

@@ -158,7 +158,14 @@ class StudyResult:
         from it: two studies with identical timelines, spikes and
         outages share a fingerprint, and any content change — a value,
         an annotation, a resumed geography — produces a new one.
+
+        Memoized: the streaming daemon fingerprints every tick's
+        snapshot (once for the delta install, once for the tick
+        result), and a result's content never changes after assembly.
         """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
         digest = hashlib.sha256()
         digest.update(self.window.start.isoformat().encode())
         digest.update(self.window.end.isoformat().encode())
@@ -174,7 +181,10 @@ class StudyResult:
             )
         digest.update(str(len(self.outages)).encode())
         digest.update("|".join(self.resumed_geos).encode())
-        return digest.hexdigest()[:16]
+        fingerprint = digest.hexdigest()[:16]
+        # Frozen but not slotted: stash directly in the instance dict.
+        self.__dict__["_fingerprint"] = fingerprint
+        return fingerprint
 
 
 class RisingCache:

@@ -279,6 +279,84 @@ class ServingStats(ProgressEvent):
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
+class TickFinished(ProgressEvent):
+    """The streaming daemon ingested one weekly frame across all geos."""
+
+    tick: int
+    total_ticks: int
+    frame: TimeWindow
+    geo_count: int
+    published: int
+    removed: int
+    spike_count: int
+    elapsed_seconds: float
+
+    def describe(self) -> str:
+        delta = f"+{self.published}" + (f"/-{self.removed}" if self.removed else "")
+        return (
+            f"tick {self.tick + 1}/{self.total_ticks} "
+            f"(..{self.frame.end:%Y-%m-%d}): {delta} spikes "
+            f"({self.spike_count} total) in {self.elapsed_seconds * 1e3:.0f} ms"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SpikePublished(ProgressEvent):
+    """A streamed tick surfaced a new (or re-bounded) spike."""
+
+    geo: str
+    tick: int
+    start: str  # ISO timestamps: the event is JSON-safe as-is
+    peak: str
+    end: str
+    magnitude: float
+    duration_hours: int
+
+    def describe(self) -> str:
+        return (
+            f"spike published [{self.geo}] peak {self.peak} "
+            f"magnitude {self.magnitude:.1f} ({self.duration_hours}h)"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class StreamResumed(ProgressEvent):
+    """A killed watcher picked its stream back up from the columnar store."""
+
+    tick: int
+    total_ticks: int
+    geo_count: int
+
+    def describe(self) -> str:
+        return (
+            f"stream resumed at tick {self.tick}/{self.total_ticks} "
+            f"({self.geo_count} geographies, zero refetch)"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DeltaInstalled(ProgressEvent):
+    """A delta snapshot was appended into the web serving layer."""
+
+    snapshot: int
+    fingerprint: str
+    tick: int
+    appended_hours: int
+    rebuilt_columns: int
+    invalidated: int
+    retained: int
+    published: int
+
+    def describe(self) -> str:
+        return (
+            f"serving snapshot v{self.snapshot} ({self.fingerprint}): "
+            f"delta +{self.appended_hours}h, {self.published} spikes "
+            f"published, {self.invalidated} cache entries dropped / "
+            f"{self.retained} kept"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
 class StudyFinished(ProgressEvent):
     geo_count: int
     spike_count: int

@@ -60,6 +60,14 @@ class Stitcher(abc.ABC):
     #: Registry name recorded in checkpoints and telemetry.
     name: ClassVar[str] = "?"
 
+    #: Index of the first series hour the most recent :meth:`feed` may
+    #: have rewritten.  Streaming callers re-walk detection only from
+    #: here; ``0`` (the conservative default) means "assume everything
+    #: changed".  An append-only feed sets it to the series length
+    #: before the feed; a stitcher that rewrites overlap hours (e.g.
+    #: ``calibrated`` blending) sets it to the overlap offset.
+    dirty_from: int = 0
+
     @abc.abstractmethod
     def feed(self, frame: TimeFrameResponse) -> None:
         """Extend the series with the next frame (sorted by start)."""

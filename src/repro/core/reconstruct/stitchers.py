@@ -64,6 +64,7 @@ class _ChainStitcher(Stitcher):
         self._carried = 0
         self._carried_positions: list[int] = []
         self._last_ratio = 1.0
+        self.dirty_from = 0
 
     # -- strategy hooks ---------------------------------------------------------
 
@@ -86,6 +87,7 @@ class _ChainStitcher(Stitcher):
             self._previous_start = frame.window.start
             self._series = frame.values.astype(np.float64)
             self._frames = 1
+            self.dirty_from = 0
             return
         if frame.request.term != self._term or frame.request.geo != self._geo:
             raise StitchingError(
@@ -110,9 +112,11 @@ class _ChainStitcher(Stitcher):
             # The repeated ratio is a placeholder, not an estimate.
             self._carried_positions.append(len(self._ratios))
             self._ratios.append(self._last_ratio)
+            self.dirty_from = self._series.size
             return
         current_values = frame.values.astype(np.float64)
-        ratio = self._ratio(self._series[offset:], current_values[:overlap])
+        tail = self._series[offset:]
+        ratio = self._ratio(tail, current_values[:overlap])
         if ratio is None:
             ratio = 1.0  # both renditions silent: neutral scale
             self._carried += 1
@@ -120,9 +124,10 @@ class _ChainStitcher(Stitcher):
         else:
             self._last_ratio = ratio
         self._ratios.append(ratio)
-        merged = self._merge_overlap(
-            self._series[offset:], current_values[:overlap] * ratio
-        )
+        merged = self._merge_overlap(tail, current_values[:overlap] * ratio)
+        # Only a stitcher that rewrote the overlap returns a new array;
+        # identity with the untouched tail means the feed was pure append.
+        self.dirty_from = self._series.size if merged is tail else offset
         self._series = np.concatenate(
             [self._series[:offset], merged, current_values[overlap:] * ratio]
         )
@@ -144,6 +149,40 @@ class _ChainStitcher(Stitcher):
             carried_positions=tuple(self._carried_positions),
         )
         return timeline, report
+
+    # -- streaming checkpoint support -------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """JSON-safe scalar state (the series is persisted separately)."""
+        if self._series is None:
+            raise StitchingError("no frames fed; nothing to export")
+        return {
+            "term": self._term,
+            "geo": self._geo,
+            "origin": self._origin.isoformat(),
+            "previous_start": self._previous_start.isoformat(),
+            "frames": self._frames,
+            "ratios": list(self._ratios),
+            "carried": self._carried,
+            "carried_positions": list(self._carried_positions),
+            "last_ratio": self._last_ratio,
+        }
+
+    def restore_state(self, state: dict[str, Any], series: np.ndarray) -> None:
+        """Rehydrate from :meth:`export_state` plus the saved raw series."""
+        if self._series is not None:
+            raise StitchingError("cannot restore into a stitcher already fed")
+        self._term = state["term"]
+        self._geo = state["geo"]
+        self._origin = datetime.fromisoformat(state["origin"])
+        self._previous_start = datetime.fromisoformat(state["previous_start"])
+        self._series = np.ascontiguousarray(series, dtype=np.float64)
+        self._frames = int(state["frames"])
+        self._ratios = [float(r) for r in state["ratios"]]
+        self._carried = int(state["carried"])
+        self._carried_positions = [int(p) for p in state["carried_positions"]]
+        self._last_ratio = float(state["last_ratio"])
+        self.dirty_from = 0
 
 
 class OverlapRatioStitcher(_ChainStitcher):

@@ -42,6 +42,7 @@ from repro.errors import ConfigurationError
 from repro.runtime.checkpoint import DatabaseCheckpoint
 from repro.runtime.executor import StudyExecutor, make_executor
 from repro.store import ColumnarStore
+from repro.streaming.config import StreamConfig
 from repro.timeutil import TimeWindow, utc
 from repro.trends.faults import (
     PROFILES,
@@ -107,6 +108,9 @@ class RuntimeConfig:
     #: Seed of the fault plan; ``(faults, fault_seed)`` fully determines
     #: every injected fault, so any chaos run can be replayed exactly.
     fault_seed: int = 7
+    #: Streaming knobs for :meth:`StudyRuntime.stream_daemon` (``sift
+    #: watch``); ignored by batch studies.
+    stream: StreamConfig = dataclasses.field(default_factory=StreamConfig)
 
 
 class StudyRuntime:
@@ -231,6 +235,7 @@ class StudyRuntime:
         population: SearchPopulation | None = None,
         faults: str | FaultProfile | None = None,
         fault_seed: int = 7,
+        stream: StreamConfig | None = None,
     ) -> "StudyRuntime":
         """Assemble a deployment with sensible defaults.
 
@@ -260,6 +265,7 @@ class StudyRuntime:
                 checkpoint=checkpoint,
                 faults=faults,
                 fault_seed=fault_seed,
+                stream=stream or StreamConfig(),
             ),
             progress=progress,
             scenario=scenario,
@@ -303,6 +309,31 @@ class StudyRuntime:
             # fingerprint.
             self.store.record_summary(study)
         return study
+
+    def stream_daemon(
+        self,
+        geos: tuple[str, ...] | list[str] | None = None,
+        app=None,
+        stream: StreamConfig | None = None,
+    ):
+        """An incremental :class:`repro.streaming.StudyDaemon` over this
+        runtime's pipeline (defaults: all geos, ``config.stream``).
+
+        The daemon shares the runtime's collection layer (crawl cache,
+        fault plan, fetcher fleet) and checkpoints stream state into the
+        runtime's columnar store when one is configured, so a killed
+        watcher resumes mid-stream with zero refetch.  Pass a
+        :class:`repro.web.app.SiftWebApp` as *app* to receive delta
+        snapshot installs on every tick.
+        """
+        from repro.streaming.daemon import StudyDaemon  # deferred: heavy
+
+        return StudyDaemon(
+            self,
+            tuple(geos) if geos is not None else ALL_GEOS,
+            stream=stream,
+            app=app,
+        )
 
     def analyze_state(self, geo: str, window: TimeWindow | None = None) -> StateResult:
         """Single-geography pipeline run over the study window."""

@@ -265,6 +265,61 @@ class ColumnarStore(StudyCheckpoint):
             resumed_geos=tuple(summary.get("resumed_geos", ())),
         )
 
+    # -- streaming checkpoints -------------------------------------------------
+
+    def _stream_column_path(self, geo: str) -> str:
+        return os.path.join(self.root, SERIES_DIR, f"{geo}.stream.npy")
+
+    def save_stream(self, state: dict, columns: dict[str, np.ndarray]) -> None:
+        """Persist a mid-stream daemon checkpoint: raw columns + state.
+
+        The raw (pre-renormalization) stitched series land as
+        ``series/<geo>.stream.npy`` side files; the JSON-safe *state*
+        dict (stitcher export, claimed spike bounds, tick watermark)
+        goes under the manifest's ``stream`` key.  Columns are written
+        before the manifest, so — exactly like :meth:`save_state` — an
+        interrupt can never leave a stream entry pointing at a missing
+        or stale column.
+        """
+        with self._lock:
+            for geo in sorted(columns):
+                path = self._stream_column_path(geo)
+                tmp = path + ".tmp"
+                with open(tmp, "wb") as handle:
+                    np.save(
+                        handle,
+                        np.ascontiguousarray(columns[geo], dtype=np.float64),
+                    )
+                os.replace(tmp, path)
+            manifest = self._read_manifest()
+            manifest["stream"] = state
+            self._write_manifest(manifest)
+
+    def load_stream(self) -> dict | None:
+        """The last streamed checkpoint state, or ``None`` when fresh."""
+        return self._read_manifest().get("stream")
+
+    def load_stream_column(self, geo: str) -> np.ndarray:
+        """A materialized copy of one mid-stream raw series.
+
+        Always a private in-memory array (never a memory map): the
+        resumed stitcher takes ownership and keeps appending to it
+        long after the store may have rewritten the side file.
+        """
+        values = np.load(self._stream_column_path(geo))
+        return np.ascontiguousarray(values, dtype=np.float64)
+
+    def clear_stream(self) -> None:
+        """Drop the stream checkpoint (a finished stream needs none)."""
+        with self._lock:
+            manifest = self._read_manifest()
+            if manifest.pop("stream", None) is not None:
+                self._write_manifest(manifest)
+            stream_dir = os.path.join(self.root, SERIES_DIR)
+            for name in os.listdir(stream_dir):
+                if name.endswith(".stream.npy"):
+                    os.remove(os.path.join(stream_dir, name))
+
     # -- shard partitions ------------------------------------------------------
 
     def partition(self, shard: int) -> "ColumnarStore":

@@ -1,0 +1,37 @@
+"""Streaming SIFT: incremental ingest, bounded re-stitch, delta installs.
+
+``StreamConfig`` is import-light (the runtime config embeds it); the
+daemon and its collaborators pull in the whole pipeline, so they load
+lazily on first attribute access.
+"""
+
+from repro.streaming.config import StreamConfig
+from repro.streaming.delta import GeoDelta, StudyDelta
+
+__all__ = [
+    "StreamConfig",
+    "GeoDelta",
+    "StudyDelta",
+    "StudyDaemon",
+    "GeoStream",
+    "TickResult",
+    "TailDetector",
+    "DetectionDelta",
+]
+
+_LAZY = {
+    "StudyDaemon": "repro.streaming.daemon",
+    "GeoStream": "repro.streaming.daemon",
+    "TickResult": "repro.streaming.daemon",
+    "TailDetector": "repro.streaming.detector",
+    "DetectionDelta": "repro.streaming.detector",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

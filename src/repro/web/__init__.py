@@ -1,6 +1,13 @@
 """Web interface for browsing SIFT results (read-optimized serving)."""
 
-from repro.web.app import ResponseCache, SiftWebApp, WebResponse, serve
+from repro.web.app import ResponseCache, SiftWebApp, WebResponse, serve, serve_app
 from repro.web.index import QueryIndex
 
-__all__ = ["QueryIndex", "ResponseCache", "SiftWebApp", "WebResponse", "serve"]
+__all__ = [
+    "QueryIndex",
+    "ResponseCache",
+    "SiftWebApp",
+    "WebResponse",
+    "serve",
+    "serve_app",
+]

@@ -51,11 +51,14 @@ from repro.analysis.reporting import render_timeline
 from repro.collection.scheduler import CrawlReport
 from repro.core.pipeline import StudyResult
 from repro.core.progress import (
+    DeltaInstalled,
+    ProgressEvent,
     ProgressListener,
     ProgressLog,
     ServingStats,
     ShardStats,
     SnapshotInstalled,
+    SpikePublished,
 )
 from repro.errors import ReproError
 from repro.timeutil import TimeWindow, hour_at
@@ -85,6 +88,7 @@ _ROUTES: dict[str, tuple[str, frozenset[str]]] = {
     "/api/spikes": ("_plan_spikes", frozenset({"geo", "min_hours", "pretty"})),
     "/api/outages": ("_plan_outages", frozenset({"min_states", "pretty"})),
     "/api/runtime": ("_plan_runtime", frozenset({"type", "pretty"})),
+    "/api/stream": ("_plan_stream", frozenset({"since", "timeout", "pretty"})),
 }
 
 
@@ -185,6 +189,18 @@ class ResponseCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def invalidate(self, predicate) -> int:
+        """Drop every entry whose key satisfies *predicate*; returns count.
+
+        The delta-install path uses this to evict only the responses a
+        streamed tick actually changed, leaving still-valid encoded
+        bodies (and their ETags) in place.
+        """
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
     def reset_stats(self) -> None:
         self.hits = self.misses = self.evictions = 0
 
@@ -260,6 +276,12 @@ class SiftWebApp:
         self._telemetry = ServingTelemetry()
         self._snapshot = 0
         self._preloaded = 0
+        # /api/stream: a sequence-numbered event ring consumed by
+        # long-polling dashboards.  Guarded by its own lock so a waiting
+        # poll never blocks snapshot installs or cached serving.
+        self._stream_cond = threading.Condition(threading.Lock())
+        self._stream_events: deque[tuple[int, dict]] = deque(maxlen=1024)
+        self._stream_seq = 0
         self.install_study(study)
 
     # -- snapshot lifecycle ---------------------------------------------------
@@ -281,14 +303,91 @@ class SiftWebApp:
             self._preloaded = 0
             if self._caching and self._preload:
                 self._preloaded = self._warm_hot_paths()
-        self._emit(
-            SnapshotInstalled(
+        installed = SnapshotInstalled(
+            snapshot=self._snapshot,
+            fingerprint=self.index.fingerprint,
+            geo_count=len(self.index.geos),
+            preloaded=self._preloaded,
+        )
+        self._emit(installed)
+        self.publish_stream_events([installed])
+
+    def install_delta(self, study: StudyResult, delta) -> DeltaInstalled:
+        """Install a streamed tick without rebuilding the snapshot.
+
+        *delta* is a :class:`repro.streaming.delta.StudyDelta`.  The
+        :class:`QueryIndex` extends its columns in place
+        (``apply_delta``), the snapshot version still bumps (new
+        responses get new ETags), but instead of dropping the whole
+        response cache only the entries the tick touched are evicted:
+
+        * ``timeline`` entries for a changed geography whose window
+          reaches past the geography's previous length, or whose column
+          had to be rebuilt (scale moved / prefix rewritten) — a window
+          entirely inside the untouched prefix stays byte-valid, and
+          its ETag still names exactly those bytes;
+        * ``spikes`` entries for geographies whose spike set changed;
+        * all study-wide entries (summary, outages, index pages) — they
+          embed counts and the fingerprint.
+
+        ``SpikePublished`` events for the tick's new spikes plus one
+        :class:`DeltaInstalled` land on the ``/api/stream`` feed.
+        """
+        published = delta.published
+        with self._lock:
+            self.study = study
+            rebuilt = self.index.apply_delta(study, delta)
+            self._snapshot += 1
+            invalidated = 0
+            if self._caching:
+                invalidated = self._cache.invalidate(
+                    lambda key: self._delta_affects(key[0], delta)
+                )
+            retained = len(self._cache)
+            installed = DeltaInstalled(
                 snapshot=self._snapshot,
                 fingerprint=self.index.fingerprint,
-                geo_count=len(self.index.geos),
-                preloaded=self._preloaded,
+                tick=delta.tick,
+                appended_hours=delta.appended_hours,
+                rebuilt_columns=rebuilt,
+                invalidated=invalidated,
+                retained=retained,
+                published=len(published),
             )
-        )
+        events: list[ProgressEvent] = [
+            SpikePublished(
+                geo=spike.geo,
+                tick=delta.tick,
+                start=spike.start.isoformat(),
+                peak=spike.peak.isoformat(),
+                end=spike.end.isoformat(),
+                magnitude=spike.magnitude,
+                duration_hours=spike.duration_hours,
+            )
+            for spike in published
+        ]
+        events.append(installed)
+        self._emit(installed)
+        self.publish_stream_events(events)
+        return installed
+
+    @staticmethod
+    def _delta_affects(plan_key: tuple, delta) -> bool:
+        """Does a cached plan's payload depend on what the tick changed?"""
+        kind = plan_key[0]
+        if kind == "timeline":
+            _, geo, lo, hi = plan_key
+            geo_delta = delta.geos.get(geo)
+            if geo_delta is None:
+                return False
+            return not geo_delta.appendable or hi > geo_delta.old_hours
+        if kind == "spikes":
+            _, geo, _cut = plan_key
+            geo_delta = delta.geos.get(geo)
+            return geo_delta is not None and geo_delta.spikes_changed
+        # Study-wide payloads (summary, outages, geos, index HTML) embed
+        # counts or the fingerprint; anything unrecognized evicts too.
+        return True
 
     @property
     def snapshot_version(self) -> int:
@@ -361,6 +460,17 @@ class SiftWebApp:
         try:
             if planner_name == "_plan_runtime":
                 body = _encode_json(self._runtime(params), pretty)
+                return WebResponse(
+                    200,
+                    (
+                        ("Content-Type", _JSON_TYPE),
+                        ("Content-Length", str(len(body))),
+                        ("Cache-Control", _NO_STORE),
+                    ),
+                    body,
+                )
+            if planner_name == "_plan_stream":
+                body = _encode_json(self._stream_payload(params), pretty)
                 return WebResponse(
                     200,
                     (
@@ -516,6 +626,52 @@ class SiftWebApp:
 
     def _plan_runtime(self, params: dict[str, str]):  # pragma: no cover
         raise AssertionError("runtime responses are served uncached")
+
+    def _plan_stream(self, params: dict[str, str]):  # pragma: no cover
+        raise AssertionError("stream responses are served uncached")
+
+    # -- the event stream -----------------------------------------------------
+
+    def publish_stream_events(self, events) -> None:
+        """Append progress events to the ``/api/stream`` feed."""
+        with self._stream_cond:
+            for event in events:
+                self._stream_seq += 1
+                self._stream_events.append((self._stream_seq, event.to_dict()))
+            self._stream_cond.notify_all()
+
+    def _stream_payload(self, params: dict[str, str]) -> dict:
+        """Long-poll over the event ring.
+
+        ``since=SEQ`` returns only events newer than *SEQ*;
+        ``timeout=SECONDS`` (capped at 30) blocks until something newer
+        arrives or the timeout lapses.  Each event carries its ``seq``,
+        so a dashboard loops ``since=<last next_since>``.  The ring is
+        bounded: a client further behind than its capacity misses the
+        overwritten events (``oldest_seq`` reveals the gap).
+        """
+        since = int(params.get("since", 0))
+        timeout = min(max(float(params.get("timeout", 0.0)), 0.0), 30.0)
+        deadline = time.monotonic() + timeout
+        with self._stream_cond:
+            while self._stream_seq <= since:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._stream_cond.wait(remaining)
+            events = [
+                {"seq": seq, **payload}
+                for seq, payload in self._stream_events
+                if seq > since
+            ]
+            return {
+                "since": since,
+                "next_since": self._stream_seq,
+                "oldest_seq": (
+                    self._stream_events[0][0] if self._stream_events else 0
+                ),
+                "events": events,
+            }
 
     # -- dynamic payloads -----------------------------------------------------
 
@@ -714,6 +870,15 @@ def serve(
         preload=preload,
         progress=progress,
     )
+    return serve_app(app, host=host, port=port)
+
+
+def serve_app(
+    app: SiftWebApp, host: str = "127.0.0.1", port: int = 0
+) -> tuple[ThreadingHTTPServer, threading.Thread]:
+    """Bind an already-built app (e.g. one a stream daemon installs
+    deltas into) to a real HTTP server; returns (server, daemon thread).
+    """
     handler = type("BoundHandler", (_Handler,), {"app": app})
     server = ThreadingHTTPServer((host, port), handler)
     server.app = app  # type: ignore[attr-defined]

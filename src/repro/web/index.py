@@ -65,6 +65,10 @@ class GeoColumn:
         "_prefix",
         "_nonzero",
         "_block_max",
+        "_buf",
+        "_pbuf",
+        "_nbuf",
+        "_bbuf",
     )
 
     def __init__(self, timeline: HourlyTimeline) -> None:
@@ -96,6 +100,71 @@ class GeoColumn:
         if tail:
             block_max[full] = values[full * _BLOCK :].max()
         self._block_max = block_max
+        # Growth buffers materialize lazily on the first append; until
+        # then the column stays a zero-copy alias of the study arrays.
+        self._buf: np.ndarray | None = None
+        self._pbuf: np.ndarray | None = None
+        self._nbuf: np.ndarray | None = None
+        self._bbuf: np.ndarray | None = None
+
+    # -- streaming delta installs --------------------------------------------
+
+    def _ensure_capacity(self, new_hours: int) -> None:
+        if self._buf is not None and self._buf.size >= new_hours:
+            return
+        capacity = max(2 * new_hours, 1024)
+        blocks = capacity // _BLOCK + 1
+        buf = np.empty(capacity, dtype=np.float64)
+        pbuf = np.empty(capacity + 1, dtype=np.float64)
+        nbuf = np.empty(capacity + 1, dtype=np.int64)
+        bbuf = np.zeros(blocks, dtype=np.float64)
+        buf[: self.hours] = self._values
+        pbuf[: self.hours + 1] = self._prefix
+        nbuf[: self.hours + 1] = self._nonzero
+        bbuf[: self._block_max.size] = self._block_max
+        self._buf, self._pbuf, self._nbuf, self._bbuf = buf, pbuf, nbuf, bbuf
+        self._values = buf[: self.hours]
+        self._prefix = pbuf[: self.hours + 1]
+        self._nonzero = nbuf[: self.hours + 1]
+
+    def append(self, tail: np.ndarray) -> None:
+        """Extend the column in place with newly streamed hours.
+
+        Valid only while every already-indexed hour keeps its value —
+        the caller (``QueryIndex.apply_delta``) rebuilds the column
+        instead when the renormalization scale moved or the stitcher
+        rewrote the prefix.  Prefix sums and non-zero counts extend
+        from their last entry; block maxima **recompute** the formerly
+        partial last block over its full current extent before
+        appending the new full blocks — appending alone would freeze a
+        stale partial maximum and hide any taller spike landing inside
+        that block's remainder.
+
+        Amortized O(tail): backing buffers grow by doubling.
+        """
+        tail = np.ascontiguousarray(tail, dtype=np.float64)
+        if tail.size == 0:
+            return
+        old = self.hours
+        new = old + int(tail.size)
+        self._ensure_capacity(new)
+        self._buf[old:new] = tail
+        self._values = self._buf[:new]
+        self._pbuf[old + 1 : new + 1] = self._pbuf[old] + np.cumsum(
+            tail, dtype=np.float64
+        )
+        self._prefix = self._pbuf[: new + 1]
+        self._nbuf[old + 1 : new + 1] = self._nbuf[old] + np.cumsum(
+            tail > 0, dtype=np.int64
+        )
+        self._nonzero = self._nbuf[: new + 1]
+        first = old // _BLOCK
+        blocks = (new + _BLOCK - 1) // _BLOCK
+        for block in range(first, blocks):
+            lo = block * _BLOCK
+            self._bbuf[block] = self._values[lo : min(lo + _BLOCK, new)].max()
+        self._block_max = self._bbuf[:blocks]
+        self.hours = new
 
     def locate(self, window: TimeWindow) -> tuple[int, int]:
         """(lo, hi) hour offsets of *window*; raises for out-of-range."""
@@ -148,17 +217,53 @@ class GeoColumn:
 
 
 class SpikeTable:
-    """Per-geo spike rows in peak order, plus a duration permutation."""
+    """Per-geo spike rows in peak order, plus a duration permutation.
 
-    __slots__ = ("geo", "rows", "_sorted_durations", "_by_duration")
+    Pass the geography's previous table as *prev* when re-rendering
+    after a streamed tick: rows for spikes the tick did not touch are
+    reused from the old table instead of re-rendered (the ISO-8601
+    timestamps dominate the cost of a row).  The reuse key omits
+    ``magnitude_rank`` on purpose — a new spike inserting mid-rank
+    shifts every rank below it, and patching the rank into a copied row
+    is far cheaper than rebuilding the row.  Reused rows are shared
+    with the previous table, which is safe because serving treats rows
+    as immutable once rendered.
+    """
 
-    def __init__(self, geo: str, spikes: SpikeSet) -> None:
+    __slots__ = ("geo", "rows", "_sorted_durations", "_by_duration", "_row_cache")
+
+    def __init__(
+        self, geo: str, spikes: SpikeSet, prev: "SpikeTable | None" = None
+    ) -> None:
         self.geo = geo
         ordered = tuple(spikes)  # SpikeSet iterates in (peak, geo) order
-        self.rows = tuple(spike.to_dict() for spike in ordered)
-        durations = np.array(
-            [spike.duration_hours for spike in ordered], dtype=np.int64
-        )
+        cache = prev._row_cache if prev is not None else {}
+        self._row_cache: dict[tuple, tuple[dict, int]] = {}
+        rows: list[dict] = []
+        durations = np.empty(len(ordered), dtype=np.int64)
+        for index, spike in enumerate(ordered):
+            # Bounds + magnitude + annotations identify a spike within
+            # one geography's study (a geo cannot grow two spikes with
+            # identical bounds); rank is patched separately.
+            key = (
+                spike.start,
+                spike.peak,
+                spike.end,
+                spike.magnitude,
+                spike.annotations,
+            )
+            hit = cache.get(key)
+            if hit is None:
+                row = spike.to_dict()
+                duration = spike.duration_hours
+            else:
+                row, duration = hit
+                if row["magnitude_rank"] != spike.magnitude_rank:
+                    row = {**row, "magnitude_rank": spike.magnitude_rank}
+            self._row_cache[key] = (row, duration)
+            rows.append(row)
+            durations[index] = duration
+        self.rows = tuple(rows)
         self._by_duration = np.argsort(-durations, kind="stable")
         self._sorted_durations = np.sort(durations)
 
@@ -182,23 +287,42 @@ class SpikeTable:
 
 
 class OutageTable:
-    """Pre-rendered outage rows with a footprint permutation."""
+    """Pre-rendered outage rows with a footprint permutation.
 
-    __slots__ = ("rows", "_sorted_footprints", "_by_footprint")
+    Like :class:`SpikeTable`, pass the previous table as *prev* when
+    re-rendering after a streamed tick.  An outage row depends only on
+    its member spikes' geography, bounds and annotations — not their
+    magnitudes or ranks — so the reuse key ignores those: a tick that
+    merely re-ranked a geography's spikes reuses every outage row.
+    """
 
-    def __init__(self, outages: list[Outage]) -> None:
+    __slots__ = ("rows", "_sorted_footprints", "_by_footprint", "_row_cache")
+
+    def __init__(
+        self, outages: list[Outage], prev: "OutageTable | None" = None
+    ) -> None:
         # Rendering here runs the merged-annotation counting sort once
         # per snapshot instead of once per request.
-        self.rows = tuple(
-            {
-                "label": outage.label,
-                "states": sorted(outage.states),
-                "footprint": outage.footprint,
-                "max_duration_hours": outage.max_duration_hours,
-                "annotations": list(outage.annotations[:3]),
-            }
-            for outage in outages
-        )
+        cache = prev._row_cache if prev is not None else {}
+        self._row_cache: dict[tuple, dict] = {}
+        rows: list[dict] = []
+        for outage in outages:
+            key = tuple(
+                (spike.geo, spike.start, spike.end, spike.annotations)
+                for spike in outage.spikes
+            )
+            row = cache.get(key)
+            if row is None:
+                row = {
+                    "label": outage.label,
+                    "states": sorted(outage.states),
+                    "footprint": outage.footprint,
+                    "max_duration_hours": outage.max_duration_hours,
+                    "annotations": list(outage.annotations[:3]),
+                }
+            self._row_cache[key] = row
+            rows.append(row)
+        self.rows = tuple(rows)
         footprints = np.array(
             [row["footprint"] for row in self.rows], dtype=np.int64
         )
@@ -235,6 +359,56 @@ class QueryIndex:
             for geo in study.states
         }
         self.outages = OutageTable(study.outages)
+
+    def apply_delta(self, study: StudyResult, delta) -> int:
+        """Install a streamed tick by mutation instead of rebuilding.
+
+        *delta* is a :class:`repro.streaming.delta.StudyDelta`.  Per
+        geography: append the new hours to the existing column when the
+        tick was pure growth (``GeoDelta.appendable``), rebuild the
+        column only when the renormalization scale moved or the
+        stitcher rewrote the prefix, and re-render the spike table only
+        when the spike set changed.  Outage rows are study-wide, so
+        they re-render whenever any geography's spikes changed — and
+        only then (a pure-growth tick reuses them verbatim).  Returns
+        the number of columns rebuilt.
+
+        The caller must invalidate cached responses itself (see
+        ``SiftWebApp.install_delta``): entries whose window stays below
+        a geography's ``old_hours`` remain byte-valid by construction.
+        """
+        self.study = study
+        self.fingerprint = study.fingerprint()
+        self.geos = tuple(sorted(study.states))
+        rebuilt = 0
+        changed_geos = set()
+        for geo, geo_delta in delta.geos.items():
+            result = study.states[geo]
+            column = self._columns.get(geo)
+            if column is None or not geo_delta.appendable:
+                self._columns[geo] = GeoColumn(result.timeline)
+                rebuilt += 1
+            elif geo_delta.new_hours > geo_delta.old_hours:
+                column.append(result.timeline.values[geo_delta.old_hours :])
+            if geo_delta.spikes_changed or geo not in self._spikes:
+                changed_geos.add(geo)
+        if changed_geos:
+            # One pass over the study-wide set (which carries the
+            # annotations when enabled) instead of a full in_state scan
+            # per changed geography; SpikeSet order is (peak, geo), so
+            # each partition arrives already in per-geo peak order.
+            by_geo: dict[str, list] = {geo: [] for geo in changed_geos}
+            for spike in study.spikes:
+                bucket = by_geo.get(spike.geo)
+                if bucket is not None:
+                    bucket.append(spike)
+            for geo, spikes in by_geo.items():
+                self._spikes[geo] = SpikeTable(
+                    geo, spikes, prev=self._spikes.get(geo)
+                )
+        if any(geo_delta.spikes_changed for geo_delta in delta.geos.values()):
+            self.outages = OutageTable(study.outages, prev=self.outages)
+        return rebuilt
 
     @classmethod
     def from_store(cls, store) -> "QueryIndex":

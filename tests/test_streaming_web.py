@@ -1,0 +1,263 @@
+"""Delta snapshot installs: the serving side of the watch loop.
+
+A streamed tick must leave the serving layer indistinguishable from a
+full rebuild — same columns, same rows, same bytes — while doing
+strictly less work: columns extend in place, untouched cache entries
+survive with their ETags, and the ``/api/stream`` ring carries every
+published spike.  Also the regression guard for the in-place
+:class:`~repro.web.index.GeoColumn` append: the formerly partial last
+128-hour block must recompute its maximum over its full extent, not
+freeze the stale partial one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import SiftConfig
+from repro.core.averaging import AveragingConfig
+from repro.core.series import HourlyTimeline
+from repro.runtime.study import StudyRuntime
+from repro.timeutil import TimeWindow, utc
+from repro.web import QueryIndex, SiftWebApp
+from repro.web.index import _BLOCK, GeoColumn
+
+GEOS = ("US-TX", "US-CA", "US-OK")
+START, END = utc(2021, 1, 1), utc(2021, 2, 7)
+ROUNDS = 2
+
+
+def build_runtime():
+    return StudyRuntime.build(
+        background_scale=0.3,
+        seed=11,
+        start=START,
+        end=END,
+        sift=SiftConfig(
+            annotate=False,
+            averaging=AveragingConfig(min_rounds=ROUNDS, max_rounds=ROUNDS),
+        ),
+        checkpoint=False,
+    )
+
+
+def make_column(values: np.ndarray) -> GeoColumn:
+    return GeoColumn(
+        HourlyTimeline(
+            term="Internet outage",
+            geo="US-TX",
+            start=START,
+            values=np.asarray(values, dtype=np.float64),
+        )
+    )
+
+
+class TestGeoColumnAppend:
+    """In-place growth must match a fresh column bit for bit."""
+
+    @pytest.mark.parametrize(
+        "initial,tail",
+        [
+            # The regression shape: a partial last block whose tallest
+            # value arrives in the block's *remainder* after an append —
+            # a frozen partial maximum would under-report window peaks.
+            (200, 150),
+            # Append lands entirely inside the still-partial block.
+            (130, 60),
+            # Block-aligned initial length (no partial block to heal).
+            (_BLOCK * 2, 100),
+            # Tiny column growing past its first block boundary.
+            (5, _BLOCK * 2 + 7),
+        ],
+    )
+    def test_append_equals_fresh_column(self, initial, tail):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0.0, 50.0, initial + tail)
+        # Put the global maximum inside the appended range, within the
+        # block that was partial before the append.
+        values[initial + min(tail, _BLOCK - initial % _BLOCK) // 2] = 99.0
+        grown = make_column(values[:initial])
+        grown.append(values[initial:])
+        fresh = make_column(values)
+        assert grown.hours == fresh.hours
+        np.testing.assert_array_equal(grown._values, fresh._values)
+        # Prefix sums continue from the last entry instead of re-summing
+        # from hour zero, so they match a one-shot cumsum only up to
+        # float associativity; served means round to 3 decimals.
+        np.testing.assert_allclose(grown._prefix, fresh._prefix, rtol=1e-12)
+        np.testing.assert_array_equal(grown._nonzero, fresh._nonzero)
+        np.testing.assert_array_equal(grown._block_max, fresh._block_max)
+
+    def test_window_peak_sees_spike_in_healed_partial_block(self):
+        # 200 hours: block 1 (hours 128..255) is partial.  The append
+        # drops a tall spike at hour 230 — inside block 1's remainder —
+        # and grows the column far enough that block 1 becomes an
+        # *interior* block of wide window queries (answered from
+        # _block_max alone, the path a stale maximum would corrupt).
+        values = np.ones(200)
+        column = make_column(values)
+        tail = np.ones(3 * _BLOCK)
+        tail[30] = 77.0  # absolute hour 230, inside block 1
+        column.append(tail)
+        lo, hi = 0, column.hours
+        assert column.window_peak(lo, hi) == 77.0
+        # A window whose edges avoid block 1 entirely still sees it.
+        assert column.window_peak(64, 5 * _BLOCK) == 77.0
+        # Windows strictly before the appended range are untouched.
+        assert column.window_peak(0, 200) == 1.0
+
+    def test_repeated_appends_accumulate(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0, 10.0, 1000)
+        column = make_column(values[:100])
+        offset = 100
+        for size in (1, 27, _BLOCK, 300, 472):
+            column.append(values[offset : offset + size])
+            offset += size
+        fresh = make_column(values)
+        np.testing.assert_array_equal(column._block_max, fresh._block_max)
+        for lo, hi in [(0, 1000), (50, 950), (128, 256), (700, 701)]:
+            assert column.window_peak(lo, hi) == float(values[lo:hi].max())
+            assert column.window_sum(lo, hi) == pytest.approx(
+                float(values[lo:hi].sum())
+            )
+
+
+def run_streamed_app():
+    """Drive a full stream with delta installs; return (daemon, app)."""
+    runtime = build_runtime()
+    daemon = runtime.stream_daemon(GEOS)
+    daemon.tick()
+    app = SiftWebApp(daemon.snapshot_study())
+    daemon.app = app
+    while not daemon.done:
+        daemon.tick()
+    return daemon, app
+
+
+@pytest.fixture(scope="module")
+def streamed():
+    return run_streamed_app()
+
+
+class TestDeltaInstallEquivalence:
+    """Delta installs end byte-identical to a fresh full install."""
+
+    def test_index_matches_fresh_install(self, streamed):
+        daemon, app = streamed
+        fresh = QueryIndex(daemon.snapshot_study())
+        assert app.index.fingerprint == fresh.fingerprint
+        assert app.index.geos == fresh.geos
+        for geo in GEOS:
+            grown = app.index.column(geo)
+            rebuilt = fresh.column(geo)
+            assert grown.hours == rebuilt.hours
+            np.testing.assert_array_equal(grown._values, rebuilt._values)
+            # Continued prefix sums match a fresh cumsum only up to
+            # float associativity (see TestGeoColumnAppend).
+            np.testing.assert_allclose(grown._prefix, rebuilt._prefix, rtol=1e-12)
+            np.testing.assert_array_equal(grown._block_max, rebuilt._block_max)
+            assert app.index.spike_table(geo).rows == fresh.spike_table(geo).rows
+        assert app.index.outages.rows == fresh.outages.rows
+
+    def test_served_bytes_match_fresh_app(self, streamed):
+        daemon, app = streamed
+        fresh_app = SiftWebApp(daemon.snapshot_study())
+        for path in (
+            "/api/summary",
+            "/api/timeline?geo=US-TX",
+            "/api/spikes?geo=US-CA",
+            "/api/outages",
+        ):
+            assert (
+                app.handle_request(path).body
+                == fresh_app.handle_request(path).body
+            )
+
+
+class TestDeltaCacheRetention:
+    """Only entries the tick touched are evicted."""
+
+    def test_prefix_window_entry_survives_a_tick(self):
+        runtime = build_runtime()
+        daemon = runtime.stream_daemon(GEOS)
+        daemon.tick()
+        daemon.tick()
+        app = SiftWebApp(daemon.snapshot_study())
+        daemon.app = app
+        # A timeline window entirely inside the already-served prefix.
+        prefix_path = (
+            "/api/timeline?geo=US-TX"
+            "&start=2021-01-02T00:00:00&end=2021-01-06T00:00:00"
+        )
+        full_path = "/api/timeline?geo=US-TX"
+        prefix_etag = app.handle_request(prefix_path).header("ETag")
+        full_etag = app.handle_request(full_path).header("ETag")
+        daemon.tick()
+        # The prefix entry was retained: same cached bytes, same ETag —
+        # a conditional request still revalidates to 304.
+        revalidated = app.handle_request(
+            prefix_path, headers={"If-None-Match": prefix_etag}
+        )
+        assert revalidated.status == 304
+        # The unbounded window reaches into the appended hours: evicted.
+        after = app.handle_request(full_path)
+        assert after.header("ETag") != full_etag
+        assert json.loads(after.body)["hours"] > 0
+
+    def test_study_wide_payloads_are_evicted(self):
+        runtime = build_runtime()
+        daemon = runtime.stream_daemon(GEOS)
+        daemon.tick()
+        app = SiftWebApp(daemon.snapshot_study())
+        daemon.app = app
+        before = app.handle_request("/api/summary")
+        daemon.tick()
+        after = app.handle_request("/api/summary")
+        assert after.header("ETag") != before.header("ETag")
+        assert (
+            json.loads(after.body)["window"]["end"]
+            != json.loads(before.body)["window"]["end"]
+        )
+
+
+class TestStreamFeed:
+    """The /api/stream ring carries the install and publish events."""
+
+    def test_feed_reports_installs_and_spikes(self, streamed):
+        daemon, app = streamed
+        payload = json.loads(app.handle_request("/api/stream").body)
+        events = payload["events"]
+        assert payload["next_since"] == max(event["seq"] for event in events)
+        kinds = {event["type"] for event in events}
+        assert "DeltaInstalled" in kinds
+        assert "SpikePublished" in kinds
+        installs = [e for e in events if e["type"] == "DeltaInstalled"]
+        # One delta install per tick after the bootstrap install.
+        assert len(installs) == daemon.total_ticks - 1
+        assert [e["tick"] for e in installs] == sorted(
+            e["tick"] for e in installs
+        )
+        published = [e for e in events if e["type"] == "SpikePublished"]
+        assert all(e["geo"].startswith("US-") for e in published)
+
+    def test_since_filters_and_timeout_returns_promptly(self, streamed):
+        _, app = streamed
+        first = json.loads(app.handle_request("/api/stream").body)
+        cursor = first["next_since"]
+        empty = json.loads(
+            app.handle_request(f"/api/stream?since={cursor}&timeout=0").body
+        )
+        assert empty["events"] == []
+        assert empty["next_since"] == cursor
+        middle = first["events"][len(first["events"]) // 2]["seq"]
+        tail = json.loads(
+            app.handle_request(f"/api/stream?since={middle}").body
+        )
+        assert all(event["seq"] > middle for event in tail["events"])
+        assert len(tail["events"]) == sum(
+            1 for event in first["events"] if event["seq"] > middle
+        )
