@@ -1,0 +1,362 @@
+"""Resilience bench: recovery time, ticks lost, read availability.
+
+A seeded kill/corrupt soak drives the self-healing watch loop
+(DESIGN.md §13): process chaos crashes ticks mid-crawl, wedges fetches
+past the supervisor's watchdog, and corrupts stream-checkpoint columns
+on disk; the supervisor restarts from the columnar checkpoint,
+quarantines damaged partitions, re-crawls exactly the quarantined
+geographies — and the serving layer answers reads throughout, including
+from inside restart windows.  The bench measures what that costs and
+writes ``BENCH_resilience.json``:
+
+* ``recovery_*`` — per-incident healing: ticks spent degraded and
+  virtual seconds from first failure to the ``healthy`` transition
+  (backoff waits and injected stalls all spend simulated time);
+* ``ticks_lost`` — failed tick attempts, i.e. work re-done from the
+  checkpoint; ``restarted_tick_max_attempts`` is the deepest retry;
+* ``availability_pct`` — share of reads answered 200 during the soak.
+  Reads are issued *inside* every restart window (from the
+  ``TickRestarted`` hook, while the daemon is torn down) and after
+  every tick; deliberate load-shed 503s are excluded by construction,
+  ``unexpected_5xx`` counts everything else and must be zero;
+* ``fingerprints_match`` — the correctness bar: after the soak the
+  study must be byte-identical to an uninterrupted batch run, and the
+  supervisor must be back in ``healthy``.
+
+Floors enforced by ``--check`` (portable: seeded chaos replays
+bit-exactly, virtual time is machine-independent):
+
+* zero fingerprint divergence, final state ``healthy``;
+* every incident recovers within ``RECOVERY_TICKS_FLOOR`` ticks;
+* read availability >= 99% with zero unexpected 5xx.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py [--smoke]
+        [--as-baseline] [--check] [--write]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+
+from repro.core.averaging import AveragingConfig
+from repro.core.pipeline import SiftConfig
+from repro.core.progress import TickRestarted
+from repro.runtime import StudyRuntime
+from repro.streaming import ProcessChaos, ProcessFaultProfile, SupervisorConfig
+from repro.timeutil import utc
+from repro.web import SiftWebApp
+
+try:  # runnable both as a script and under the benchmarks package
+    from perf import write_bench
+except ImportError:  # pragma: no cover
+    from benchmarks.perf import write_bench
+
+BENCH_NAME = "resilience"
+
+#: Full workload: eight timezone-diverse geographies over a quarter
+#: (twelve weekly ticks) — enough stream for several distinct incidents
+#: without turning the soak into a crawl benchmark.
+FULL_GEOS = (
+    "US-TX",
+    "US-CA",
+    "US-OK",
+    "US-NY",
+    "US-FL",
+    "US-WA",
+    "US-IL",
+    "US-AZ",
+)
+FULL_START, FULL_END = utc(2021, 1, 1), utc(2021, 3, 26)
+FULL_CHAOS_SEED = 1
+
+#: CI smoke slice: three geographies, six weekly ticks — the same soak
+#: the resilience tests replay.
+SMOKE_GEOS = ("US-TX", "US-CA", "US-OK")
+SMOKE_START, SMOKE_END = utc(2021, 1, 1), utc(2021, 2, 7)
+SMOKE_CHAOS_SEED = 8
+
+SCALE = 0.3
+SEED = 11
+ROUNDS = 2
+
+#: The soak profiles: per-fetch crash/stall rates tuned per workload
+#: shape so the *expected failures per tick* stay comparable (the full
+#: shape draws 16 fetch faults per tick vs the smoke's 6 — identical
+#: per-fetch rates would keep the big stream permanently degraded),
+#: corruption aggressive enough that quarantine + re-crawl is exercised
+#: every run.  The chaos seeds above were chosen so each replay injects
+#: at least one crash and one corruption and ends back at ``healthy`` —
+#: the acceptance scenario.
+SMOKE_PROFILE = ProcessFaultProfile(
+    name="soak-smoke",
+    crash_rate=0.06,
+    stall_rate=0.03,
+    stall_seconds=600.0,
+    corrupt_rate=0.35,
+)
+FULL_PROFILE = ProcessFaultProfile(
+    name="soak-full",
+    crash_rate=0.0225,
+    stall_rate=0.011,
+    stall_seconds=600.0,
+    corrupt_rate=0.35,
+)
+SOAK_CONFIG = SupervisorConfig(watchdog_seconds=500.0, max_restarts=10)
+
+#: Portable floors --check enforces.
+RECOVERY_TICKS_FLOOR = 4
+AVAILABILITY_FLOOR_PCT = 99.0
+
+#: Read mix issued during the soak (per probe burst).
+READ_PATHS = (
+    "/api/geos",
+    "/api/summary",
+    "/api/timeline?geo=US-TX",
+    "/api/outages",
+    "/api/runtime",
+    "/healthz",
+    "/readyz",
+)
+
+
+def build_runtime(
+    smoke: bool, store: str | None = None, progress=None
+) -> StudyRuntime:
+    return StudyRuntime.build(
+        background_scale=SCALE,
+        seed=SEED,
+        start=SMOKE_START if smoke else FULL_START,
+        end=SMOKE_END if smoke else FULL_END,
+        sift=SiftConfig(
+            annotate=False,
+            averaging=AveragingConfig(min_rounds=ROUNDS, max_rounds=ROUNDS),
+        ),
+        checkpoint=False,
+        store=store,
+        progress=progress,
+    )
+
+
+class ReadProbe:
+    """Issues read bursts against the app and keeps availability books."""
+
+    def __init__(self) -> None:
+        self.app: SiftWebApp | None = None
+        self.total = 0
+        self.ok = 0
+        self.shed = 0
+        self.unexpected_5xx = 0
+        self.during_restart = 0
+
+    def burst(self, during_restart: bool = False) -> None:
+        if self.app is None:
+            return
+        for path in READ_PATHS:
+            status = self.app.handle_request(path).status
+            self.total += 1
+            if during_restart:
+                self.during_restart += 1
+            if status == 200:
+                self.ok += 1
+            elif status == 503 and path == "/readyz":
+                # /readyz deliberately refuses while halted; the soak
+                # never halts, so any 503 here is a real failure.
+                self.unexpected_5xx += 1
+            elif status >= 500:
+                self.unexpected_5xx += 1
+
+    def availability_pct(self) -> float:
+        served = self.total - self.shed
+        if not served:
+            return 100.0
+        return round(100.0 * self.ok / served, 3)
+
+
+def run_bench(smoke: bool, store_dir: str) -> dict:
+    geos = SMOKE_GEOS if smoke else FULL_GEOS
+    chaos_seed = SMOKE_CHAOS_SEED if smoke else FULL_CHAOS_SEED
+    probe = ReadProbe()
+    attempts_by_tick: dict[int, int] = {}
+
+    def on_event(event) -> None:
+        if isinstance(event, TickRestarted):
+            attempts_by_tick[event.tick] = max(
+                attempts_by_tick.get(event.tick, 0), event.attempt
+            )
+            # The degraded window: daemon torn down, backoff pending.
+            probe.burst(during_restart=True)
+
+    runtime = build_runtime(smoke, store=store_dir, progress=on_event)
+    profile = SMOKE_PROFILE if smoke else FULL_PROFILE
+    chaos = ProcessChaos(profile, seed=chaos_seed)
+    supervisor = runtime.supervise(geos, config=SOAK_CONFIG, chaos=chaos)
+
+    supervisor.tick()
+    probe.app = SiftWebApp(
+        supervisor.daemon.snapshot_study(),
+        health_source=supervisor.health_payload,
+    )
+    supervisor.attach_app(probe.app)
+    probe.burst()
+    while not supervisor.done:
+        supervisor.tick()
+        probe.burst()
+    final = supervisor.finalize()
+
+    batch = build_runtime(smoke).run_study(geos)
+    injected = chaos.injection_counts()
+    degraded_ticks = [
+        incident["ticks_degraded"] for incident in supervisor.recovery_log
+    ]
+    recovery_seconds = [
+        incident["virtual_seconds"] for incident in supervisor.recovery_log
+    ]
+
+    return {
+        "ticks": supervisor.total_ticks,
+        "geo_count": len(geos),
+        "rounds": ROUNDS,
+        "chaos_profile": profile.name,
+        "chaos_seed": chaos_seed,
+        "injected_crashes": injected["crash"],
+        "injected_stalls": injected["stall"],
+        "injected_corruptions": injected["truncate"] + injected["bitflip"],
+        "ticks_lost": supervisor.restarts,
+        "restarted_tick_max_attempts": max(
+            attempts_by_tick.values(), default=0
+        ),
+        "quarantined_geos": len(supervisor.quarantined),
+        "incidents": len(supervisor.recovery_log),
+        "recovery_max_ticks": max(degraded_ticks, default=0),
+        "recovery_mean_virtual_seconds": round(
+            statistics.fmean(recovery_seconds), 1
+        )
+        if recovery_seconds
+        else 0.0,
+        "recovery_max_virtual_seconds": max(recovery_seconds, default=0.0),
+        "virtual_seconds_total": round(float(runtime.clock()), 1),
+        "reads_total": probe.total,
+        "reads_during_restart": probe.during_restart,
+        "reads_shed": probe.shed,
+        "unexpected_5xx": probe.unexpected_5xx,
+        "availability_pct": probe.availability_pct(),
+        "final_state": supervisor.state.value,
+        "final_fingerprint_supervised": final.fingerprint(),
+        "final_fingerprint_batch": batch.fingerprint(),
+        "fingerprints_match": final.fingerprint() == batch.fingerprint(),
+        "smoke": smoke,
+    }
+
+
+def check_regression(metrics: dict) -> int:
+    """Enforce the portable resilience floors."""
+    exit_code = 0
+
+    def gate(ok: bool, label: str) -> None:
+        nonlocal exit_code
+        print(f"check: {label} -> {'ok' if ok else 'REGRESSION'}")
+        if not ok:
+            exit_code = 1
+
+    gate(metrics["fingerprints_match"], "fingerprint identity after soak")
+    gate(metrics["final_state"] == "healthy", "supervisor healed to healthy")
+    gate(
+        metrics["injected_crashes"] >= 1
+        and metrics["injected_corruptions"] >= 1,
+        "soak injected >=1 crash and >=1 corruption",
+    )
+    gate(
+        metrics["recovery_max_ticks"] <= RECOVERY_TICKS_FLOOR,
+        f"recovery within {RECOVERY_TICKS_FLOOR} ticks "
+        f"(max {metrics['recovery_max_ticks']})",
+    )
+    gate(
+        metrics["availability_pct"] >= AVAILABILITY_FLOOR_PCT,
+        f"read availability {metrics['availability_pct']}% >= "
+        f"{AVAILABILITY_FLOOR_PCT}%",
+    )
+    gate(metrics["unexpected_5xx"] == 0, "zero unexpected 5xx")
+    return exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI slice")
+    parser.add_argument(
+        "--as-baseline",
+        action="store_true",
+        help="record results as the pre-change baseline",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when a resilience floor is missed",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="persist results even for a smoke run (CI artifact upload)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        metrics = run_bench(smoke=args.smoke, store_dir=store_dir)
+    for key, value in metrics.items():
+        print(f"{key}: {value}")
+
+    exit_code = check_regression(metrics) if args.check else 0
+    if args.as_baseline or args.write or not args.smoke:
+        profile = SMOKE_PROFILE if args.smoke else FULL_PROFILE
+        geos = SMOKE_GEOS if args.smoke else FULL_GEOS
+        start = SMOKE_START if args.smoke else FULL_START
+        end = SMOKE_END if args.smoke else FULL_END
+        weeks = int((end - start).total_seconds() // (7 * 24 * 3600))
+        write_bench(
+            BENCH_NAME,
+            metrics,
+            as_baseline=args.as_baseline,
+            workload_shape={
+                "geos": len(geos),
+                "weeks": weeks,
+                "terms": 1,
+                "rounds": ROUNDS,
+            },
+            extra={
+                "workload": {
+                    "start": start.isoformat(),
+                    "end": end.isoformat(),
+                    "background_scale": SCALE,
+                    "geo_count": len(geos),
+                    "chaos_profile": {
+                        "name": profile.name,
+                        "crash_rate": profile.crash_rate,
+                        "stall_rate": profile.stall_rate,
+                        "stall_seconds": profile.stall_seconds,
+                        "corrupt_rate": profile.corrupt_rate,
+                    },
+                    "supervisor": {
+                        "watchdog_seconds": SOAK_CONFIG.watchdog_seconds,
+                        "max_restarts": SOAK_CONFIG.max_restarts,
+                        "recovery_ticks": SOAK_CONFIG.recovery_ticks,
+                    },
+                },
+                "floors": {
+                    "recovery_max_ticks": RECOVERY_TICKS_FLOOR,
+                    "availability_pct": AVAILABILITY_FLOOR_PCT,
+                    "unexpected_5xx": 0,
+                    "fingerprints_match": True,
+                },
+            },
+        )
+        print(f"wrote BENCH_{BENCH_NAME}.json")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -321,72 +321,121 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_watch(args: argparse.Namespace) -> int:
     import time
 
+    from repro.errors import SupervisorHalted
     from repro.streaming import StreamConfig
 
     runtime = _runtime(args)
     geos = tuple(args.geos) if args.geos else ALL_GEOS
-    daemon = runtime.stream_daemon(
-        geos,
-        stream=StreamConfig(
-            rounds=args.rounds, checkpoint_every=args.checkpoint_every
-        ),
+    stream = StreamConfig(
+        rounds=args.rounds, checkpoint_every=args.checkpoint_every
     )
-    if daemon.ticks_done:
-        print(f"resumed mid-stream at tick {daemon.ticks_done}/"
-              f"{daemon.total_ticks} (zero refetch)")
+    supervisor = None
+    if args.supervise:
+        from repro.streaming import (
+            PROCESS_PROFILES,
+            ProcessChaos,
+            SupervisorConfig,
+        )
+
+        chaos = None
+        if args.process_chaos != "none":
+            chaos = ProcessChaos(
+                PROCESS_PROFILES[args.process_chaos],
+                seed=args.process_chaos_seed,
+            )
+        supervisor = runtime.supervise(
+            geos,
+            config=SupervisorConfig(
+                watchdog_seconds=args.watchdog,
+                max_restarts=args.max_restarts,
+            ),
+            stream=stream,
+            chaos=chaos,
+        )
+        # The daemon attribute may be rebuilt across restarts; always go
+        # through the supervisor from here on.
+        step, source = supervisor.tick, supervisor
+    else:
+        daemon = runtime.stream_daemon(geos, stream=stream)
+        step, source = daemon.tick, daemon
+    if source.ticks_done:
+        print(f"resumed mid-stream at tick {source.ticks_done}/"
+              f"{source.total_ticks} (zero refetch)")
     server = None
     remaining = args.ticks
-    if args.serve and not daemon.done:
-        from repro.web import SiftWebApp, serve_app
-
-        # The app needs a first snapshot to exist; the daemon installs
-        # deltas into it from the second tick on.
-        daemon.tick()
-        if remaining is not None:
-            remaining -= 1
-        daemon.app = SiftWebApp(
-            daemon.snapshot_study(),
-            crawl_report=runtime.report(),
-            fault_report=runtime.fault_report(),
-            execution=runtime.execution_info(),
-        )
-        server, _thread = serve_app(daemon.app, host=args.host, port=args.port)
-        host, port = server.server_address[:2]
-        print(f"watching on http://{host}:{port}/ "
-              f"(live events: /api/stream?since=0)")
     try:
-        while not daemon.done and (remaining is None or remaining > 0):
-            result = daemon.tick()
+        if args.serve and not source.done:
+            from repro.web import SiftWebApp, serve_app
+
+            # The app needs a first snapshot to exist; the daemon
+            # installs deltas into it from the second tick on.
+            step()
+            if remaining is not None:
+                remaining -= 1
+            app = SiftWebApp(
+                (supervisor.daemon if supervisor else daemon).snapshot_study(),
+                crawl_report=runtime.report(),
+                fault_report=runtime.fault_report(),
+                execution=runtime.execution_info(),
+                health_source=(
+                    supervisor.health_payload if supervisor else None
+                ),
+                max_inflight=args.max_inflight,
+            )
+            if supervisor is not None:
+                supervisor.attach_app(app)
+            else:
+                daemon.app = app
+            server, _thread = serve_app(app, host=args.host, port=args.port)
+            host, port = server.server_address[:2]
+            print(f"watching on http://{host}:{port}/ "
+                  f"(live events: /api/stream?since=0; health: /healthz)")
+        while not source.done and (remaining is None or remaining > 0):
+            result = step()
             if remaining is not None:
                 remaining -= 1
             line = (
-                f"tick {result.tick + 1}/{daemon.total_ticks} "
+                f"tick {result.tick + 1}/{source.total_ticks} "
                 f"-> {result.frame.end.date()}: "
                 f"{len(result.published)} published, "
                 f"{result.spike_count} spikes total "
                 f"({result.elapsed_seconds * 1000:.0f} ms, "
                 f"fp {result.fingerprint})"
             )
+            if supervisor is not None and supervisor.restarts:
+                line += (f" [{supervisor.state.value}, "
+                         f"{supervisor.restarts} restarts]")
             print(line)
             for spike in result.published[:5]:
                 print(f"  spike [{spike.geo}] peak {spike.peak.isoformat()} "
                       f"magnitude {spike.magnitude:.1f} "
                       f"({spike.duration_hours}h)")
-            if args.tick and not daemon.done:
+            if args.tick and not source.done:
                 time.sleep(args.tick)
+    except SupervisorHalted as error:
+        print(f"supervisor halted at tick {source.ticks_done}/"
+              f"{source.total_ticks}: {error}", file=sys.stderr)
+        if server is not None:
+            server.shutdown()
+        return 1
     except KeyboardInterrupt:
-        print(f"interrupted at tick {daemon.ticks_done}/{daemon.total_ticks}"
+        print(f"interrupted at tick {source.ticks_done}/{source.total_ticks}"
               + (" (stream checkpointed; rerun to resume)"
                  if runtime.store is not None else ""))
         if server is not None:
             server.shutdown()
         return 130
-    if daemon.done:
-        study = daemon.finalize()
-        print(f"stream complete: {study.spike_count} spikes, "
-              f"{len(study.outages)} outages, fp {study.fingerprint()}")
+    if source.done:
+        study = source.finalize()
+        line = (f"stream complete: {study.spike_count} spikes, "
+                f"{len(study.outages)} outages, fp {study.fingerprint()}")
+        if supervisor is not None:
+            line += (f" ({supervisor.state.value}, "
+                     f"{supervisor.restarts} restarts, "
+                     f"{len(supervisor.quarantined)} quarantined)")
+        print(line)
     else:
-        print(f"paused at tick {daemon.ticks_done}/{daemon.total_ticks}"
+        print(f"paused at tick {source.ticks_done}/{source.total_ticks}"
               + (" (stream checkpointed; rerun to resume)"
                  if runtime.store is not None else ""))
     if server is not None:
@@ -583,6 +632,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     watch.add_argument("--host", default="127.0.0.1")
     watch.add_argument("--port", type=int, default=8080)
+    watch.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run ticks under the self-healing supervisor: watchdog "
+        "deadlines, checkpoint restarts with backoff, store integrity "
+        "quarantine, /healthz + /readyz health probes",
+    )
+    watch.add_argument(
+        "--max-restarts",
+        type=int,
+        default=8,
+        metavar="N",
+        help="supervisor halts after N consecutive failures of one tick "
+        "(default 8)",
+    )
+    watch.add_argument(
+        "--watchdog",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="virtual-time deadline per supervised tick (default 3600)",
+    )
+    watch.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --serve: shed requests beyond N concurrent with a "
+        "503 Retry-After (default: unbounded)",
+    )
+    watch.add_argument(
+        "--process-chaos",
+        choices=["none", "crashy", "wedged", "torn", "havoc"],
+        default="none",
+        help="with --supervise: inject seeded process faults (tick "
+        "crashes, watchdog stalls, checkpoint corruption)",
+    )
+    watch.add_argument(
+        "--process-chaos-seed",
+        type=int,
+        default=8,
+        metavar="SEED",
+        help="seed for the process-chaos substreams (default 8)",
+    )
     watch.set_defaults(handler=_cmd_watch)
 
     scenarios = commands.add_parser(

@@ -267,14 +267,17 @@ class ServingStats(ProgressEvent):
     bytes_saved: int
     p50_handle_ms: float
     p99_handle_ms: float
+    shed: int = 0
 
     def describe(self) -> str:
+        shed = f", {self.shed} shed" if self.shed else ""
         return (
             f"serving[v{self.snapshot}]: {self.requests} requests, "
             f"{self.hits} hits / {self.misses} misses / "
             f"{self.not_modified} not-modified, "
             f"{self.bytes_saved} bytes saved, "
             f"p50 {self.p50_handle_ms:.2f} ms / p99 {self.p99_handle_ms:.2f} ms"
+            f"{shed}"
         )
 
 
@@ -353,6 +356,81 @@ class DeltaInstalled(ProgressEvent):
             f"delta +{self.appended_hours}h, {self.published} spikes "
             f"published, {self.invalidated} cache entries dropped / "
             f"{self.retained} kept"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class HealthChanged(ProgressEvent):
+    """The supervisor's health state machine moved to a new state."""
+
+    state: str  # "healthy" | "degraded" | "halted"
+    previous: str
+    reason: str
+    tick: int
+    restarts: int
+
+    def describe(self) -> str:
+        return (
+            f"health {self.previous} -> {self.state} at tick {self.tick} "
+            f"({self.reason}; {self.restarts} restarts so far)"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TickRestarted(ProgressEvent):
+    """A supervised tick failed and is being restarted from checkpoint."""
+
+    tick: int
+    attempt: int
+    error_class: str  # ErrorClass value: "retryable" | "rate_limited"
+    error: str
+    backoff_seconds: float
+
+    def describe(self) -> str:
+        return (
+            f"tick {self.tick} restart #{self.attempt} after "
+            f"{self.error_class} failure ({self.error}); "
+            f"backing off {self.backoff_seconds:.2f}s"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PartitionQuarantined(ProgressEvent):
+    """An integrity check moved a damaged store partition aside."""
+
+    geo: str
+    file: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"quarantined {self.geo} partition ({self.file}): {self.reason}"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GeoRecrawled(ProgressEvent):
+    """A quarantined geography was re-crawled back to the stream head."""
+
+    geo: str
+    ticks: int
+
+    def describe(self) -> str:
+        return f"re-crawled quarantined {self.geo} over {self.ticks} ticks"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Heartbeat(ProgressEvent):
+    """Periodic liveness signal from the supervisor (fed to /api/stream)."""
+
+    tick: int
+    health: str
+    ticks_done: int
+    total_ticks: int
+    restarts: int
+
+    def describe(self) -> str:
+        return (
+            f"heartbeat: {self.health}, tick {self.ticks_done}/"
+            f"{self.total_ticks}, {self.restarts} restarts"
         )
 
 

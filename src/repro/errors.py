@@ -126,8 +126,57 @@ class DatabaseError(ReproError):
     """The collection database rejected an operation."""
 
 
+class StoreIntegrityError(DatabaseError):
+    """A persisted partition failed its integrity check (truncated,
+    bit-flipped, or missing) and could not be quarantined."""
+
+
 class CollectionError(ReproError):
     """The collection scheduler could not complete a workload."""
+
+
+class TickCrashError(CollectionError):
+    """A streaming tick died mid-crawl (simulated process crash).
+
+    Raised above the per-frame retry machinery — the supervisor, not
+    the fetcher loop, owns recovery: the tick is retry-safe (fed
+    geographies are skipped by their watermark), so a restart simply
+    runs it again.
+    """
+
+
+class WatchdogTimeout(CollectionError):
+    """A supervised tick overran its virtual-time watchdog deadline.
+
+    Attributes:
+        elapsed_seconds: virtual time the tick had consumed when the
+            watchdog fired.
+        deadline_seconds: the armed deadline.
+    """
+
+    def __init__(self, elapsed_seconds: float, deadline_seconds: float) -> None:
+        super().__init__(
+            f"watchdog fired: tick spent {elapsed_seconds:.1f}s of virtual "
+            f"time against a {deadline_seconds:.1f}s deadline"
+        )
+        self.elapsed_seconds = elapsed_seconds
+        self.deadline_seconds = deadline_seconds
+
+
+class SupervisorHalted(CollectionError):
+    """The daemon supervisor exhausted its restart budget (or hit a
+    fatal error) and refuses to restart again.
+
+    Attributes:
+        restarts: restarts spent before halting.
+        last_error: the failure that exhausted the budget.
+    """
+
+    def __init__(self, reason: str, restarts: int = 0,
+                 last_error: BaseException | None = None) -> None:
+        super().__init__(reason)
+        self.restarts = restarts
+        self.last_error = last_error
 
 
 class CircuitOpenError(CollectionError):
@@ -188,14 +237,23 @@ def classify_error_type(error_type: type[BaseException]) -> ErrorClass:
 
     The table is ordered most-specific first.  ``FrameCrawlError`` is
     fatal even though it wraps retryable causes: it means a retry budget
-    is already spent.  Anything unlisted — including future
-    :class:`ReproError` subclasses — defaults to fatal, so a new fault
-    type must be added here (and to the classifier property test)
-    before the crawl will retry it.
+    is already spent.  ``TickCrashError`` and ``WatchdogTimeout`` are
+    retryable *by the supervisor* — they surface above the per-frame
+    retry loop (which never sees them), and the streaming tick they
+    kill is retry-safe by construction.  ``SupervisorHalted`` is fatal:
+    it means the restart budget itself is spent.  Anything unlisted —
+    including future :class:`ReproError` subclasses — defaults to
+    fatal, so a new fault type must be added here (and to the
+    classifier property test) before the crawl will retry it.
     """
     if issubclass(error_type, RateLimitError):
         return ErrorClass.RATE_LIMITED
-    if issubclass(error_type, (TransientServiceError, CircuitOpenError)):
+    if issubclass(error_type, (SupervisorHalted, FrameCrawlError, FrameDeadLettered)):
+        return ErrorClass.FATAL
+    if issubclass(
+        error_type,
+        (TransientServiceError, CircuitOpenError, TickCrashError, WatchdogTimeout),
+    ):
         return ErrorClass.RETRYABLE
     return ErrorClass.FATAL
 

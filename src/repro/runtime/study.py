@@ -335,6 +335,38 @@ class StudyRuntime:
             app=app,
         )
 
+    def supervise(
+        self,
+        geos: tuple[str, ...] | list[str] | None = None,
+        *,
+        config=None,
+        stream: StreamConfig | None = None,
+        app=None,
+        chaos=None,
+    ):
+        """A self-healing :class:`repro.streaming.DaemonSupervisor` over
+        this runtime's stream daemon (defaults: all geos).
+
+        The supervisor verifies the columnar store on every (re)spawn —
+        quarantining damaged geo partitions and re-crawling just those
+        geos — runs each tick under a virtual-time watchdog, restarts
+        failed ticks from the last checkpoint with seeded-jitter
+        backoff, and exposes its ``healthy → degraded → halted`` state
+        for the web layer's ``/healthz`` / ``/readyz`` probes.  *config*
+        is a :class:`repro.streaming.SupervisorConfig`; *chaos* a
+        :class:`repro.streaming.ProcessChaos` for seeded soak testing.
+        """
+        from repro.streaming.supervisor import DaemonSupervisor  # deferred
+
+        return DaemonSupervisor(
+            self,
+            tuple(geos) if geos is not None else ALL_GEOS,
+            config=config,
+            stream=stream,
+            app=app,
+            chaos=chaos,
+        )
+
     def analyze_state(self, geo: str, window: TimeWindow | None = None) -> StateResult:
         """Single-geography pipeline run over the study window."""
         return self.sift.analyze_state(geo, window or self.window)

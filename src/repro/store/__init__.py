@@ -8,6 +8,12 @@ columnar store here can share one checkpoint-metadata contract
 """
 
 from repro.store.columnar import FORMAT, MANIFEST, SERIES_DIR, ColumnarStore
+from repro.store.integrity import (
+    PartitionDamage,
+    StoreVerification,
+    digest_file,
+    fsync_directory,
+)
 from repro.store.meta import (
     require_backend,
     restore_state,
@@ -22,6 +28,10 @@ __all__ = [
     "MANIFEST",
     "SERIES_DIR",
     "ColumnarStore",
+    "PartitionDamage",
+    "StoreVerification",
+    "digest_file",
+    "fsync_directory",
     "require_backend",
     "restore_state",
     "spikes_from_dicts",

@@ -39,6 +39,7 @@ shard order, geo-sorted manifest — via :meth:`merge_partition`.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import shutil
@@ -52,6 +53,12 @@ from repro.core.pipeline import StateResult, StudyCheckpoint, StudyResult
 from repro.core.reconstruct import DEFAULT_AVERAGER, DEFAULT_STITCHER
 from repro.core.spikes import SpikeSet
 from repro.errors import DatabaseError
+from repro.store.integrity import (
+    PartitionDamage,
+    StoreVerification,
+    digest_file,
+    fsync_directory,
+)
 from repro.store.meta import (
     require_backend,
     restore_state,
@@ -87,6 +94,9 @@ class ColumnarStore(StudyCheckpoint):
         self.mmap = mmap
         self._lock = threading.Lock()
         os.makedirs(os.path.join(root, SERIES_DIR), exist_ok=True)
+        #: ``*.tmp`` leftovers from interrupted writes, removed on open
+        #: before they can ever be mistaken for partitions.
+        self.swept = self.sweep_tmp()
 
     # -- manifest ------------------------------------------------------------
 
@@ -107,23 +117,44 @@ class ColumnarStore(StudyCheckpoint):
         return manifest
 
     def _write_manifest(self, manifest: dict) -> None:
-        """Atomic replace: a reader never sees a half-written manifest."""
+        """Durable atomic replace: tmp → fsync → rename → dir fsync.
+
+        A reader never sees a half-written manifest, and a crash at any
+        point leaves either the old manifest or the new one on disk —
+        never a torn blend, never a rename rolled back by a power cut.
+        """
         path = self._manifest_path()
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=1, sort_keys=True)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        fsync_directory(self.root)
 
     def _column_path(self, geo: str) -> str:
         return os.path.join(self.root, SERIES_DIR, f"{geo}.npy")
 
-    def _write_column(self, geo: str, values: np.ndarray) -> None:
-        path = self._column_path(geo)
+    def _write_npy(self, path: str, values: np.ndarray) -> tuple[str, int]:
+        """Durably write one ``.npy`` column; return (digest, bytes).
+
+        The digest is taken over the fsynced tmp bytes *before* the
+        rename, so the manifest entry that follows describes exactly
+        the bytes that became the partition.
+        """
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
             np.save(handle, np.ascontiguousarray(values, dtype=np.float64))
+            handle.flush()
+            os.fsync(handle.fileno())
+        checksum, size = digest_file(tmp)
         os.replace(tmp, path)
+        fsync_directory(os.path.dirname(path))
+        return checksum, size
+
+    def _write_column(self, geo: str, values: np.ndarray) -> tuple[str, int]:
+        return self._write_npy(self._column_path(geo), values)
 
     def _load_column(self, geo: str) -> np.ndarray:
         return np.load(
@@ -140,13 +171,15 @@ class ColumnarStore(StudyCheckpoint):
         writes can never leave a checkpoint that looks complete.
         """
         with self._lock:
-            self._write_column(result.geo, result.timeline.values)
+            digest, nbytes = self._write_column(result.geo, result.timeline.values)
             manifest = self._read_manifest()
             manifest["geos"][result.geo] = {
                 "file": f"{SERIES_DIR}/{result.geo}.npy",
                 "start": result.timeline.start.isoformat(),
                 "hours": len(result.timeline),
                 "dtype": "float64",
+                "digest": digest,
+                "bytes": nbytes,
                 "meta": state_meta(result, window),
                 "spikes": spikes_to_dicts(result.spikes),
             }
@@ -282,17 +315,26 @@ class ColumnarStore(StudyCheckpoint):
         or stale column.
         """
         with self._lock:
-            for geo in sorted(columns):
-                path = self._stream_column_path(geo)
-                tmp = path + ".tmp"
-                with open(tmp, "wb") as handle:
-                    np.save(
-                        handle,
-                        np.ascontiguousarray(columns[geo], dtype=np.float64),
-                    )
-                os.replace(tmp, path)
             manifest = self._read_manifest()
+            stream_columns = dict(manifest.get("stream_columns", {}))
+            for geo in sorted(columns):
+                digest, nbytes = self._write_npy(
+                    self._stream_column_path(geo), columns[geo]
+                )
+                stream_columns[geo] = {
+                    "file": f"{SERIES_DIR}/{geo}.stream.npy",
+                    "digest": digest,
+                    "bytes": nbytes,
+                }
+            # Entries for geos absent from the new state are stale
+            # (e.g. a narrowed stream): drop them with their state.
+            stream_columns = {
+                geo: info
+                for geo, info in stream_columns.items()
+                if geo in state.get("geos", {})
+            }
             manifest["stream"] = state
+            manifest["stream_columns"] = stream_columns
             self._write_manifest(manifest)
 
     def load_stream(self) -> dict | None:
@@ -313,12 +355,162 @@ class ColumnarStore(StudyCheckpoint):
         """Drop the stream checkpoint (a finished stream needs none)."""
         with self._lock:
             manifest = self._read_manifest()
-            if manifest.pop("stream", None) is not None:
+            dropped = manifest.pop("stream", None) is not None
+            dropped |= manifest.pop("stream_columns", None) is not None
+            if dropped:
                 self._write_manifest(manifest)
             stream_dir = os.path.join(self.root, SERIES_DIR)
             for name in os.listdir(stream_dir):
                 if name.endswith(".stream.npy"):
                     os.remove(os.path.join(stream_dir, name))
+
+    # -- integrity -------------------------------------------------------------
+
+    def sweep_tmp(self) -> tuple[str, ...]:
+        """Remove stale ``*.tmp`` files left behind by interrupted writes.
+
+        Runs on open (crash recovery is the *normal* startup path, not
+        an exceptional one): a tmp file that never reached its rename
+        holds torn bytes and must not survive to confuse anything that
+        globs the series directory.  Returns the store-relative paths
+        removed.
+        """
+        swept: list[str] = []
+        for directory in (self.root, os.path.join(self.root, SERIES_DIR)):
+            if not os.path.isdir(directory):
+                continue
+            removed = False
+            for name in sorted(os.listdir(directory)):
+                if name.endswith(".tmp"):
+                    os.remove(os.path.join(directory, name))
+                    swept.append(
+                        os.path.relpath(os.path.join(directory, name), self.root)
+                    )
+                    removed = True
+            if removed:
+                fsync_directory(directory)
+        return tuple(swept)
+
+    def _check_file(
+        self,
+        geo: str,
+        relfile: str,
+        entry: dict,
+        damage: list[PartitionDamage],
+    ) -> bool:
+        """Hash one manifest-tracked file; append damage. True if hashed."""
+        path = os.path.join(self.root, relfile)
+        if not os.path.exists(path):
+            damage.append(
+                PartitionDamage(geo, relfile, "missing", "file absent on disk")
+            )
+            return False
+        expected_digest = entry.get("digest")
+        expected_bytes = entry.get("bytes")
+        if expected_digest is None:  # legacy digest-less entry
+            return False
+        actual_digest, actual_bytes = digest_file(path)
+        if expected_bytes is not None and actual_bytes != expected_bytes:
+            kind = "truncated" if actual_bytes < expected_bytes else "digest-mismatch"
+            damage.append(
+                PartitionDamage(
+                    geo,
+                    relfile,
+                    kind,
+                    f"{actual_bytes} bytes on disk, manifest says "
+                    f"{expected_bytes}",
+                )
+            )
+        elif actual_digest != expected_digest:
+            damage.append(
+                PartitionDamage(
+                    geo,
+                    relfile,
+                    "digest-mismatch",
+                    "content hash does not match manifest",
+                )
+            )
+        return True
+
+    def verify(self, quarantine: bool = False) -> StoreVerification:
+        """Re-hash every manifest-tracked column against its digest.
+
+        Detects truncation, bit flips, and orphaned manifest entries
+        (files missing on disk).  Entries written before digests
+        existed are skipped — they cannot be verified, only trusted.
+
+        With ``quarantine=True``, every damaged geography's files
+        (study column *and* stream side file — a resume needs the pair
+        consistent, so one bad half condemns both) are renamed to
+        ``*.quarantine`` and the geography is stripped from the
+        manifest and the stream checkpoint state; the stream state
+        additionally records ``quarantined: {geo: kinds}`` so a
+        resuming daemon knows those geographies were lost to damage —
+        not dropped from the configuration — and re-crawls exactly
+        them.  Everything undamaged remains servable untouched.
+        """
+        with self._lock:
+            manifest = self._read_manifest()
+            stream_columns = manifest.get("stream_columns", {})
+            damage: list[PartitionDamage] = []
+            checked = 0
+            all_geos = sorted(set(manifest["geos"]) | set(stream_columns))
+            for geo in all_geos:
+                entry = manifest["geos"].get(geo)
+                if entry is not None:
+                    checked += self._check_file(geo, entry["file"], entry, damage)
+                stream_entry = stream_columns.get(geo)
+                if stream_entry is not None:
+                    checked += self._check_file(
+                        geo, stream_entry["file"], stream_entry, damage
+                    )
+            damaged_geos = sorted({item.geo for item in damage})
+            intact = tuple(geo for geo in all_geos if geo not in damaged_geos)
+            quarantined: list[str] = []
+            if quarantine and damaged_geos:
+                moved: set[str] = set()
+                stream_state = manifest.get("stream")
+                for geo in damaged_geos:
+                    for relfile in (
+                        f"{SERIES_DIR}/{geo}.npy",
+                        f"{SERIES_DIR}/{geo}.stream.npy",
+                    ):
+                        path = os.path.join(self.root, relfile)
+                        if os.path.exists(path):
+                            os.replace(path, path + ".quarantine")
+                            moved.add(relfile)
+                    manifest["geos"].pop(geo, None)
+                    stream_columns.pop(geo, None)
+                    if stream_state is not None:
+                        stream_state.get("geos", {}).pop(geo, None)
+                        stream_state.setdefault("quarantined", {})[geo] = (
+                            "; ".join(
+                                sorted(
+                                    {
+                                        item.kind
+                                        for item in damage
+                                        if item.geo == geo
+                                    }
+                                )
+                            )
+                        )
+                    quarantined.append(geo)
+                fsync_directory(os.path.join(self.root, SERIES_DIR))
+                self._write_manifest(manifest)
+                damage = [
+                    dataclasses.replace(
+                        item, quarantined_to=item.file + ".quarantine"
+                    )
+                    if item.file in moved
+                    else item
+                    for item in damage
+                ]
+            return StoreVerification(
+                checked=checked,
+                intact=intact,
+                damage=tuple(damage),
+                quarantined=tuple(quarantined),
+            )
 
     # -- shard partitions ------------------------------------------------------
 
@@ -357,6 +549,7 @@ class ColumnarStore(StudyCheckpoint):
                 )
                 entry["file"] = f"{SERIES_DIR}/{geo}.npy"
                 manifest["geos"][geo] = entry
+            fsync_directory(os.path.join(self.root, SERIES_DIR))
             self._write_manifest(manifest)
             shutil.rmtree(root, ignore_errors=True)
 
@@ -379,13 +572,15 @@ class ColumnarStore(StudyCheckpoint):
             start, values = series
             spikes = database.load_spikes(term=self.term, geo=geo)
             with self._lock:
-                self._write_column(geo, values)
+                digest, nbytes = self._write_column(geo, values)
                 manifest = self._read_manifest()
                 manifest["geos"][geo] = {
                     "file": f"{SERIES_DIR}/{geo}.npy",
                     "start": start.isoformat(),
                     "hours": int(values.size),
                     "dtype": "float64",
+                    "digest": digest,
+                    "bytes": nbytes,
                     "meta": meta,
                     "spikes": spikes_to_dicts(spikes),
                 }

@@ -17,6 +17,15 @@ __all__ = [
     "TickResult",
     "TailDetector",
     "DetectionDelta",
+    "DaemonSupervisor",
+    "SupervisorConfig",
+    "HealthState",
+    "ProcessChaos",
+    "ProcessFaultProfile",
+    "PROCESS_PROFILES",
+    "ChaoticFrameSource",
+    "Watchdog",
+    "damage_stream_column",
 ]
 
 _LAZY = {
@@ -25,6 +34,15 @@ _LAZY = {
     "TickResult": "repro.streaming.daemon",
     "TailDetector": "repro.streaming.detector",
     "DetectionDelta": "repro.streaming.detector",
+    "DaemonSupervisor": "repro.streaming.supervisor",
+    "SupervisorConfig": "repro.streaming.supervisor",
+    "HealthState": "repro.streaming.supervisor",
+    "ProcessChaos": "repro.streaming.chaos",
+    "ProcessFaultProfile": "repro.streaming.chaos",
+    "PROCESS_PROFILES": "repro.streaming.chaos",
+    "ChaoticFrameSource": "repro.streaming.chaos",
+    "Watchdog": "repro.streaming.chaos",
+    "damage_stream_column": "repro.streaming.chaos",
 }
 
 

@@ -44,6 +44,7 @@ from repro.core.pipeline import StateResult, StudyResult
 from repro.core.progress import (
     AnnotationStarted,
     FramesDropped,
+    GeoRecrawled,
     SpikePublished,
     StreamResumed,
     StudyFinished,
@@ -621,12 +622,24 @@ class StudyDaemon:
         if state is None:
             return
         config = self.sift.config
+        state_geos = set(state.get("geos", {}))
+        # Geographies the store's integrity pass moved aside: absent
+        # from the checkpoint because their partitions were damaged —
+        # not because the stream was configured without them — so the
+        # resume re-crawls exactly these back to the stream head.
+        quarantined = tuple(
+            sorted(
+                geo
+                for geo in state.get("quarantined", {})
+                if geo in self.geos and geo not in state_geos
+            )
+        )
         matches = (
             state.get("window_start") == self.window.start.isoformat()
             and state.get("window_end") == self.window.end.isoformat()
             and state.get("overlap_hours") == config.overlap_hours
             and state.get("rounds") == self.rounds
-            and set(state.get("geos", {})) == set(self.geos)
+            and state_geos | set(quarantined) == set(self.geos)
         )
         if not matches:
             return  # a different stream; start fresh, like window mismatches
@@ -655,6 +668,7 @@ class StudyDaemon:
             stream.prev_peak = float(series.max())
             stream.ticks_fed = int(state["tick"])
         self._next_tick = int(state["tick"])
+        recrawled = self._recrawl(quarantined)
         if self._next_tick > 0:
             self._last_study, _ = self._snapshot(self._next_tick - 1)
         self.sift._emit(
@@ -664,3 +678,24 @@ class StudyDaemon:
                 geo_count=len(self.geos),
             )
         )
+        if recrawled:
+            # Checkpoint immediately: the refilled state (quarantine
+            # marker cleared) hits disk before anything else can crash,
+            # so each quarantined geo is re-crawled exactly once no
+            # matter how many restarts follow.
+            self._checkpoint()
+
+    def _recrawl(self, geos: tuple[str, ...]) -> bool:
+        """Refill quarantined geographies up to the stream head.
+
+        Each geo re-runs ticks ``0 .. _next_tick - 1`` through the
+        normal ingest path (its fed-tick watermark starts at zero, so
+        every frame feeds once); the crawl cache makes the refetches
+        cheap, and determinism makes them byte-identical to the lost
+        originals.
+        """
+        for geo in geos:
+            for tick in range(self._next_tick):
+                self._ingest_geo(geo, tick, self.frames[tick])
+            self.sift._emit(GeoRecrawled(geo=geo, ticks=self._next_tick))
+        return bool(geos)

@@ -29,10 +29,22 @@ Endpoints::
     GET /api/spikes?geo=US-TX[&min_hours=N]           detected spikes
     GET /api/outages[?min_states=N]                   grouped outages
     GET /api/runtime                                  telemetry (uncached)
+    GET /api/stream[?since=SEQ&timeout=S]             long-poll event feed
+    GET /healthz                                      liveness + health state
+    GET /readyz                                       readiness (503 halted)
 
 All JSON endpoints accept ``pretty=1``.  Duplicated query parameters
 and unknown parameters are rejected with a 400 (silent drops would
 poison the cache keyspace).
+
+Degraded-mode serving: when a ``health_source`` (the supervisor's
+``health_payload``) is wired in, ``/healthz`` and ``/readyz`` report
+its state, ``/api/runtime`` carries an explicit ``staleness`` field,
+and the app keeps answering every read from the last installed
+snapshot while the daemon restarts — stale-while-degraded, never
+down.  ``max_inflight`` bounds concurrent admission: excess requests
+are shed with ``503 Retry-After`` (the only deliberate 5xx) instead
+of queueing without bound.
 """
 
 from __future__ import annotations
@@ -89,7 +101,13 @@ _ROUTES: dict[str, tuple[str, frozenset[str]]] = {
     "/api/outages": ("_plan_outages", frozenset({"min_states", "pretty"})),
     "/api/runtime": ("_plan_runtime", frozenset({"type", "pretty"})),
     "/api/stream": ("_plan_stream", frozenset({"since", "timeout", "pretty"})),
+    "/healthz": ("_plan_healthz", frozenset({"pretty"})),
+    "/readyz": ("_plan_readyz", frozenset({"pretty"})),
 }
+
+#: Probe endpoints exempt from load shedding: health checks must answer
+#: precisely when the server is too busy to answer anything else.
+_PROBE_PATHS = frozenset({"/healthz", "/readyz"})
 
 
 def _encode_json(payload: object, pretty: bool) -> bytes:
@@ -214,6 +232,8 @@ class ServingTelemetry:
         self.not_modified = 0
         self.bytes_served = 0
         self.bytes_saved = 0
+        #: Requests rejected by bounded admission (deliberate 503s).
+        self.shed = 0
         self._seconds: deque[float] = deque(maxlen=window)
 
     def record(self, seconds: float) -> None:
@@ -244,7 +264,14 @@ class SiftWebApp:
       outages, per-geo full timelines and spike lists) at snapshot
       install, so even first requests are cache hits;
     * ``progress`` — a structured-event listener receiving
-      :class:`SnapshotInstalled` and periodic :class:`ServingStats`.
+      :class:`SnapshotInstalled` and periodic :class:`ServingStats`;
+    * ``health_source`` — a zero-argument callable (the supervisor's
+      ``health_payload``) backing ``/healthz``, ``/readyz`` and the
+      runtime ``health`` / ``staleness`` fields;
+    * ``max_inflight`` — bound on concurrently-admitted requests;
+      excess load is shed with ``503 Retry-After`` (``None`` = no
+      bound; probe endpoints are always exempt);
+    * ``stream_buffer`` — capacity of the ``/api/stream`` event ring.
     """
 
     def __init__(
@@ -260,6 +287,9 @@ class SiftWebApp:
         preload: bool = True,
         progress: ProgressListener | None = None,
         stats_interval: int = 1000,
+        health_source=None,
+        max_inflight: int | None = None,
+        stream_buffer: int = 1024,
     ) -> None:
         self.progress_log = progress_log
         self.crawl_report = crawl_report
@@ -271,31 +301,48 @@ class SiftWebApp:
         self._preload = preload
         self._progress = progress
         self._stats_interval = max(1, stats_interval)
+        self.health_source = health_source
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive: {max_inflight}")
+        self._max_inflight = max_inflight
+        self._inflight = 0
+        self._admission_lock = threading.Lock()
         self._lock = threading.RLock()
         self._cache = ResponseCache(cache_size)
         self._telemetry = ServingTelemetry()
         self._snapshot = 0
         self._preloaded = 0
+        #: Stream tick of the installed snapshot (``None`` = a complete
+        #: batch study); /api/runtime's staleness field reports it.
+        self._installed_tick: int | None = None
         # /api/stream: a sequence-numbered event ring consumed by
         # long-polling dashboards.  Guarded by its own lock so a waiting
         # poll never blocks snapshot installs or cached serving.
+        if stream_buffer < 1:
+            raise ValueError(f"stream_buffer must be positive: {stream_buffer}")
         self._stream_cond = threading.Condition(threading.Lock())
-        self._stream_events: deque[tuple[int, dict]] = deque(maxlen=1024)
+        self._stream_events: deque[tuple[int, dict]] = deque(maxlen=stream_buffer)
         self._stream_seq = 0
         self.install_study(study)
 
     # -- snapshot lifecycle ---------------------------------------------------
 
-    def install_study(self, study: StudyResult) -> None:
+    def install_study(
+        self, study: StudyResult, stream_tick: int | None = None
+    ) -> None:
         """Swap in a new study snapshot.
 
         Rebuilds the :class:`QueryIndex`, bumps the snapshot version
         (which changes every ETag), drops all cached responses, resets
-        the serving counters, and re-warms the hot payloads.
+        the serving counters, and re-warms the hot payloads.  A
+        supervisor resynchronizing mid-stream passes *stream_tick* (the
+        last tick the snapshot covers) so the staleness field stays
+        truthful; batch installs leave it ``None`` (complete).
         """
         with self._lock:
             self.study = study
             self.index = QueryIndex(study)
+            self._installed_tick = stream_tick
             self._snapshot += 1
             self._cache.clear()
             self._cache.reset_stats()
@@ -337,6 +384,7 @@ class SiftWebApp:
         with self._lock:
             self.study = study
             rebuilt = self.index.apply_delta(study, delta)
+            self._installed_tick = delta.tick
             self._snapshot += 1
             invalidated = 0
             if self._caching:
@@ -423,15 +471,58 @@ class SiftWebApp:
     ) -> WebResponse:
         """Serve one request; ``headers`` may carry the conditional and
         content-negotiation request headers (``If-None-Match``,
-        ``Accept-Encoding``)."""
+        ``Accept-Encoding``).
+
+        Bounded admission happens here, before any work: with
+        ``max_inflight`` set, a request arriving while that many others
+        are in flight is shed with a ``503 Retry-After`` — a deliberate,
+        bounded answer instead of an unbounded queue.  Probe endpoints
+        are never shed.
+        """
         started = time.perf_counter()
-        response = self._dispatch(path, headers or {})
+        counted = False
+        if (
+            self._max_inflight is not None
+            and urlparse(path).path not in _PROBE_PATHS
+        ):
+            shed = False
+            with self._admission_lock:
+                if self._inflight >= self._max_inflight:
+                    shed = True
+                else:
+                    self._inflight += 1
+                    counted = True
+            if shed:
+                return self._shed_response()
+        try:
+            response = self._dispatch(path, headers or {})
+        finally:
+            if counted:
+                with self._admission_lock:
+                    self._inflight -= 1
         with self._lock:
             self._telemetry.record(time.perf_counter() - started)
             requests = self._telemetry.requests
         if requests % self._stats_interval == 0:
             self._emit(self.serving_stats())
         return response
+
+    def _shed_response(self) -> WebResponse:
+        with self._lock:
+            self._telemetry.shed += 1
+        body = _encode_json(
+            {"error": "server at capacity; retry shortly"}, pretty=False
+        )
+        return WebResponse(
+            503,
+            (
+                ("Content-Type", _JSON_TYPE),
+                ("Content-Length", str(len(body))),
+                ("Retry-After", "1"),
+                ("Cache-Control", _NO_STORE),
+            ),
+            body,
+        )
 
     def handle_path(self, path: str) -> tuple[int, str, str]:
         """Legacy tuple form: (status, content type, body text)."""
@@ -473,6 +564,18 @@ class SiftWebApp:
                 body = _encode_json(self._stream_payload(params), pretty)
                 return WebResponse(
                     200,
+                    (
+                        ("Content-Type", _JSON_TYPE),
+                        ("Content-Length", str(len(body))),
+                        ("Cache-Control", _NO_STORE),
+                    ),
+                    body,
+                )
+            if planner_name in ("_plan_healthz", "_plan_readyz"):
+                status, payload = getattr(self, planner_name)()
+                body = _encode_json(payload, pretty)
+                return WebResponse(
+                    status,
                     (
                         ("Content-Type", _JSON_TYPE),
                         ("Content-Length", str(len(body))),
@@ -630,6 +733,63 @@ class SiftWebApp:
     def _plan_stream(self, params: dict[str, str]):  # pragma: no cover
         raise AssertionError("stream responses are served uncached")
 
+    # -- health probes --------------------------------------------------------
+
+    def _health(self) -> dict | None:
+        """The supervisor's health payload, or ``None`` unsupervised."""
+        if self.health_source is None:
+            return None
+        return self.health_source()
+
+    def _staleness(self) -> dict:
+        """How far behind the stream head the served snapshot may be."""
+        health = self._health()
+        with self._lock:
+            tick = self._installed_tick
+            snapshot = self._snapshot
+        stale = health is not None and health.get("state") != "healthy"
+        payload: dict = {
+            "snapshot": snapshot,
+            "installed_tick": tick,
+            #: True while the daemon is degraded/halted: reads keep
+            #: answering from this snapshot, which may trail the stream.
+            "serving_stale": stale,
+        }
+        if health is not None and tick is not None:
+            done = health.get("ticks_done")
+            if done is not None:
+                payload["ticks_behind"] = max(0, int(done) - (tick + 1))
+        return payload
+
+    def _plan_healthz(self) -> tuple[int, dict]:
+        """Liveness: answering at all means the serving process lives.
+
+        Always 200 — a halted daemon still leaves reads up (that is the
+        whole point of stale-while-degraded); the body carries the
+        supervisor state for anything that wants to alert on it.
+        """
+        health = self._health()
+        return 200, {
+            "status": "ok",
+            "health": health,
+            "staleness": self._staleness(),
+        }
+
+    def _plan_readyz(self) -> tuple[int, dict]:
+        """Readiness: should a load balancer route new traffic here?
+
+        Ready while healthy or degraded (stale reads are served
+        deliberately); 503 once the supervisor halts — the snapshot
+        will never advance again, so traffic should fail over.
+        """
+        health = self._health()
+        halted = health is not None and health.get("state") == "halted"
+        return (503 if halted else 200), {
+            "status": "halted" if halted else "ok",
+            "health": health,
+            "staleness": self._staleness(),
+        }
+
     # -- the event stream -----------------------------------------------------
 
     def publish_stream_events(self, events) -> None:
@@ -664,12 +824,15 @@ class SiftWebApp:
                 for seq, payload in self._stream_events
                 if seq > since
             ]
+            oldest = self._stream_events[0][0] if self._stream_events else 0
+            # The client asked to resume from a cursor older than the
+            # ring's tail: events in (since, oldest) were overwritten.
+            gap = since > 0 and oldest > since + 1
             return {
                 "since": since,
                 "next_since": self._stream_seq,
-                "oldest_seq": (
-                    self._stream_events[0][0] if self._stream_events else 0
-                ),
+                "oldest_seq": oldest,
+                "gap": gap,
                 "events": events,
             }
 
@@ -693,6 +856,7 @@ class SiftWebApp:
                 preloaded=self._preloaded,
                 bytes_served=telemetry.bytes_served,
                 bytes_saved=telemetry.bytes_saved,
+                shed=telemetry.shed,
                 p50_handle_ms=round(telemetry.percentile_ms(50), 4),
                 p99_handle_ms=round(telemetry.percentile_ms(99), 4),
             )
@@ -731,6 +895,8 @@ class SiftWebApp:
             "reconstruction": self._reconstruction(),
             "execution": self._execution(),
             "serving": self.serving_stats().to_dict(),
+            "health": self._health(),
+            "staleness": self._staleness(),
         }
 
     def _execution(self) -> dict | None:
@@ -852,6 +1018,9 @@ def serve(
     caching: bool = True,
     preload: bool = True,
     progress: ProgressListener | None = None,
+    health_source=None,
+    max_inflight: int | None = None,
+    stream_buffer: int = 1024,
 ) -> tuple[ThreadingHTTPServer, threading.Thread]:
     """Serve a study over HTTP; returns (server, daemon thread).
 
@@ -869,6 +1038,9 @@ def serve(
         caching=caching,
         preload=preload,
         progress=progress,
+        health_source=health_source,
+        max_inflight=max_inflight,
+        stream_buffer=stream_buffer,
     )
     return serve_app(app, host=host, port=port)
 
